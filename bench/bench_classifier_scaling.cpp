@@ -1,0 +1,97 @@
+// E10 — throughput of the diagnostic machinery (google-benchmark).
+//
+// The diagnostic DAS runs as an embedded job on a component, so the
+// per-round cost of ingesting symptoms and the on-demand cost of
+// classification bound how large a cluster one assessor can serve.
+// Benchmarks: symptom wire codec, evidence ingest, component
+// classification vs evidence-window size, and full-system simulation
+// rate vs cluster size.
+#include <benchmark/benchmark.h>
+
+#include "diag/classifier.hpp"
+#include "diag/evidence.hpp"
+#include "diag/symptom.hpp"
+#include "scenario/fig10.hpp"
+
+using namespace decos;
+
+namespace {
+
+void BM_SymptomCodec(benchmark::State& state) {
+  diag::Symptom s;
+  s.type = diag::SymptomType::kSlotCrcError;
+  s.observer = 1;
+  s.subject_component = 2;
+  s.subject_job = 7;
+  s.round = 1000;
+  s.magnitude = 3.5;
+  for (auto _ : state) {
+    vnet::Message m = diag::encode(s, 1002);
+    m.sent_round = 1002;
+    auto back = diag::decode(m, 1);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_SymptomCodec);
+
+void BM_EvidenceIngest(benchmark::State& state) {
+  diag::EvidenceStore store;
+  diag::Symptom s;
+  s.type = diag::SymptomType::kSlotCrcError;
+  tta::RoundId r = 0;
+  for (auto _ : state) {
+    s.round = r++;
+    s.observer = static_cast<platform::ComponentId>(r % 5);
+    s.subject_component = static_cast<platform::ComponentId>((r + 1) % 5);
+    store.ingest(s);
+    if (r % 4096 == 0) store.prune(r);
+  }
+}
+BENCHMARK(BM_EvidenceIngest);
+
+/// Classification cost as a function of accumulated evidence volume.
+void BM_ClassifyComponent(benchmark::State& state) {
+  const auto rounds = static_cast<tta::RoundId>(state.range(0));
+  diag::EvidenceStore store;
+  diag::Symptom s;
+  s.type = diag::SymptomType::kSlotCrcError;
+  s.subject_component = 1;
+  // Episodic evidence: 5 symptomatic rounds every 100.
+  for (tta::RoundId r = 0; r < rounds; ++r) {
+    if (r % 100 < 5) {
+      for (platform::ComponentId o = 2; o < 5; ++o) {
+        s.observer = o;
+        s.round = r;
+        store.ingest(s);
+      }
+    }
+  }
+  diag::Classifier classifier({}, fault::SpatialLayout::linear(5));
+  for (auto _ : state) {
+    auto d = classifier.classify_component(store, 1, rounds, 5);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ClassifyComponent)->Range(1'000, 64'000)->Complexity();
+
+/// End-to-end simulation rate of the full diagnosed system vs cluster
+/// size: simulated seconds per wall second.
+void BM_FullSystemSimulation(benchmark::State& state) {
+  const auto nodes = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    scenario::Fig10Options opts;
+    opts.seed = 42;
+    opts.components = nodes;
+    scenario::Fig10System rig(opts);
+    rig.run(sim::milliseconds(250));
+    benchmark::DoNotOptimize(rig.diag().assessor().symptoms_processed());
+  }
+  state.counters["nodes"] = nodes;
+}
+BENCHMARK(BM_FullSystemSimulation)->Arg(5)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// E9 — Fig. 1's waist line: the four core services, quantified.
+//
+// C1 predictable transport: frames per second through the TDMA schedule
+//    and the conflict-freedom of the static slots.
+// C2 fault-tolerant clock sync: achieved precision vs crystal drift bound.
+// C3 strong fault isolation: babbling-idiot containment by the guardian.
+// C4 consistent diagnosis of failing nodes: membership detection latency.
+#include <chrono>
+#include <cstdio>
+
+#include "analysis/table.hpp"
+#include "scenario/fig10.hpp"
+#include "tta/cluster.hpp"
+
+using namespace decos;
+
+int main() {
+  std::printf("== E9 / core services of the time-triggered architecture ==\n\n");
+
+  // --- C2: precision vs drift bound -------------------------------------------
+  analysis::Table prec({"drift bound [ppm]", "achieved precision [us]",
+                        "raw 2s drift if unsynced [us]"});
+  for (const double ppm : {10.0, 25.0, 50.0, 100.0, 200.0}) {
+    sim::Simulator simulator(901);
+    tta::Cluster::Params p;
+    p.node_count = 5;
+    p.tdma.slot_length = sim::microseconds(500);
+    p.drift_bound_ppm = ppm;
+    tta::Cluster cluster(simulator, p);
+    cluster.start();
+    simulator.run_until(sim::SimTime{0} + sim::seconds(2));
+    prec.add_row({analysis::Table::num(ppm, 0),
+                  analysis::Table::num(cluster.precision().us(), 2),
+                  analysis::Table::num(2.0 * ppm * 2.0, 0)});
+  }
+  std::printf("%s\n", prec.render().c_str());
+
+  // --- C4: membership detection latency ----------------------------------------
+  {
+    sim::Simulator simulator(902);
+    tta::Cluster::Params p;
+    p.node_count = 5;
+    p.tdma.slot_length = sim::microseconds(500);
+    tta::Cluster cluster(simulator, p);
+    cluster.start();
+    simulator.run_until(sim::SimTime{0} + sim::milliseconds(50));
+    const auto kill_round = cluster.node(0).current_round();
+    cluster.node(3).faults().fail_silent = true;
+    tta::RoundId detected_round = 0;
+    cluster.node(0).membership_handler = [&](tta::RoundId r, std::uint64_t m) {
+      if (detected_round == 0 && (m & (1u << 3)) == 0) detected_round = r;
+    };
+    simulator.run_until(sim::SimTime{0} + sim::milliseconds(100));
+    std::printf("C4 membership: fail-silent node detected after %llu round(s) "
+                "(paper: consistent diagnosis within one TDMA round)\n",
+                static_cast<unsigned long long>(detected_round - kill_round));
+  }
+
+  // --- C3: guardian containment --------------------------------------------------
+  {
+    sim::Simulator simulator(903);
+    tta::Cluster::Params p;
+    p.node_count = 5;
+    p.tdma.slot_length = sim::microseconds(500);
+    tta::Cluster cluster(simulator, p);
+    cluster.start();
+    simulator.run_until(sim::SimTime{0} + sim::milliseconds(20));
+    // Babble 200 times at random offsets.
+    sim::Rng rng(9);
+    std::uint64_t blocked_before = cluster.bus().frames_blocked();
+    int attempts = 0, in_slot = 0;
+    for (int i = 0; i < 200; ++i) {
+      const auto at = simulator.now() +
+                      sim::Duration{rng.uniform_int(100'000, 5'000'000)};
+      simulator.schedule_at(at, [&] {
+        ++attempts;
+        if (cluster.node(2).attempt_transmit_now()) ++in_slot;
+      });
+    }
+    simulator.run_until(simulator.now() + sim::milliseconds(50));
+    std::printf("C3 guardian: %d babbling attempts, %d landed inside the "
+                "node's own slot, %llu blocked by the guardian\n",
+                attempts, in_slot,
+                static_cast<unsigned long long>(cluster.bus().frames_blocked() -
+                                                blocked_before));
+  }
+
+  // --- C1: transport throughput (wall clock) -----------------------------------
+  {
+    sim::Simulator simulator(904);
+    tta::Cluster::Params p;
+    p.node_count = 8;
+    p.tdma.slot_length = sim::microseconds(500);
+    tta::Cluster cluster(simulator, p);
+    cluster.start();
+    const auto t0 = std::chrono::steady_clock::now();
+    simulator.run_until(sim::SimTime{0} + sim::seconds(10));
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall =
+        std::chrono::duration<double>(t1 - t0).count();
+    const double frames = static_cast<double>(cluster.bus().frames_sent());
+    std::printf("C1 transport: %.0f frames in 10 simulated s (8 nodes), "
+                "simulated at %.2f Mevents/s wall (%.0f ms wall)\n",
+                frames,
+                static_cast<double>(simulator.events_executed()) / wall / 1e6,
+                wall * 1e3);
+  }
+
+  std::printf("\nexpected shape: precision orders of magnitude below raw "
+              "drift; membership detects within ~1 round; guardian blocks "
+              "every out-of-slot babble\n");
+  return 0;
+}

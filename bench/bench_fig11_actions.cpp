@@ -1,0 +1,39 @@
+// E5 — Fig. 11: maintenance action per fault class, measured.
+//
+// The summary experiment: every archetype of the maintenance-oriented
+// fault model (the standard campaign catalogue — thirteen archetypes
+// covering all six classes) is injected across several seeds; the
+// diagnostic DAS classifies the affected FRU; the confusion matrix and
+// the resulting action table are printed. This is the executable version
+// of Fig. 11 — with a measured accuracy column the conceptual paper could
+// not provide.
+#include <cstdio>
+
+#include "analysis/table.hpp"
+#include "scenario/campaign.hpp"
+
+using namespace decos;
+
+int main() {
+  std::printf("== E5 / Fig. 11: measured maintenance-action table ==\n\n");
+
+  const auto archetypes = scenario::standard_archetypes();
+  const std::vector<std::uint64_t> seeds{501, 502, 503, 504, 505};
+  const auto result = scenario::run_campaign(archetypes, seeds);
+
+  analysis::Table t({"injected archetype", "true class", "Fig.11 action",
+                     "diagnosed correctly"});
+  for (const auto& row : result.per_archetype) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%zu/%zu", row.correct, row.runs);
+    t.add_row({row.name, fault::to_string(row.truth),
+               fault::to_string(fault::action_for(row.truth)), buf});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("confusion matrix (all archetypes x %zu seeds):\n%s\n",
+              seeds.size(), result.confusion.to_table().c_str());
+  std::printf("expected shape: high recall on every class; residual "
+              "confusion only between classes the paper itself calls "
+              "indistinguishable from the interface alone\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// E14 — capstone: maintenance policies over compressed vehicle lifetimes.
+//
+// A fleet of vehicles runs the Fig. 10 system; each vehicle's faults are
+// *sampled from the reliability models* (Section III-E rates, wearout and
+// connector probabilities, ambient EMI) by the LifetimeDriver rather than
+// hand-placed. At the end of each compressed life the garage decides per
+// flagged FRU under two policies:
+//   naive        — swap the box for any hardware-looking symptom,
+//   model-guided — the Fig. 11 action for the diagnosed class.
+// Scored against the injector's ground truth: removals, NFF, eliminated
+// faults, wasted dollars. This is the paper's whole argument, run end to
+// end from failure physics to garage economics.
+#include <cstdio>
+#include <map>
+
+#include "analysis/confusion.hpp"
+#include "analysis/nff.hpp"
+#include "analysis/table.hpp"
+#include "fault/lifetime.hpp"
+#include "scenario/fig10.hpp"
+
+using namespace decos;
+
+int main() {
+  std::printf("== E14 / maintenance policies over sampled vehicle "
+              "lifetimes ==\n\n");
+
+  const std::size_t fleet_size = 12;
+  analysis::NffAccounting naive, guided;
+  analysis::ConfusionMatrix cm;
+  std::uint64_t total_faults = 0;
+
+  for (std::size_t vehicle = 0; vehicle < fleet_size; ++vehicle) {
+    scenario::Fig10Options opts;
+    opts.seed = 1400 + vehicle;
+    opts.assessor_host = 3;
+    scenario::Fig10System rig(opts);
+
+    fault::LifetimeDriver driver(
+        rig.injector(), rig.system(),
+        rig.sim().fork_rng("lifetime." + std::to_string(vehicle)));
+    fault::LifetimeDriver::Params lp;
+    lp.horizon = sim::seconds(8);
+    lp.wearout_prob = 0.12;
+    lp.connector_prob = 0.15;
+    lp.heisenbug_prob = 0.08;
+    lp.config_fault_prob = 0.15;
+    const auto ids = driver.drive(lp);
+    total_faults += ids.size();
+
+    rig.run(lp.horizon);
+
+    // Garage: judge every FRU the diagnosis flags.
+    auto& assessor = rig.diag().assessor();
+    for (platform::ComponentId c = 0; c < rig.system().component_count();
+         ++c) {
+      const auto d = assessor.diagnose_component(c);
+      if (d.cls == fault::FaultClass::kNone) continue;
+      const auto truth = rig.injector().truth_for_component(c);
+      cm.add(truth, d.cls);
+      naive.record(truth, decide(analysis::Strategy::kNaiveReplace, d.cls));
+      guided.record(truth, decide(analysis::Strategy::kModelGuided, d.cls));
+    }
+    for (platform::JobId j : rig.app_jobs()) {
+      const auto d = assessor.diagnose_job(j);
+      if (d.cls == fault::FaultClass::kNone) continue;
+      const auto truth_job = rig.injector().truth_for_job(j);
+      // A job flagged because its host is internally faulty scores
+      // against the component's truth.
+      const auto truth = truth_job != fault::FaultClass::kNone
+                             ? truth_job
+                             : rig.injector().truth_for_component(
+                                   rig.system().job(j).host());
+      cm.add(truth, d.cls);
+      naive.record(truth, decide(analysis::Strategy::kNaiveReplace, d.cls));
+      guided.record(truth, decide(analysis::Strategy::kModelGuided, d.cls));
+    }
+  }
+
+  std::printf("fleet: %zu vehicles, %llu sampled faults, %llu garage "
+              "decisions\n\n",
+              fleet_size, static_cast<unsigned long long>(total_faults),
+              static_cast<unsigned long long>(naive.visits()));
+  std::printf("diagnosis vs ground truth over the fleet:\n%s\n",
+              cm.to_table().c_str());
+  std::printf("%s\n", naive.summary("naive").c_str());
+  std::printf("%s\n", guided.summary("model-guided").c_str());
+  std::printf("\nexpected shape: the model-guided policy eliminates most "
+              "faults with a fraction of the removals; naive NFF is "
+              "dominated by EMI/SEU and connector classes\n");
+  return 0;
+}

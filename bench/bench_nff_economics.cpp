@@ -1,0 +1,156 @@
+// E6 — Section I: No-Fault-Found economics.
+//
+// Two-stage pipeline:
+//   1. Measure the diagnostic subsystem's per-class classification
+//      behaviour on the simulated cluster (a small calibration sweep).
+//   2. Monte-Carlo a fleet's worth of garage visits: true classes drawn
+//      from field-data-shaped priors (transients dominate; connectors
+//      >30% of electrical failures per Swingler; permanents rare at
+//      100 FIT vs 100 000 FIT transients), diagnoses drawn from the
+//      measured confusion behaviour, and both maintenance strategies
+//      scored: naive "swap the box" vs the model-guided Fig. 11 actions.
+// Prints NFF ratios, wasted dollars at the paper's 800 $/removal, and the
+// fleet-scale annual saving.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "analysis/confusion.hpp"
+#include "analysis/nff.hpp"
+#include "analysis/table.hpp"
+#include "reliability/fit.hpp"
+#include "scenario/fig10.hpp"
+#include "sim/rng.hpp"
+
+using namespace decos;
+
+namespace {
+
+sim::SimTime ms(std::int64_t v) { return sim::SimTime{0} + sim::milliseconds(v); }
+
+/// Calibration: how the diagnostic DAS classifies each true class.
+std::map<fault::FaultClass, std::vector<fault::FaultClass>> calibrate() {
+  std::map<fault::FaultClass, std::vector<fault::FaultClass>> out;
+  for (std::uint64_t seed : {601, 602, 603}) {
+    {
+      scenario::Fig10System rig({.seed = seed});
+      rig.injector().inject_emi_burst(1.0, 1.1, ms(600), sim::milliseconds(12));
+      rig.injector().inject_emi_burst(1.0, 1.1, ms(1600), sim::milliseconds(12));
+      rig.run(sim::seconds(3));
+      out[fault::FaultClass::kComponentExternal].push_back(
+          rig.diag().assessor().diagnose_component(1).cls);
+    }
+    {
+      scenario::Fig10System rig({.seed = seed + 10});
+      rig.injector().inject_connector_fault(3, ms(300), sim::milliseconds(250),
+                                            sim::milliseconds(10), 0.8);
+      rig.run(sim::seconds(5));
+      out[fault::FaultClass::kComponentBorderline].push_back(
+          rig.diag().assessor().diagnose_component(3).cls);
+    }
+    {
+      scenario::Fig10System rig({.seed = seed + 20});
+      rig.injector().inject_wearout(1, ms(300), sim::milliseconds(600), 0.7,
+                                    sim::milliseconds(10));
+      rig.run(sim::seconds(5));
+      out[fault::FaultClass::kComponentInternal].push_back(
+          rig.diag().assessor().diagnose_component(1).cls);
+    }
+    {
+      scenario::Fig10System rig({.seed = seed + 30});
+      rig.injector().inject_config_fault(2, ms(300), 0, 2);
+      rig.run(sim::seconds(3));
+      out[fault::FaultClass::kJobBorderline].push_back(
+          rig.diag().assessor().diagnose_job(
+              *rig.injector().ledger().front().job).cls);
+    }
+    {
+      scenario::Fig10System rig({.seed = seed + 40});
+      rig.injector().inject_heisenbug(rig.a(1), ms(300), 0.08);
+      rig.run(sim::seconds(4));
+      out[fault::FaultClass::kJobInherentSoftware].push_back(
+          rig.diag().assessor().diagnose_job(rig.a(1)).cls);
+    }
+    {
+      scenario::Fig10System rig({.seed = seed + 50});
+      rig.injector().inject_sensor_fault(rig.c(0), 0,
+                                         platform::SensorFaultMode::kDrift,
+                                         ms(300));
+      rig.run(sim::seconds(10));
+      out[fault::FaultClass::kJobInherentTransducer].push_back(
+          rig.diag().assessor().diagnose_job(rig.c(0)).cls);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== E6 / Section I: NFF economics, naive vs model-guided ==\n\n");
+
+  std::printf("calibrating classifier behaviour on the simulated cluster...\n");
+  const auto calibration = calibrate();
+  analysis::ConfusionMatrix cal_cm;
+  for (const auto& [truth, diagnoses] : calibration) {
+    for (auto d : diagnoses) cal_cm.add(truth, d);
+  }
+  std::printf("%s\n", cal_cm.to_table().c_str());
+
+  // Field-data-shaped prior over the true class behind a garage visit.
+  // Transient external disturbances dominate symptom streams (the soft-
+  // error trend, Constantinescu); connectors carry >30% of electrical
+  // failures (Swingler/Galler); genuinely internal hardware is rare
+  // (100 FIT permanent vs 100 000 FIT transient = 0.1%), software issues
+  // grow with integration level.
+  struct Prior {
+    fault::FaultClass cls;
+    double weight;
+  };
+  const std::vector<Prior> priors = {
+      {fault::FaultClass::kComponentExternal, 0.38},
+      {fault::FaultClass::kComponentBorderline, 0.31},
+      {fault::FaultClass::kComponentInternal, 0.06},
+      {fault::FaultClass::kJobBorderline, 0.05},
+      {fault::FaultClass::kJobInherentSoftware, 0.14},
+      {fault::FaultClass::kJobInherentTransducer, 0.06},
+  };
+
+  const std::size_t visits = 100'000;
+  sim::Rng rng(606);
+  analysis::NffAccounting naive, guided;
+  for (std::size_t v = 0; v < visits; ++v) {
+    // Draw the true class.
+    double u = rng.uniform();
+    fault::FaultClass truth = priors.back().cls;
+    for (const auto& p : priors) {
+      if (u < p.weight) {
+        truth = p.cls;
+        break;
+      }
+      u -= p.weight;
+    }
+    // Draw the diagnosis from the measured behaviour for that class.
+    const auto& options = calibration.at(truth);
+    const auto diagnosed = options[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(options.size()) - 1))];
+    naive.record(truth, decide(analysis::Strategy::kNaiveReplace, diagnosed));
+    guided.record(truth, decide(analysis::Strategy::kModelGuided, diagnosed));
+  }
+
+  std::printf("%s\n", naive.summary("naive").c_str());
+  std::printf("%s\n\n", guided.summary("model-guided").c_str());
+
+  const double saving_per_visit =
+      (naive.wasted_cost() - guided.wasted_cost()) / static_cast<double>(visits);
+  // Paper framing: ~375k removals/yr at 800 $ = 300 M$/yr in avionics.
+  const double annual_removals = 300e6 / reliability::paper::kCostPerLruRemoval;
+  std::printf("saving: $%.2f per garage visit; scaled to the paper's "
+              "~%.0fk annual avionics removals: $%.1fM per year\n",
+              saving_per_visit, annual_removals / 1000.0,
+              saving_per_visit * annual_removals / 1e6);
+  std::printf("expected shape: model-guided NFF ratio a small fraction of "
+              "the naive ratio; savings dominated by external + connector "
+              "classes the naive strategy pulls boxes for\n");
+  return 0;
+}

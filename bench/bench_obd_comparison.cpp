@@ -1,0 +1,62 @@
+// E12 — Section III-E: detection coverage, DECOS vs legacy OBD.
+//
+// "In current automotive OBD systems, transient failures that are lasting
+// for more than 500 ms are recorded. Failures with a significantly
+// shorter duration cannot be detected." The time-triggered core, in
+// contrast, "ensures that transient failures longer than the length of a
+// slot of the TDMA round can be detected by other FRUs."
+//
+// This experiment injects transient outages of swept durations and
+// measures who detects them: the DECOS diagnostic DAS (omission evidence
+// about the component) vs an OBD recorder with the 500 ms threshold.
+#include <cstdio>
+
+#include "analysis/obd.hpp"
+#include "analysis/table.hpp"
+#include "scenario/fig10.hpp"
+
+using namespace decos;
+
+int main() {
+  std::printf("== E12 / detection coverage: DECOS vs 500 ms OBD ==\n\n");
+
+  analysis::Table t({"outage [ms]", "vs TDMA round (2.5 ms)",
+                     "DECOS detected", "OBD (500 ms) detected"});
+
+  for (const std::int64_t outage_ms : {1, 3, 10, 30, 50, 120, 400, 600, 1500}) {
+    int decos_hits = 0, obd_hits = 0;
+    const int trials = 5;
+    for (int trial = 0; trial < trials; ++trial) {
+      scenario::Fig10System rig(
+          {.seed = 1200 + static_cast<std::uint64_t>(trial)});
+      const auto start = sim::SimTime{0} + sim::milliseconds(700);
+      rig.injector().inject_transient_outage(2, start,
+                                             sim::milliseconds(outage_ms));
+
+      // The OBD box on the vehicle sees the same outage.
+      analysis::ObdRecorder obd;
+      if (obd.offer(2, start, sim::milliseconds(outage_ms))) ++obd_hits;
+
+      rig.run(sim::seconds(2) + sim::milliseconds(outage_ms));
+
+      // DECOS detection: any credible omission evidence about component 2.
+      diag::FeatureParams fp;
+      if (!diag::sender_episodes(rig.diag().assessor().evidence(), 2, fp)
+               .empty()) {
+        ++decos_hits;
+      }
+    }
+    char a[16], b[16];
+    std::snprintf(a, sizeof a, "%d/%d", decos_hits, trials);
+    std::snprintf(b, sizeof b, "%d/%d", obd_hits, trials);
+    t.add_row({std::to_string(outage_ms),
+               outage_ms < 3 ? "below round" : "above round", a, b});
+  }
+
+  std::printf("%s\n", t.render().c_str());
+  std::printf("expected shape: DECOS detects every outage longer than about "
+              "one TDMA round (2.5 ms here) — including the paper's < 50 ms "
+              "transients, which are the wearout indicator; the OBD baseline "
+              "is blind below 500 ms and misses all of them\n");
+  return 0;
+}

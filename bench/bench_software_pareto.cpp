@@ -1,0 +1,72 @@
+// E8 — Section IV-B.1: the 20-80 rule of operational software failures,
+// recovered by fleet analysis.
+//
+// 100 software modules receive fault densities from the Pareto allocator;
+// a fleet of vehicles runs them and reports operational failures
+// (Heisenbug activations ~ Poisson per module density). Fleet correlation
+// must (a) measure a head share near 80% for the top 20% of modules and
+// (b) point the engineering feedback at exactly the seeded top modules.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/fleet.hpp"
+#include "analysis/table.hpp"
+#include "reliability/pareto.hpp"
+#include "sim/rng.hpp"
+
+using namespace decos;
+
+int main() {
+  std::printf("== E8 / Section IV-B.1: software 20-80 rule via fleet "
+              "analysis ==\n\n");
+
+  const std::size_t modules = 100;
+  const std::size_t vehicles = 500;
+  const double failures_per_vehicle = 12.0;  // over the observation period
+
+  reliability::ParetoAllocator pareto;  // 20% -> 80%
+  const auto weights = pareto.weights(modules);
+
+  sim::Rng rng(808);
+  analysis::FleetAnalyzer fleet;
+  for (std::uint32_t v = 0; v < vehicles; ++v) {
+    for (std::uint32_t m = 0; m < modules; ++m) {
+      const auto n = rng.poisson(failures_per_vehicle * weights[m]);
+      if (n > 0) fleet.record(v, m, n);
+    }
+  }
+
+  const auto ranked = fleet.ranking();
+  analysis::Table top({"rank", "module", "failures", "vehicles reporting",
+                       "seeded weight"});
+  for (std::size_t i = 0; i < 10 && i < ranked.size(); ++i) {
+    top.add_row({std::to_string(i + 1), std::to_string(ranked[i].module),
+                 std::to_string(ranked[i].failures),
+                 std::to_string(ranked[i].vehicles),
+                 analysis::Table::num(weights[ranked[i].module], 4)});
+  }
+  std::printf("%s\n", top.render().c_str());
+
+  std::printf("total failures across fleet: %llu from %u vehicles\n",
+              static_cast<unsigned long long>(fleet.total_failures()),
+              fleet.vehicles_reporting());
+  std::printf("head share measured: top 20%% of modules carry %.1f%% of "
+              "failures (paper: ~80%%)\n",
+              100.0 * fleet.head_share(0.20));
+
+  // Engineering feedback: design-fault candidates are modules failing on
+  // many vehicles. Check they are the seeded head.
+  const auto candidates = fleet.design_fault_candidates(
+      static_cast<std::uint32_t>(vehicles / 4));
+  std::size_t in_head = 0;
+  for (std::uint32_t m : candidates) {
+    if (m < modules / 5) ++in_head;
+  }
+  std::printf("design-fault candidates (>=25%% of vehicles): %zu, of which "
+              "%zu are seeded head modules\n",
+              candidates.size(), in_head);
+  std::printf("expected shape: measured head share ~80%%; candidate list is "
+              "dominated by the seeded high-density modules\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Avionics scenario: a fleet of aircraft, cosmic-ray upsets at altitude,
+// and one aircraft with a genuinely wearing LRU.
+//
+// Each aircraft is an independent simulation of the integrated cluster.
+// At cruise altitude SEUs hit components at random (component-external
+// faults: the paper's Normand citations); aircraft #2 additionally has a
+// wearing component. The fleet-level analysis must separate the two: SEU
+// victims need no maintenance, while aircraft #2's LRU goes to the shop —
+// and the NFF accounting shows what the naive "pull the box that logged
+// errors" policy would have wasted.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/fleet.hpp"
+#include "analysis/nff.hpp"
+#include "scenario/fig10.hpp"
+
+using namespace decos;
+
+int main() {
+  std::printf("avionics fleet example\n");
+  std::printf("======================\n\n");
+
+  const std::size_t aircraft_count = 6;
+  const platform::ComponentId wearing_lru = 1;
+  const std::size_t wearing_aircraft = 2;
+
+  analysis::NffAccounting naive(reliability::paper::kCostPerLruRemoval);
+  analysis::NffAccounting guided(reliability::paper::kCostPerLruRemoval);
+  analysis::FleetAnalyzer fleet;
+
+  for (std::size_t ac = 0; ac < aircraft_count; ++ac) {
+    scenario::Fig10System rig({.seed = 9000 + ac});
+    sim::Rng seu_rng = rig.sim().fork_rng("flight.seu");
+
+    // Cruise: SEUs hit random LRUs (rate exaggerated for a short run).
+    for (int i = 0; i < 4; ++i) {
+      const auto at = sim::SimTime{0} +
+                      sim::milliseconds(500 + seu_rng.uniform_int(0, 3000));
+      const auto lru = static_cast<platform::ComponentId>(
+          seu_rng.uniform_int(0, 4));
+      rig.injector().inject_seu(lru, at);
+    }
+    if (ac == wearing_aircraft) {
+      rig.injector().inject_wearout(wearing_lru,
+                                    sim::SimTime{0} + sim::milliseconds(400),
+                                    sim::milliseconds(600), 0.7,
+                                    sim::milliseconds(10));
+    }
+
+    rig.run(sim::seconds(5));
+
+    // Post-flight line maintenance: every LRU with reduced trust gets a
+    // decision from both strategies.
+    auto& assessor = rig.diag().assessor();
+    std::printf("aircraft %zu:\n", ac);
+    for (platform::ComponentId lru = 0; lru < 5; ++lru) {
+      const auto d = assessor.diagnose_component(lru);
+      if (d.cls == fault::FaultClass::kNone) continue;
+      const auto truth = rig.injector().truth_for_component(lru);
+      naive.record(truth, decide(analysis::Strategy::kNaiveReplace, d.cls));
+      guided.record(truth, decide(analysis::Strategy::kModelGuided, d.cls));
+      fleet.record(static_cast<std::uint32_t>(ac), lru);
+      std::printf("  LRU %u: %-22s (truth: %-22s) trust=%.2f\n", lru,
+                  fault::to_string(d.cls), fault::to_string(truth),
+                  assessor.component_trust(lru));
+    }
+  }
+
+  std::printf("\nline-maintenance accounting over the fleet:\n");
+  std::printf("  %s\n", naive.summary("naive").c_str());
+  std::printf("  %s\n", guided.summary("model-guided").c_str());
+
+  std::printf("\nfleet correlation: LRU positions logged across aircraft:\n");
+  for (const auto& r : fleet.ranking()) {
+    std::printf("  LRU slot %u: %llu report(s) on %u aircraft%s\n", r.module,
+                static_cast<unsigned long long>(r.failures), r.vehicles,
+                r.module == wearing_lru && r.vehicles == 1
+                    ? "  <- single-aircraft concentration: hardware, not design"
+                    : "");
+  }
+
+  std::printf("\ntakeaway: SEU hits would have been %llu NFF removals under "
+              "the naive policy ($%.0f wasted); the model-guided policy "
+              "pulls only aircraft %zu's wearing LRU.\n",
+              static_cast<unsigned long long>(naive.nff_removals()),
+              naive.wasted_cost(), wearing_aircraft);
+  return 0;
+}

@@ -1,0 +1,90 @@
+#include "analysis/confusion.hpp"
+
+#include <cstdio>
+
+namespace decos::analysis {
+namespace {
+
+const char* short_name(fault::FaultClass c) {
+  switch (c) {
+    case fault::FaultClass::kComponentExternal: return "c-ext";
+    case fault::FaultClass::kComponentBorderline: return "c-bord";
+    case fault::FaultClass::kComponentInternal: return "c-int";
+    case fault::FaultClass::kJobBorderline: return "j-bord";
+    case fault::FaultClass::kJobInherentSoftware: return "j-sw";
+    case fault::FaultClass::kJobInherentTransducer: return "j-xdcr";
+    case fault::FaultClass::kNone: return "none";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void ConfusionMatrix::add(fault::FaultClass truth, fault::FaultClass predicted,
+                          std::uint64_t n) {
+  m_[static_cast<std::size_t>(truth)][static_cast<std::size_t>(predicted)] += n;
+  total_ += n;
+}
+
+std::uint64_t ConfusionMatrix::count(fault::FaultClass truth,
+                                     fault::FaultClass predicted) const {
+  return m_[static_cast<std::size_t>(truth)][static_cast<std::size_t>(predicted)];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t diag = 0;
+  for (std::size_t i = 0; i < kClasses; ++i) diag += m_[i][i];
+  return static_cast<double>(diag) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::recall(fault::FaultClass truth) const {
+  const auto i = static_cast<std::size_t>(truth);
+  std::uint64_t row = 0;
+  for (std::size_t j = 0; j < kClasses; ++j) row += m_[i][j];
+  return row == 0 ? 0.0
+                  : static_cast<double>(m_[i][i]) / static_cast<double>(row);
+}
+
+double ConfusionMatrix::precision(fault::FaultClass predicted) const {
+  const auto j = static_cast<std::size_t>(predicted);
+  std::uint64_t col = 0;
+  for (std::size_t i = 0; i < kClasses; ++i) col += m_[i][j];
+  return col == 0 ? 0.0
+                  : static_cast<double>(m_[j][j]) / static_cast<double>(col);
+}
+
+std::string ConfusionMatrix::to_table() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "%-22s", "truth \\ diagnosed");
+  out += buf;
+  for (std::size_t j = 0; j < kClasses; ++j) {
+    std::snprintf(buf, sizeof buf, "%8s",
+                  short_name(static_cast<fault::FaultClass>(j)));
+    out += buf;
+  }
+  out += "   recall\n";
+  for (std::size_t i = 0; i < kClasses; ++i) {
+    std::uint64_t row = 0;
+    for (std::size_t j = 0; j < kClasses; ++j) row += m_[i][j];
+    if (row == 0) continue;  // class never injected: skip the row
+    std::snprintf(buf, sizeof buf, "%-22s",
+                  to_string(static_cast<fault::FaultClass>(i)));
+    out += buf;
+    for (std::size_t j = 0; j < kClasses; ++j) {
+      std::snprintf(buf, sizeof buf, "%8llu",
+                    static_cast<unsigned long long>(m_[i][j]));
+      out += buf;
+    }
+    std::snprintf(buf, sizeof buf, "   %5.1f%%\n",
+                  100.0 * recall(static_cast<fault::FaultClass>(i)));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf, "overall accuracy: %.1f%% (%llu cases)\n",
+                100.0 * accuracy(), static_cast<unsigned long long>(total_));
+  out += buf;
+  return out;
+}
+
+}  // namespace decos::analysis

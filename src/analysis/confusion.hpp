@@ -1,0 +1,38 @@
+// Confusion matrix over the maintenance-oriented fault classes — the
+// scoring instrument of the reproduction: injected ground truth (rows) vs
+// the diagnostic subsystem's classification (columns).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "fault/taxonomy.hpp"
+
+namespace decos::analysis {
+
+class ConfusionMatrix {
+ public:
+  static constexpr std::size_t kClasses = 7;  // incl. kNone
+
+  void add(fault::FaultClass truth, fault::FaultClass predicted,
+           std::uint64_t n = 1);
+
+  [[nodiscard]] std::uint64_t count(fault::FaultClass truth,
+                                    fault::FaultClass predicted) const;
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] double accuracy() const;
+  /// Recall of one true class (NaN-free: returns 0 when the class never
+  /// occurred).
+  [[nodiscard]] double recall(fault::FaultClass truth) const;
+  [[nodiscard]] double precision(fault::FaultClass predicted) const;
+
+  /// Fixed-width printable table.
+  [[nodiscard]] std::string to_table() const;
+
+ private:
+  std::array<std::array<std::uint64_t, kClasses>, kClasses> m_{};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace decos::analysis

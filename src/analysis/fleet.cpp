@@ -1,0 +1,59 @@
+#include "analysis/fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace decos::analysis {
+
+void FleetAnalyzer::record(std::uint32_t vehicle, std::uint32_t module,
+                           std::uint64_t count) {
+  data_[module][vehicle] += count;
+  total_ += count;
+}
+
+std::uint32_t FleetAnalyzer::vehicles_reporting() const {
+  std::set<std::uint32_t> vehicles;
+  for (const auto& [module, per_vehicle] : data_) {
+    for (const auto& [v, n] : per_vehicle) vehicles.insert(v);
+  }
+  return static_cast<std::uint32_t>(vehicles.size());
+}
+
+std::vector<FleetAnalyzer::ModuleRank> FleetAnalyzer::ranking() const {
+  std::vector<ModuleRank> out;
+  for (const auto& [module, per_vehicle] : data_) {
+    ModuleRank r{module, 0, static_cast<std::uint32_t>(per_vehicle.size())};
+    for (const auto& [v, n] : per_vehicle) r.failures += n;
+    out.push_back(r);
+  }
+  std::sort(out.begin(), out.end(), [](const ModuleRank& a, const ModuleRank& b) {
+    if (a.failures != b.failures) return a.failures > b.failures;
+    return a.module < b.module;
+  });
+  return out;
+}
+
+double FleetAnalyzer::head_share(double fraction) const {
+  const auto ranked = ranking();
+  if (ranked.empty() || total_ == 0) return 0.0;
+  const auto head = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(fraction * static_cast<double>(ranked.size()))));
+  std::uint64_t head_failures = 0;
+  for (std::size_t i = 0; i < head && i < ranked.size(); ++i) {
+    head_failures += ranked[i].failures;
+  }
+  return static_cast<double>(head_failures) / static_cast<double>(total_);
+}
+
+std::vector<std::uint32_t> FleetAnalyzer::design_fault_candidates(
+    std::uint32_t vehicle_quorum) const {
+  std::vector<std::uint32_t> out;
+  for (const auto& r : ranking()) {
+    if (r.vehicles >= vehicle_quorum) out.push_back(r.module);
+  }
+  return out;
+}
+
+}  // namespace decos::analysis

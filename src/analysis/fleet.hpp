@@ -1,0 +1,50 @@
+// Fleet analysis (Sections III-E, IV-B.1, V-C).
+//
+// Heisenbugs escape pre-release testing and only become visible when field
+// data from a representative population is correlated — the paper's
+// "fleet analysis as engineering feedback". FleetAnalyzer aggregates
+// per-vehicle failure reports by software module and recovers the 20-80
+// structure: which minority of modules causes the majority of failures.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace decos::analysis {
+
+class FleetAnalyzer {
+ public:
+  /// Records `count` failures of `module` observed on `vehicle`.
+  void record(std::uint32_t vehicle, std::uint32_t module,
+              std::uint64_t count = 1);
+
+  [[nodiscard]] std::uint64_t total_failures() const { return total_; }
+  [[nodiscard]] std::uint32_t vehicles_reporting() const;
+
+  /// Modules ranked by total failures, descending.
+  struct ModuleRank {
+    std::uint32_t module;
+    std::uint64_t failures;
+    std::uint32_t vehicles;  // distinct vehicles reporting this module
+  };
+  [[nodiscard]] std::vector<ModuleRank> ranking() const;
+
+  /// Share of all failures carried by the top `fraction` of *reporting*
+  /// modules (the measured side of the 20-80 rule).
+  [[nodiscard]] double head_share(double fraction) const;
+
+  /// Modules whose failures are spread across many vehicles (>= quorum)
+  /// are design-fault candidates (every vehicle runs the same code); a
+  /// module failing on one vehicle only points at that vehicle's hardware.
+  [[nodiscard]] std::vector<std::uint32_t> design_fault_candidates(
+      std::uint32_t vehicle_quorum) const;
+
+ private:
+  // module -> (vehicle -> count)
+  std::map<std::uint32_t, std::map<std::uint32_t, std::uint64_t>> data_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace decos::analysis

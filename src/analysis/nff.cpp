@@ -1,0 +1,58 @@
+#include "analysis/nff.hpp"
+
+#include <cstdio>
+
+namespace decos::analysis {
+
+const char* to_string(Strategy s) {
+  switch (s) {
+    case Strategy::kNaiveReplace: return "naive-replace";
+    case Strategy::kModelGuided: return "model-guided";
+  }
+  return "?";
+}
+
+void NffAccounting::record(fault::FaultClass truth,
+                           fault::MaintenanceAction action) {
+  ++visits_;
+  const auto outcome = fault::evaluate_action(truth, action);
+  if (action == fault::MaintenanceAction::kReplaceComponent) ++removals_;
+  if (outcome.unnecessary_removal) ++nff_;
+  if (outcome.fault_eliminated) ++eliminated_;
+}
+
+std::string NffAccounting::summary(const std::string& label) const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "%-14s visits=%5llu removals=%5llu NFF=%5llu (%.1f%%) "
+                "eliminated=%5llu wasted=$%.0f",
+                label.c_str(), static_cast<unsigned long long>(visits_),
+                static_cast<unsigned long long>(removals_),
+                static_cast<unsigned long long>(nff_), 100.0 * nff_ratio(),
+                static_cast<unsigned long long>(eliminated_), wasted_cost());
+  return buf;
+}
+
+fault::MaintenanceAction decide(Strategy strategy, fault::FaultClass diagnosed) {
+  if (strategy == Strategy::kModelGuided) {
+    return fault::action_for(diagnosed);
+  }
+  // Naive: every hardware-flavoured symptom pulls the box; software-
+  // flavoured symptoms get a reflash; nothing is ever attributed to the
+  // environment or the configuration.
+  switch (diagnosed) {
+    case fault::FaultClass::kComponentExternal:
+    case fault::FaultClass::kComponentBorderline:
+    case fault::FaultClass::kComponentInternal:
+      return fault::MaintenanceAction::kReplaceComponent;
+    case fault::FaultClass::kJobBorderline:
+    case fault::FaultClass::kJobInherentSoftware:
+    case fault::FaultClass::kJobInherentTransducer:
+      return fault::MaintenanceAction::kSoftwareUpdate;
+    case fault::FaultClass::kNone:
+      return fault::MaintenanceAction::kNoAction;
+  }
+  return fault::MaintenanceAction::kNoAction;
+}
+
+}  // namespace decos::analysis

@@ -1,0 +1,80 @@
+// No-Fault-Found economics (Section I).
+//
+// The paper motivates the whole model with the NFF problem: replacements
+// of components that later retest OK — ~300 M$/yr in avionics at ~800 $
+// per LRU removal. NffAccounting scores a stream of maintenance decisions
+// (true fault class vs chosen action) into removals, NFF removals,
+// eliminated faults and dollars, so strategies can be compared head-on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fault/taxonomy.hpp"
+#include "reliability/fit.hpp"
+
+namespace decos::analysis {
+
+/// A maintenance strategy decides the action from whatever evidence the
+/// garage has. The two baselines of experiment E6:
+enum class Strategy : std::uint8_t {
+  /// Pre-DECOS practice: any reproducible symptom on a component leads to
+  /// its replacement ("swap the box").
+  kNaiveReplace,
+  /// The paper's proposal: act per the diagnostic classification (Fig. 11).
+  kModelGuided,
+};
+
+[[nodiscard]] const char* to_string(Strategy s);
+
+class NffAccounting {
+ public:
+  explicit NffAccounting(double cost_per_removal =
+                             reliability::paper::kCostPerLruRemoval)
+      : cost_per_removal_(cost_per_removal) {}
+
+  /// Records one garage visit: the true class of the underlying fault and
+  /// the action the strategy chose.
+  void record(fault::FaultClass truth, fault::MaintenanceAction action);
+
+  [[nodiscard]] std::uint64_t visits() const { return visits_; }
+  [[nodiscard]] std::uint64_t removals() const { return removals_; }
+  /// Removals of hardware that was not internally faulty — these units
+  /// retest OK at the bench: the NFF count.
+  [[nodiscard]] std::uint64_t nff_removals() const { return nff_; }
+  [[nodiscard]] std::uint64_t faults_eliminated() const { return eliminated_; }
+  /// Visits whose action failed to eliminate the fault (symptom recurs).
+  [[nodiscard]] std::uint64_t ineffective_visits() const {
+    return visits_ - eliminated_;
+  }
+
+  [[nodiscard]] double nff_ratio() const {
+    return removals_ == 0 ? 0.0
+                          : static_cast<double>(nff_) /
+                                static_cast<double>(removals_);
+  }
+  [[nodiscard]] double removal_cost() const {
+    return static_cast<double>(removals_) * cost_per_removal_;
+  }
+  [[nodiscard]] double wasted_cost() const {
+    return static_cast<double>(nff_) * cost_per_removal_;
+  }
+
+  [[nodiscard]] std::string summary(const std::string& label) const;
+
+ private:
+  double cost_per_removal_;
+  std::uint64_t visits_ = 0;
+  std::uint64_t removals_ = 0;
+  std::uint64_t nff_ = 0;
+  std::uint64_t eliminated_ = 0;
+};
+
+/// The action a strategy takes for a visit. The naive strategy replaces
+/// the component for any hardware-looking symptom and reflashes for any
+/// software-looking one; the model-guided strategy applies Fig. 11 to the
+/// *diagnosed* class.
+[[nodiscard]] fault::MaintenanceAction decide(Strategy strategy,
+                                              fault::FaultClass diagnosed);
+
+}  // namespace decos::analysis

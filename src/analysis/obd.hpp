@@ -1,0 +1,48 @@
+// The legacy On-Board Diagnosis baseline (Section III-E).
+//
+// "In current automotive OBD systems, transient failures that are lasting
+// for more than 500 ms are recorded. Failures with a significantly shorter
+// duration cannot be detected." The ObdRecorder models exactly that: it
+// sees a component's outage only when the outage lasts at least the
+// recording threshold. Bench E12 sweeps outage durations and compares the
+// detection coverage of this baseline against the DECOS diagnostic DAS,
+// whose granularity is one TDMA round.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "reliability/fit.hpp"
+#include "sim/time.hpp"
+
+namespace decos::analysis {
+
+class ObdRecorder {
+ public:
+  explicit ObdRecorder(
+      sim::Duration threshold = reliability::paper::kObdRecordThreshold)
+      : threshold_(threshold) {}
+
+  struct Fault {
+    std::uint32_t component;
+    sim::SimTime start;
+    sim::Duration duration;
+  };
+
+  /// Offers one outage to the recorder; stored only if it meets the
+  /// threshold. Returns whether it was recorded.
+  bool offer(std::uint32_t component, sim::SimTime start, sim::Duration dur) {
+    if (dur < threshold_) return false;
+    recorded_.push_back(Fault{component, start, dur});
+    return true;
+  }
+
+  [[nodiscard]] const std::vector<Fault>& recorded() const { return recorded_; }
+  [[nodiscard]] sim::Duration threshold() const { return threshold_; }
+
+ private:
+  sim::Duration threshold_;
+  std::vector<Fault> recorded_;
+};
+
+}  // namespace decos::analysis

@@ -1,0 +1,36 @@
+#include "analysis/queueing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace decos::analysis {
+
+double md1_mean_queue(double lambda_per_round, double service_per_round) {
+  if (service_per_round <= 0.0) return 1e18;
+  const double rho = lambda_per_round / service_per_round;
+  if (rho >= 1.0) return 1e18;  // unstable: queue grows without bound
+  return rho * rho / (2.0 * (1.0 - rho));
+}
+
+VnetDimension dimension_vnet(const LoadModel& load,
+                             const DimensionParams& params) {
+  VnetDimension dim;
+  // Budget: smallest integer service rate keeping utilisation under the
+  // target, never below the declared burst (a whole burst should drain in
+  // one round under nominal conditions).
+  const double needed = load.lambda_per_round / params.max_utilisation;
+  dim.msgs_per_round_per_node = static_cast<std::uint16_t>(std::max<double>(
+      std::max<double>(std::ceil(needed), load.burst_max), 1.0));
+  dim.expected_utilisation =
+      load.lambda_per_round / static_cast<double>(dim.msgs_per_round_per_node);
+
+  const double mean_q = md1_mean_queue(
+      load.lambda_per_round, static_cast<double>(dim.msgs_per_round_per_node));
+  dim.queue_depth = static_cast<std::uint16_t>(std::min<double>(
+      65535.0,
+      static_cast<double>(load.burst_max) +
+          std::ceil(params.headroom * mean_q) + 1.0));
+  return dim;
+}
+
+}  // namespace decos::analysis

@@ -1,0 +1,56 @@
+// Virtual-network dimensioning (Section IV-B.2).
+//
+// "Knowledge about the temporal behavior of communication activities is
+// essential for the dimensioning of message buffers as required to
+// tolerate temporary imbalances of message interarrival and service
+// times" (citing Kleinrock). This module is the tool-supported
+// configuration process the paper describes: from a declared load model
+// it derives the vnet budget and queue depth; a *job borderline fault* is
+// exactly what happens when the declared model understates the real load
+// (the legacy application's implicit assumptions).
+//
+// Model: per node and vnet, messages arrive Poisson with rate lambda per
+// round and are served in batches of `budget` per round — a discrete
+// M/D/1-like queue. The mean queue follows the M/D/1 formula; the depth
+// recommendation adds headroom for bursts so that overflow probability
+// stays below the target.
+#pragma once
+
+#include <cstdint>
+
+namespace decos::analysis {
+
+/// Mean stationary queue length of an M/D/1 queue with utilisation rho =
+/// lambda / service_rate (Pollaczek-Khinchine, deterministic service):
+/// Lq = rho^2 / (2 (1 - rho)). Diverges as rho -> 1.
+[[nodiscard]] double md1_mean_queue(double lambda_per_round,
+                                    double service_per_round);
+
+struct LoadModel {
+  /// Mean message arrivals per round at one node's ports of the vnet.
+  double lambda_per_round = 1.0;
+  /// Largest burst a dispatch may emit at once (deterministic part).
+  std::uint16_t burst_max = 1;
+};
+
+struct VnetDimension {
+  std::uint16_t msgs_per_round_per_node = 1;
+  std::uint16_t queue_depth = 1;
+  double expected_utilisation = 0.0;
+};
+
+struct DimensionParams {
+  /// Maximum acceptable utilisation of the per-round budget.
+  double max_utilisation = 0.7;
+  /// Queue headroom: depth = burst + ceil(headroom * mean queue) + 1.
+  double headroom = 6.0;
+};
+
+/// Derives a configuration that carries `load` without overflow under the
+/// declared model. If the *real* load exceeds the declared one, the
+/// resulting configuration overflows — the injected misconfiguration of
+/// experiment E5/E13 is exactly a dimension derived from a wrong model.
+[[nodiscard]] VnetDimension dimension_vnet(const LoadModel& load,
+                                           const DimensionParams& params = {});
+
+}  // namespace decos::analysis

@@ -1,0 +1,49 @@
+#include "analysis/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace decos::analysis {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) width[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  }
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string out;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      out += cells[i];
+      out.append(width[i] - cells[i].size() + 2, ' ');
+    }
+    out += '\n';
+    return out;
+  };
+  std::string out = line(headers_);
+  std::string rule;
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    rule.append(width[i], '-');
+    rule.append(2, ' ');
+  }
+  out += rule + '\n';
+  for (const auto& row : rows_) out += line(row);
+  return out;
+}
+
+}  // namespace decos::analysis

@@ -1,0 +1,27 @@
+// Minimal fixed-width table renderer for the bench harness: every bench
+// prints the rows/series of the paper artefact it regenerates through
+// this, so outputs stay uniform and diffable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace decos::analysis {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace decos::analysis

@@ -1,0 +1,70 @@
+#include "analysis/technician_report.hpp"
+
+#include <cstdio>
+
+namespace decos::analysis {
+
+std::string render_technician_report(const std::vector<diag::FruReport>& rows,
+                                     const TechnicianReportOptions& options) {
+  std::string out;
+  char buf[512];
+  out += "FRU                                   trust        diagnosis"
+         "               action\n";
+  out += "--------------------------------------------------------------"
+         "--------------------------\n";
+  for (const auto& row : rows) {
+    if (options.hide_healthy &&
+        row.diagnosis.cls == fault::FaultClass::kNone && row.trust > 0.99) {
+      continue;
+    }
+    // Trust bar: filled proportional to trust.
+    std::string bar;
+    const int filled =
+        static_cast<int>(row.trust * options.bar_width + 0.5);
+    for (int i = 0; i < options.bar_width; ++i) {
+      bar += i < filled ? '#' : '.';
+    }
+    std::snprintf(buf, sizeof buf, "%-36s [%s] %-22s %s\n", row.fru.c_str(),
+                  bar.c_str(), fault::to_string(row.diagnosis.cls),
+                  fault::to_string(row.action));
+    out += buf;
+    if (row.diagnosis.cls != fault::FaultClass::kNone) {
+      std::snprintf(buf, sizeof buf, "%-36s   \"%s\"\n", "",
+                    row.diagnosis.rationale.c_str());
+      out += buf;
+    }
+    if (!row.asserted_onas.empty()) {
+      std::string onas;
+      for (const auto& name : row.asserted_onas) {
+        if (!onas.empty()) onas += ", ";
+        onas += name;
+      }
+      std::snprintf(buf, sizeof buf, "%-36s   ONAs asserted: %s\n", "",
+                    onas.c_str());
+      out += buf;
+    }
+  }
+  return out;
+}
+
+std::string render_ona_findings(const diag::OnaEngine& engine,
+                                const diag::OnaContext& ctx) {
+  std::string out;
+  char buf[256];
+  const auto hits = engine.evaluate(ctx);
+  if (hits.empty()) {
+    std::snprintf(buf, sizeof buf,
+                  "component %u: no out-of-norm assertion triggered\n",
+                  ctx.subject);
+    return buf;
+  }
+  for (const auto* hit : hits) {
+    std::snprintf(buf, sizeof buf,
+                  "component %u: ONA \"%s\" asserted -> %s\n", ctx.subject,
+                  hit->name().c_str(), fault::to_string(hit->indicates()));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace decos::analysis

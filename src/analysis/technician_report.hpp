@@ -1,0 +1,33 @@
+// The service technician's report — the human-facing end of the pipeline.
+//
+// Renders the per-FRU maintenance rows (trust level as a bar, diagnosis,
+// recommended action, rationale) plus the triggered Out-of-Norm
+// Assertions into the fixed-width text a workshop terminal would show.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "diag/ona.hpp"
+#include "diag/service.hpp"
+
+namespace decos::analysis {
+
+struct TechnicianReportOptions {
+  /// Hide FRUs with full trust and no diagnosis.
+  bool hide_healthy = true;
+  /// Width of the trust bar in characters.
+  int bar_width = 10;
+};
+
+/// Renders the FRU rows of a DiagnosticService::report().
+[[nodiscard]] std::string render_technician_report(
+    const std::vector<diag::FruReport>& rows,
+    const TechnicianReportOptions& options = {});
+
+/// Renders the ONA evaluation for one component: which fault patterns of
+/// the standard rule base are currently asserted on the distributed state.
+[[nodiscard]] std::string render_ona_findings(
+    const diag::OnaEngine& engine, const diag::OnaContext& ctx);
+
+}  // namespace decos::analysis

@@ -1,0 +1,165 @@
+#include "diag/agent.hpp"
+
+#include <cmath>
+
+namespace decos::diag {
+
+Agent::Agent(platform::System& system, platform::DasId diag_das,
+             platform::ComponentId component, const SpecTable& specs,
+             const std::vector<platform::JobId>& assessors)
+    : system_(system), component_(component), specs_(specs) {
+  platform::Job& job = system_.add_job(
+      diag_das, "diag.agent." + std::to_string(component), component,
+      [this](platform::JobContext& ctx) { flush(ctx); });
+  job_id_ = job.id();
+  port_ = system_.add_port(job_id_, "symptoms." + std::to_string(component),
+                           platform::kDiagnosticVnet, assessors);
+
+  system_.cluster().node(component).observation_sink =
+      [this](const tta::SlotObservation& obs) { on_observation(obs); };
+  system_.component(component).mux().on_overflow =
+      [this](platform::PortId p, tta::RoundId r) { on_overflow(p, r); };
+  system_.component(component).on_message_sent =
+      [this](const vnet::Message& m, tta::RoundId r) { on_sent(m, r); };
+  system_.component(component).on_transducer_anomaly =
+      [this](platform::JobId j, double magnitude, tta::RoundId r) {
+        Symptom s;
+        s.type = SymptomType::kTransducerSuspect;
+        s.observer = component_;
+        s.subject_component = component_;
+        s.subject_job = j;
+        s.round = r;
+        s.magnitude = magnitude;
+        note(s);
+      };
+}
+
+void Agent::note(Symptom s) {
+  if (s.round > coalesce_round_) {
+    for (auto& [key, sym] : this_round_) pending_.push_back(sym);
+    this_round_.clear();
+    coalesce_round_ = s.round;
+  }
+  // Bound the backlog: when the component cannot flush (e.g. its node is
+  // re-integrating), keep the most recent window and drop the oldest —
+  // fresh evidence is worth more to the assessor than stale repeats.
+  if (pending_.size() > 4096) {
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<std::ptrdiff_t>(1024));
+  }
+  ++detected_;
+  const Key key{s.type, s.subject_component,
+                s.subject_job.value_or(platform::kInvalidJob)};
+  auto it = this_round_.find(key);
+  if (it == this_round_.end()) {
+    this_round_.emplace(key, s);
+  } else {
+    // Coalesce: keep the worst magnitude seen this round.
+    it->second.magnitude = std::max(it->second.magnitude, s.magnitude);
+  }
+}
+
+void Agent::on_observation(const tta::SlotObservation& obs) {
+  if (obs.verdict == tta::SlotVerdict::kCorrect) return;
+  Symptom s;
+  s.observer = component_;
+  s.subject_component = obs.sender;
+  s.round = obs.round;
+  switch (obs.verdict) {
+    case tta::SlotVerdict::kCrcError:
+      s.type = SymptomType::kSlotCrcError;
+      s.magnitude = 1.0;
+      break;
+    case tta::SlotVerdict::kTimingError:
+      s.type = SymptomType::kSlotTimingError;
+      s.magnitude = std::abs(obs.arrival_offset.us());
+      break;
+    case tta::SlotVerdict::kOmission:
+      s.type = SymptomType::kSlotOmission;
+      s.magnitude = 1.0;
+      break;
+    case tta::SlotVerdict::kCorrect:
+      return;
+  }
+  note(s);
+}
+
+void Agent::on_overflow(platform::PortId port, tta::RoundId round) {
+  const auto& pc = system_.plan().port(port);
+  // The diagnostic vnet polices itself; feeding its overflows back in
+  // would create a symptom->overflow->symptom loop.
+  if (pc.vnet == platform::kDiagnosticVnet) return;
+  Symptom s;
+  s.type = SymptomType::kQueueOverflow;
+  s.observer = component_;
+  s.subject_component = component_;
+  s.subject_job = pc.owner;
+  s.round = round;
+  s.magnitude = 1.0;
+  note(s);
+}
+
+void Agent::on_sent(const vnet::Message& msg, tta::RoundId round) {
+  last_sent_[msg.port] = round;
+  const auto spec = specs_.find(msg.port);
+  if (!spec) return;
+  if (msg.value >= spec->min_value && msg.value <= spec->max_value) return;
+  Symptom s;
+  s.type = SymptomType::kValueOutOfRange;
+  s.observer = component_;
+  s.subject_component = component_;
+  s.subject_job = msg.sender;
+  s.round = round;
+  s.magnitude = msg.value > spec->max_value ? msg.value - spec->max_value
+                                            : spec->min_value - msg.value;
+  note(s);
+}
+
+void Agent::flush(platform::JobContext& ctx) {
+  const tta::RoundId round = ctx.round();
+
+  // LIF temporal monitor: has any locally hosted, spec'd port gone silent
+  // beyond its gap tolerance?
+  for (const auto& pc : system_.plan().ports()) {
+    if (pc.vnet == platform::kDiagnosticVnet) continue;
+    if (system_.job(pc.owner).host() != component_) continue;
+    const auto spec = specs_.find(pc.id);
+    if (!spec || spec->period_rounds == 0) continue;
+    const tta::RoundId last = last_sent_.contains(pc.id) ? last_sent_[pc.id] : 0;
+    const auto limit = static_cast<tta::RoundId>(spec->period_rounds) *
+                       spec->gap_tolerance_periods;
+    if (round > last + limit) {
+      // Rate-limit to one report per tolerance window.
+      auto& last_report = last_gap_report_[pc.id];
+      if (round >= last_report + limit) {
+        last_report = round;
+        Symptom s;
+        s.type = SymptomType::kMessageGap;
+        s.observer = component_;
+        s.subject_component = component_;
+        s.subject_job = pc.owner;
+        s.round = round;
+        s.magnitude = static_cast<double>(round - last);
+        note(s);
+      }
+    }
+  }
+
+  // Promote the previous round's coalesced symptoms.
+  if (!this_round_.empty() && coalesce_round_ < round) {
+    for (auto& [key, sym] : this_round_) pending_.push_back(sym);
+    this_round_.clear();
+  }
+
+  // Flush under the diagnostic vnet's real bandwidth: excess stays pending.
+  std::size_t sent = 0;
+  while (!pending_.empty() && sent < 16) {
+    const Symptom& s = pending_.front();
+    const vnet::Message m = encode(s, round);
+    if (!ctx.send(port_, m.value, m.kind, m.aux)) break;  // queue full
+    pending_.erase(pending_.begin());
+    ++sent;
+  }
+}
+
+}  // namespace decos::diag

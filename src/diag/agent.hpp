@@ -1,0 +1,75 @@
+// Per-component diagnostic agent.
+//
+// The detection stage of the three-step diagnostic architecture (detect ->
+// disseminate -> analyse, Section II-D). The agent hooks the local
+// observability points of its component:
+//   * the TTA node's slot observations (transport verdicts about remote
+//     senders),
+//   * the multiplexer's queue-overflow events,
+//   * the sender-side LIF monitor (every message the component puts on a
+//     vnet, checked against the port's value/period spec).
+// Detected symptoms are coalesced per round and flushed as messages on the
+// virtual diagnostic network by the agent's own job, so dissemination
+// competes for real bandwidth and arrives with real latency — no probe
+// effect on the application vnets, exactly as the paper requires.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "diag/port_spec.hpp"
+#include "diag/symptom.hpp"
+#include "platform/system.hpp"
+
+namespace decos::diag {
+
+class Agent {
+ public:
+  /// Creates the agent job on `component` inside `diag_das` and installs
+  /// all hooks. `assessors` are the jobs subscribed to this agent's
+  /// symptom port.
+  Agent(platform::System& system, platform::DasId diag_das,
+        platform::ComponentId component, const SpecTable& specs,
+        const std::vector<platform::JobId>& assessors);
+
+  [[nodiscard]] platform::ComponentId component() const { return component_; }
+  [[nodiscard]] platform::JobId job_id() const { return job_id_; }
+  [[nodiscard]] platform::PortId symptom_port() const { return port_; }
+
+  /// Symptoms detected but not yet flushed (inspection/testing).
+  [[nodiscard]] std::size_t backlog() const { return pending_.size(); }
+  [[nodiscard]] std::uint64_t symptoms_detected() const { return detected_; }
+
+ private:
+  void on_observation(const tta::SlotObservation& obs);
+  void on_overflow(platform::PortId port, tta::RoundId round);
+  void on_sent(const vnet::Message& msg, tta::RoundId round);
+  void flush(platform::JobContext& ctx);
+  void note(Symptom s);
+
+  platform::System& system_;
+  platform::ComponentId component_;
+  const SpecTable& specs_;
+  platform::JobId job_id_ = platform::kInvalidJob;
+  platform::PortId port_ = 0;
+
+  /// Coalescing: at most one symptom per (type, subject component, subject
+  /// job) per round; repeats bump the magnitude (occurrence count or max
+  /// deviation).
+  struct Key {
+    SymptomType type;
+    platform::ComponentId subj_c;
+    platform::JobId subj_j;
+    auto operator<=>(const Key&) const = default;
+  };
+  std::map<Key, Symptom> this_round_;
+  tta::RoundId coalesce_round_ = 0;
+  std::vector<Symptom> pending_;
+  std::uint64_t detected_ = 0;
+
+  /// LIF temporal monitor: last round each local port was seen sending.
+  std::map<platform::PortId, tta::RoundId> last_sent_;
+  std::map<platform::PortId, tta::RoundId> last_gap_report_;
+};
+
+}  // namespace decos::diag

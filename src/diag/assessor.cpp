@@ -1,0 +1,137 @@
+#include "diag/assessor.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace decos::diag {
+
+Assessor::Assessor(Params p, fault::SpatialLayout layout,
+                   std::uint32_t component_count, std::uint32_t /*job_count*/)
+    : p_(p),
+      classifier_(p.classifier, std::move(layout)),
+      store_(p.evidence),
+      component_count_(component_count),
+      component_trust_(component_count, p.trust.initial),
+      component_trajectories_(component_count) {}
+
+void Assessor::register_agent(platform::JobId agent_job,
+                              platform::ComponentId component) {
+  agent_component_[agent_job] = component;
+}
+
+void Assessor::register_subject_job(platform::JobId job,
+                                    platform::ComponentId host) {
+  jobs_by_host_[host].push_back(job);
+  job_host_[job] = host;
+  job_trust_.emplace(job, p_.trust.initial);
+}
+
+void Assessor::ingest_external(const Symptom& s) {
+  if (recorder_) recorder_->record(s);
+  store_.ingest(s);
+  if (s.subject_component < component_trust_.size()) {
+    component_trust_[s.subject_component] = std::max(
+        0.0, component_trust_[s.subject_component] - p_.trust.drop);
+  }
+}
+
+void Assessor::process(platform::JobContext& ctx) {
+  round_ = ctx.round();
+
+  // Which FRUs were implicated by symptoms ingested this dispatch.
+  std::map<platform::ComponentId, std::uint32_t> component_hits;
+  std::map<platform::JobId, std::uint32_t> job_hits;
+  // Transport symptoms grouped by reporting observer: whether they charge
+  // the subject or the observer depends on the observer's spread.
+  std::map<platform::ComponentId, std::set<platform::ComponentId>>
+      transport_by_observer;
+
+  for (const vnet::Message& m : ctx.inbox()) {
+    auto agent_it = agent_component_.find(m.sender);
+    if (agent_it == agent_component_.end()) continue;  // not a known agent
+    const auto symptom = decode(m, agent_it->second);
+    if (!symptom) continue;
+    if (recorder_) recorder_->record(*symptom);
+    store_.ingest(*symptom);
+    // Trust is kept per FRU: job-level symptoms (value, gap, overflow)
+    // charge the software FRU — a misconfigured job must not erode
+    // confidence in the healthy board it runs on. Transport symptoms are
+    // deferred: the charged side depends on the observer's spread.
+    if (symptom->subject_job) {
+      ++job_hits[*symptom->subject_job];
+    } else if (symptom->type == SymptomType::kSlotCrcError ||
+               symptom->type == SymptomType::kSlotTimingError ||
+               symptom->type == SymptomType::kSlotOmission) {
+      transport_by_observer[symptom->observer].insert(
+          symptom->subject_component);
+    } else {
+      ++component_hits[symptom->subject_component];
+    }
+  }
+
+  // An observer flagging most of its peers at once is itself the suspect
+  // (connector/EMI on its receive path): charge the observer, not the
+  // blameless senders — mirroring the classifier's credibility rule.
+  const std::size_t spread_bar =
+      std::max<std::size_t>(2, (3 * (component_count_ - 1)) / 4);
+  for (const auto& [observer, subjects] : transport_by_observer) {
+    if (subjects.size() >= spread_bar) {
+      component_hits[observer] +=
+          static_cast<std::uint32_t>(subjects.size());
+    } else {
+      for (platform::ComponentId subject : subjects) {
+        ++component_hits[subject];
+      }
+    }
+  }
+
+  // Trust update: recovery for quiet FRUs, drop scaled by symptom volume.
+  for (platform::ComponentId c = 0; c < component_count_; ++c) {
+    auto it = component_hits.find(c);
+    if (it == component_hits.end()) {
+      component_trust_[c] =
+          std::min(1.0, component_trust_[c] + p_.trust.recovery);
+    } else {
+      const double scale = static_cast<double>(std::min(it->second, 4u));
+      component_trust_[c] =
+          std::max(0.0, component_trust_[c] - p_.trust.drop * scale);
+    }
+  }
+  for (auto& [j, trust] : job_trust_) {
+    auto it = job_hits.find(j);
+    if (it == job_hits.end()) {
+      trust = std::min(1.0, trust + p_.trust.recovery);
+    } else {
+      const double scale = static_cast<double>(std::min(it->second, 4u));
+      trust = std::max(0.0, trust - p_.trust.drop * scale);
+    }
+  }
+
+  // Trajectory sampling (Fig. 9).
+  if (round_ >= last_sample_ + p_.sample_period) {
+    last_sample_ = round_;
+    for (platform::ComponentId c = 0; c < component_count_; ++c) {
+      component_trajectories_[c].push_back(TrustSample{round_, component_trust_[c]});
+    }
+  }
+
+  store_.prune(round_);
+}
+
+Diagnosis Assessor::diagnose_component(platform::ComponentId c) const {
+  return classifier_.classify_component(store_, c, round_, component_count_);
+}
+
+Diagnosis Assessor::diagnose_job(platform::JobId j) const {
+  const auto host_it = job_host_.find(j);
+  const platform::ComponentId host =
+      host_it == job_host_.end() ? 0 : host_it->second;
+  const Diagnosis host_diag = diagnose_component(host);
+  static const std::vector<platform::JobId> kNoSiblings;
+  const auto sib_it = jobs_by_host_.find(host);
+  const auto& siblings =
+      sib_it == jobs_by_host_.end() ? kNoSiblings : sib_it->second;
+  return classifier_.classify_job(store_, j, host_diag, siblings, round_);
+}
+
+}  // namespace decos::diag

@@ -1,0 +1,119 @@
+// The assessment stage of the diagnostic DAS.
+//
+// The assessor runs as an encapsulated job, consumes the symptom stream
+// arriving on the virtual diagnostic network, maintains the evidence store
+// (the distributed state) and a *trust level* per FRU — the paper's output
+// to the maintenance engineer (Section II-D, Fig. 9). Classification into
+// the maintenance-oriented fault classes is performed on demand by the
+// Classifier over the accumulated evidence.
+//
+// Trust is an evidence accumulator in [0,1]: it recovers slowly through
+// healthy rounds and drops with each symptomatic round, so a healthy FRU's
+// trajectory hugs 1.0 while a degrading FRU's trajectory descends — the
+// two arrows of Fig. 9.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "diag/classifier.hpp"
+#include "diag/evidence.hpp"
+#include "diag/log.hpp"
+#include "diag/symptom.hpp"
+#include "platform/job.hpp"
+#include "platform/types.hpp"
+
+namespace decos::diag {
+
+struct TrustParams {
+  double initial = 1.0;
+  /// Recovery per healthy assessment round.
+  double recovery = 0.001;
+  /// Drop per symptomatic round (scaled by min(symptoms, 4)).
+  double drop = 0.02;
+  /// Trust below which the FRU is reported to the maintenance engineer.
+  double report_threshold = 0.5;
+};
+
+struct TrustSample {
+  tta::RoundId round;
+  double trust;
+};
+
+class Assessor {
+ public:
+  struct Params {
+    Classifier::Params classifier{};
+    EvidenceStore::Params evidence{};
+    TrustParams trust{};
+    /// Trajectory sampling period in rounds (Fig. 9 resolution).
+    tta::RoundId sample_period = 50;
+  };
+
+  Assessor(Params p, fault::SpatialLayout layout, std::uint32_t component_count,
+           std::uint32_t job_count);
+
+  /// Registers which agent job reports for which component (observer
+  /// reconstruction on decode).
+  void register_agent(platform::JobId agent_job, platform::ComponentId component);
+
+  /// Declares an application job to be assessed, with its host component.
+  void register_subject_job(platform::JobId job, platform::ComponentId host);
+
+  /// Job behaviour: decode + ingest the inbox, update trust levels.
+  void process(platform::JobContext& ctx);
+
+  /// Ingests a symptom arriving outside the diagnostic vnet — currently
+  /// only the star coupler's guardian-block reports, which physically
+  /// originate at the bus, not at any component agent.
+  void ingest_external(const Symptom& s);
+
+  /// Attaches a flight recorder: every ingested symptom is also appended
+  /// to `log` (not owned; pass nullptr to detach). The recorded log can
+  /// later be replayed off-board (see diag/log.hpp).
+  void set_flight_recorder(DiagnosticLog* log) { recorder_ = log; }
+
+  // --- results -----------------------------------------------------------
+  [[nodiscard]] Diagnosis diagnose_component(platform::ComponentId c) const;
+  [[nodiscard]] Diagnosis diagnose_job(platform::JobId j) const;
+
+  [[nodiscard]] double component_trust(platform::ComponentId c) const {
+    return component_trust_.at(c);
+  }
+  [[nodiscard]] double job_trust(platform::JobId j) const {
+    auto it = job_trust_.find(j);
+    return it == job_trust_.end() ? 1.0 : it->second;
+  }
+  [[nodiscard]] const std::vector<TrustSample>& component_trajectory(
+      platform::ComponentId c) const {
+    return component_trajectories_.at(c);
+  }
+
+  [[nodiscard]] const EvidenceStore& evidence() const { return store_; }
+  [[nodiscard]] const Classifier& classifier() const { return classifier_; }
+  [[nodiscard]] tta::RoundId current_round() const { return round_; }
+  [[nodiscard]] std::uint64_t symptoms_processed() const {
+    return store_.symptoms_ingested();
+  }
+  [[nodiscard]] const Params& params() const { return p_; }
+
+ private:
+  Params p_;
+  Classifier classifier_;
+  EvidenceStore store_;
+  std::uint32_t component_count_;
+  std::map<platform::JobId, platform::ComponentId> agent_component_;
+  std::map<platform::ComponentId, std::vector<platform::JobId>> jobs_by_host_;
+  std::map<platform::JobId, platform::ComponentId> job_host_;
+
+  std::vector<double> component_trust_;
+  std::map<platform::JobId, double> job_trust_;
+  std::vector<std::vector<TrustSample>> component_trajectories_;
+  tta::RoundId round_ = 0;
+  tta::RoundId last_sample_ = 0;
+  DiagnosticLog* recorder_ = nullptr;
+};
+
+}  // namespace decos::diag

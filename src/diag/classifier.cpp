@@ -1,0 +1,206 @@
+#include "diag/classifier.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace decos::diag {
+namespace {
+
+/// Severity rank used when sender-side and observer-side analyses both
+/// produce a candidate: replacement-relevant classes win.
+int rank(fault::FaultClass c) {
+  switch (c) {
+    case fault::FaultClass::kComponentInternal: return 3;
+    case fault::FaultClass::kComponentBorderline: return 2;
+    case fault::FaultClass::kComponentExternal: return 1;
+    default: return 0;
+  }
+}
+
+}  // namespace
+
+Diagnosis Classifier::classify_component(const EvidenceStore& ev,
+                                         platform::ComponentId c,
+                                         tta::RoundId now,
+                                         std::uint32_t component_count) const {
+  FeatureParams fp = p_.features();
+  if (fp.sender_spread == 0) {
+    fp.sender_spread =
+        std::max(2u, (3u * std::max(component_count, 2u) - 3u) / 4u);
+  }
+
+  // Star-coupler evidence first: recurring guardian blocks mean the
+  // component attempts transmissions outside its windows — a babbling
+  // controller defect that the containment makes invisible in the
+  // transport verdicts.
+  const auto gb_eps = episodes_of(ev.guardian_blocks(c), fp.episode_gap);
+  if (gb_eps.size() >= 3 || ev.guardian_blocks(c).size() >= 20) {
+    return {fault::FaultClass::kComponentInternal,
+            fault::Persistence::kPermanent, 0.9,
+            "recurring out-of-window transmission attempts blocked by the "
+            "bus guardian (babbling controller)"};
+  }
+
+  const auto sender_eps = sender_episodes(ev, c, fp);
+  const auto observer_eps = observer_episodes(ev, c, fp);
+
+  Diagnosis sender_diag;  // defaults to kNone
+  if (!sender_eps.empty()) {
+    const VerdictTotals vt = verdict_totals(ev, c, fp);
+    const Episode& last_ep = sender_eps.back();
+    const bool ongoing = last_ep.last + fp.episode_gap >= now;
+    const bool dense_tail =
+        ongoing &&
+        last_ep.last - last_ep.first >= p_.permanent_omission_rounds &&
+        last_ep.rounds >=
+            static_cast<std::uint32_t>(p_.permanent_omission_rounds * 8 / 10);
+
+    if (dense_tail && vt.omission >= vt.crc && vt.omission >= vt.timing) {
+      sender_diag = {fault::FaultClass::kComponentInternal,
+                     fault::Persistence::kPermanent, 0.95,
+                     "continuous omission: component silent (permanent "
+                     "hardware failure)"};
+    } else if (dense_tail && vt.timing > vt.crc && vt.timing > vt.omission) {
+      sender_diag = {fault::FaultClass::kComponentInternal,
+                     fault::Persistence::kPermanent, 0.9,
+                     "persistent timing violations (clock/oscillator defect)"};
+    } else if (rate_increasing(sender_eps, fp)) {
+      sender_diag = {fault::FaultClass::kComponentInternal,
+                     fault::Persistence::kIntermittent, 0.85,
+                     "transient episodes with increasing frequency at one "
+                     "component (wearout signature)"};
+    } else if (sender_eps.size() >= p_.recurrence_threshold) {
+      sender_diag = {fault::FaultClass::kComponentInternal,
+                     fault::Persistence::kIntermittent, 0.7,
+                     "recurring transient episodes at the same component "
+                     "(internal intermittent fault)"};
+    } else if (alpha_score(ev, c, now, fp, p_.alpha_decay) >=
+               p_.alpha_threshold) {
+      sender_diag = {fault::FaultClass::kComponentInternal,
+                     fault::Persistence::kIntermittent, 0.7,
+                     "alpha-count over threshold: transient failures recur "
+                     "at this component far above the ambient rate"};
+    } else {
+      sender_diag = {fault::FaultClass::kComponentExternal,
+                     fault::Persistence::kTransient, 0.6,
+                     "isolated transient episode(s), no recurrence trend "
+                     "(external disturbance)"};
+    }
+  }
+
+  Diagnosis observer_diag;
+  if (!observer_eps.empty()) {
+    if (spatially_correlated(ev, c, observer_eps, layout_, component_count,
+                             fp)) {
+      observer_diag = {fault::FaultClass::kComponentExternal,
+                       fault::Persistence::kTransient, 0.85,
+                       "receive-path disturbance correlated with spatially "
+                       "proximate components (massive transient / EMI)"};
+    } else if (observer_eps.size() >= 3) {
+      observer_diag = {fault::FaultClass::kComponentBorderline,
+                       fault::Persistence::kIntermittent, 0.8,
+                       "recurring receive-path errors on this component only "
+                       "(connector/harness fault)"};
+    } else {
+      observer_diag = {fault::FaultClass::kComponentExternal,
+                       fault::Persistence::kTransient, 0.5,
+                       "isolated receive-path episode on this component "
+                       "(external transient)"};
+    }
+  }
+
+  if (rank(sender_diag.cls) >= rank(observer_diag.cls) &&
+      sender_diag.cls != fault::FaultClass::kNone) {
+    return sender_diag;
+  }
+  if (observer_diag.cls != fault::FaultClass::kNone) return observer_diag;
+
+  Diagnosis none;
+  none.cls = fault::FaultClass::kNone;
+  none.confidence = 1.0;
+  none.rationale = "no out-of-norm evidence";
+  return none;
+}
+
+Diagnosis Classifier::classify_job(const EvidenceStore& ev, platform::JobId j,
+                                   const Diagnosis& host_diagnosis,
+                                   const std::vector<platform::JobId>& siblings,
+                                   tta::RoundId now) const {
+  const JobEvidence& je = ev.job(j);
+  const bool has_value = je.value_rounds.size() >= p_.min_value_rounds;
+  const bool has_overflow = je.overflow_count >= p_.overflow_threshold;
+  const bool has_gap = !je.gap_rounds.empty();
+
+  if (!has_value && !has_overflow && !has_gap) {
+    Diagnosis none;
+    none.cls = fault::FaultClass::kNone;
+    none.confidence = 1.0;
+    none.rationale = "job conforms to its LIF specification";
+    return none;
+  }
+
+  // Fig. 10: if the hosting component is internally faulty, every job on
+  // it misbehaves — the job's symptoms are *job external* and the FRU to
+  // act on is the component.
+  if (host_diagnosis.cls == fault::FaultClass::kComponentInternal) {
+    return {fault::FaultClass::kComponentInternal, host_diagnosis.persistence,
+            host_diagnosis.confidence,
+            "job-external: symptoms explained by host component hardware "
+            "fault"};
+  }
+
+  if (has_value) {
+    // Correlated siblings on the same component => hardware, not this job.
+    std::size_t symptomatic_siblings = 0;
+    for (platform::JobId s : siblings) {
+      if (s == j) continue;
+      if (ev.job(s).value_rounds.size() >= p_.min_value_rounds) {
+        ++symptomatic_siblings;
+      }
+    }
+    if (symptomatic_siblings >= 1) {
+      return {fault::FaultClass::kComponentInternal,
+              fault::Persistence::kIntermittent, 0.75,
+              "multiple jobs of this component emit out-of-spec values "
+              "(component-internal hardware fault)"};
+    }
+
+    // Job-internal evidence first (Section III-D: transducer vs software
+    // cannot be told apart from the interface alone — but a model-based
+    // application assertion is exactly the internal information that can).
+    if (je.transducer_suspect_rounds.size() >= p_.min_value_rounds) {
+      return {fault::FaultClass::kJobInherentTransducer,
+              fault::Persistence::kPermanent, 0.9,
+              "the job's own model-based plausibility check indicts its "
+              "transducer (application assertion)"};
+    }
+    if (magnitudes_drifting(je.value_magnitudes)) {
+      return {fault::FaultClass::kJobInherentTransducer,
+              fault::Persistence::kPermanent, 0.8,
+              "increasing deviation from specified value range (sensor "
+              "drift/wearout signature)"};
+    }
+    return {fault::FaultClass::kJobInherentSoftware,
+            fault::Persistence::kIntermittent, 0.75,
+            "erratic out-of-spec values from one job only (software design "
+            "fault)"};
+  }
+
+  if (has_overflow) {
+    return {fault::FaultClass::kJobBorderline, fault::Persistence::kPermanent,
+            0.8,
+            "queue overflows while the job meets its value spec "
+            "(virtual-network configuration fault)"};
+  }
+
+  // Gaps only: the job went silent while its component stayed healthy.
+  const bool recent = je.gap_rounds.back() + 4 * p_.episode_gap >= now;
+  return {fault::FaultClass::kJobInherentSoftware,
+          recent ? fault::Persistence::kPermanent
+                 : fault::Persistence::kTransient,
+          0.7,
+          "job stopped sending although its component is operational "
+          "(software crash)"};
+}
+
+}  // namespace decos::diag

@@ -1,0 +1,134 @@
+#include "diag/evidence.hpp"
+
+namespace decos::diag {
+
+const std::map<tta::RoundId, SubjectRound> EvidenceStore::kEmptySubject{};
+const std::map<tta::RoundId, ObserverRound> EvidenceStore::kEmptyObserver{};
+const JobEvidence EvidenceStore::kEmptyJob{};
+const std::vector<tta::RoundId> EvidenceStore::kEmptyRounds{};
+
+void EvidenceStore::ingest(const Symptom& s) {
+  ++ingested_;
+  switch (s.type) {
+    case SymptomType::kSlotCrcError:
+    case SymptomType::kSlotTimingError:
+    case SymptomType::kSlotOmission: {
+      SubjectRound& sr = about_[s.subject_component][s.round];
+      sr.observers.insert(s.observer);
+      if (s.type == SymptomType::kSlotCrcError) ++sr.crc;
+      if (s.type == SymptomType::kSlotTimingError) ++sr.timing;
+      if (s.type == SymptomType::kSlotOmission) ++sr.omission;
+      by_observer_[s.observer][s.round].senders_reported.insert(
+          s.subject_component);
+      break;
+    }
+    case SymptomType::kQueueOverflow: {
+      if (!s.subject_job) break;
+      JobEvidence& je = jobs_[*s.subject_job];
+      ++je.overflow_count;
+      je.last_overflow_round = s.round;
+      break;
+    }
+    case SymptomType::kValueOutOfRange: {
+      if (!s.subject_job) break;
+      JobEvidence& je = jobs_[*s.subject_job];
+      if (!je.value_rounds.empty() && je.value_rounds.back() == s.round) {
+        je.value_magnitudes.back() =
+            std::max(je.value_magnitudes.back(), s.magnitude);
+      } else {
+        je.value_rounds.push_back(s.round);
+        je.value_magnitudes.push_back(s.magnitude);
+      }
+      break;
+    }
+    case SymptomType::kMessageGap: {
+      if (!s.subject_job) break;
+      jobs_[*s.subject_job].gap_rounds.push_back(s.round);
+      break;
+    }
+    case SymptomType::kTransducerSuspect: {
+      if (!s.subject_job) break;
+      auto& rounds = jobs_[*s.subject_job].transducer_suspect_rounds;
+      if (rounds.empty() || rounds.back() < s.round) rounds.push_back(s.round);
+      break;
+    }
+    case SymptomType::kGuardianBlock: {
+      auto& rounds = guardian_blocks_[s.subject_component];
+      if (rounds.empty() || rounds.back() < s.round) rounds.push_back(s.round);
+      // Bound memory for pathological babble floods.
+      if (rounds.size() > 10'000) {
+        rounds.erase(rounds.begin(), rounds.begin() + 1'000);
+      }
+      break;
+    }
+  }
+}
+
+void EvidenceStore::prune(tta::RoundId now) {
+  if (now <= p_.window_rounds) return;
+  const tta::RoundId cutoff = now - p_.window_rounds;
+  for (auto& [c, rounds] : about_) {
+    auto it = rounds.begin();
+    while (it != rounds.end() && it->first < cutoff) {
+      if (it->second.observers.size() >= 2) ++subject_round_totals_[c];
+      it = rounds.erase(it);
+    }
+  }
+  for (auto& [c, rounds] : by_observer_) {
+    rounds.erase(rounds.begin(), rounds.lower_bound(cutoff));
+  }
+  // Job evidence: value/gap vectors are bounded by one entry per round of
+  // actual misbehaviour; trim the front beyond the window.
+  for (auto& [j, je] : jobs_) {
+    auto trim = [cutoff](std::vector<tta::RoundId>& rounds,
+                         std::vector<double>* mags) {
+      std::size_t drop = 0;
+      while (drop < rounds.size() && rounds[drop] < cutoff) ++drop;
+      rounds.erase(rounds.begin(),
+                   rounds.begin() + static_cast<std::ptrdiff_t>(drop));
+      if (mags) {
+        mags->erase(mags->begin(),
+                    mags->begin() + static_cast<std::ptrdiff_t>(drop));
+      }
+    };
+    trim(je.value_rounds, &je.value_magnitudes);
+    trim(je.gap_rounds, nullptr);
+    trim(je.transducer_suspect_rounds, nullptr);
+  }
+}
+
+const std::map<tta::RoundId, SubjectRound>& EvidenceStore::about(
+    platform::ComponentId c) const {
+  auto it = about_.find(c);
+  return it == about_.end() ? kEmptySubject : it->second;
+}
+
+std::uint64_t EvidenceStore::total_subject_rounds(platform::ComponentId c) const {
+  std::uint64_t total = 0;
+  if (auto it = subject_round_totals_.find(c); it != subject_round_totals_.end()) {
+    total = it->second;
+  }
+  for (const auto& [round, sr] : about(c)) {
+    if (sr.observers.size() >= 2) ++total;
+  }
+  return total;
+}
+
+const std::map<tta::RoundId, ObserverRound>& EvidenceStore::reported_by(
+    platform::ComponentId c) const {
+  auto it = by_observer_.find(c);
+  return it == by_observer_.end() ? kEmptyObserver : it->second;
+}
+
+const std::vector<tta::RoundId>& EvidenceStore::guardian_blocks(
+    platform::ComponentId c) const {
+  auto it = guardian_blocks_.find(c);
+  return it == guardian_blocks_.end() ? kEmptyRounds : it->second;
+}
+
+const JobEvidence& EvidenceStore::job(platform::JobId j) const {
+  auto it = jobs_.find(j);
+  return it == jobs_.end() ? kEmptyJob : it->second;
+}
+
+}  // namespace decos::diag

@@ -1,0 +1,71 @@
+#include "diag/log.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace decos::diag {
+
+std::string DiagnosticLog::serialize() const {
+  std::string out;
+  out.reserve(symptoms_.size() * 40);
+  char buf[128];
+  for (const Symptom& s : symptoms_) {
+    std::snprintf(buf, sizeof buf, "%llu %u %u %u %d %.9g\n",
+                  static_cast<unsigned long long>(s.round),
+                  static_cast<unsigned>(s.type), s.observer,
+                  s.subject_component,
+                  s.subject_job ? static_cast<int>(*s.subject_job) : -1,
+                  s.magnitude);
+    out += buf;
+  }
+  return out;
+}
+
+std::optional<DiagnosticLog> DiagnosticLog::parse(const std::string& text) {
+  DiagnosticLog log;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    unsigned long long round;
+    unsigned type, observer, subject;
+    int job;
+    double magnitude;
+    if (std::sscanf(line.c_str(), "%llu %u %u %u %d %lg", &round, &type,
+                    &observer, &subject, &job, &magnitude) != 6) {
+      return std::nullopt;
+    }
+    if (type < 1 || type > 8) return std::nullopt;
+    Symptom s;
+    s.round = round;
+    s.type = static_cast<SymptomType>(type);
+    s.observer = static_cast<platform::ComponentId>(observer);
+    s.subject_component = static_cast<platform::ComponentId>(subject);
+    if (job >= 0) s.subject_job = static_cast<platform::JobId>(job);
+    s.magnitude = magnitude;
+    log.symptoms_.push_back(s);
+  }
+  return log;
+}
+
+bool DiagnosticLog::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << serialize();
+  return static_cast<bool>(out);
+}
+
+std::optional<DiagnosticLog> DiagnosticLog::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+void DiagnosticLog::replay_into(EvidenceStore& store) const {
+  for (const Symptom& s : symptoms_) store.ingest(s);
+}
+
+}  // namespace decos::diag

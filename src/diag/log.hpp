@@ -1,0 +1,51 @@
+// Diagnostic flight recorder.
+//
+// In the field the diagnostic DAS runs for months between garage visits;
+// what the service technician actually works from is the *recorded*
+// symptom stream. DiagnosticLog captures every symptom the assessor
+// ingests in a compact text form (one line per symptom, stable and
+// diffable), persists it, and replays it into a fresh EvidenceStore so an
+// off-board workstation can re-run the classification without the
+// vehicle — the paper's service-station workflow.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "diag/evidence.hpp"
+#include "diag/symptom.hpp"
+
+namespace decos::diag {
+
+class DiagnosticLog {
+ public:
+  void record(const Symptom& s) { symptoms_.push_back(s); }
+
+  [[nodiscard]] const std::vector<Symptom>& symptoms() const {
+    return symptoms_;
+  }
+  [[nodiscard]] std::size_t size() const { return symptoms_.size(); }
+  void clear() { symptoms_.clear(); }
+
+  /// One line per symptom: "round type observer subject job magnitude".
+  [[nodiscard]] std::string serialize() const;
+
+  /// Parses a serialize()d log. Returns nullopt on any malformed line.
+  [[nodiscard]] static std::optional<DiagnosticLog> parse(
+      const std::string& text);
+
+  /// Writes/reads the serialised form to a file. Returns success.
+  [[nodiscard]] bool save(const std::string& path) const;
+  [[nodiscard]] static std::optional<DiagnosticLog> load(
+      const std::string& path);
+
+  /// Replays every symptom into an evidence store (ascending rounds are
+  /// not required; the store aggregates by round).
+  void replay_into(EvidenceStore& store) const;
+
+ private:
+  std::vector<Symptom> symptoms_;
+};
+
+}  // namespace decos::diag

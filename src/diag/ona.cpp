@@ -1,0 +1,132 @@
+#include "diag/ona.hpp"
+
+namespace decos::diag {
+namespace conditions {
+
+OnaCondition sender_episode_count_at_least(std::size_t n) {
+  return [n](const OnaContext& ctx) {
+    return sender_episodes(ctx.evidence, ctx.subject, ctx.features).size() >= n;
+  };
+}
+
+OnaCondition sender_episode_count_at_most(std::size_t n) {
+  return [n](const OnaContext& ctx) {
+    const auto eps = sender_episodes(ctx.evidence, ctx.subject, ctx.features);
+    return !eps.empty() && eps.size() <= n;
+  };
+}
+
+OnaCondition sender_rate_increasing() {
+  return [](const OnaContext& ctx) {
+    return rate_increasing(
+        sender_episodes(ctx.evidence, ctx.subject, ctx.features), ctx.features);
+  };
+}
+
+OnaCondition sender_dense_tail(tta::RoundId rounds) {
+  return [rounds](const OnaContext& ctx) {
+    const auto eps = sender_episodes(ctx.evidence, ctx.subject, ctx.features);
+    if (eps.empty()) return false;
+    const Episode& last = eps.back();
+    const bool ongoing = last.last + ctx.features.episode_gap >= ctx.now;
+    return ongoing && last.last - last.first >= rounds &&
+           last.rounds >= static_cast<std::uint32_t>(rounds * 8 / 10);
+  };
+}
+
+OnaCondition observer_episode_count_at_least(std::size_t n) {
+  return [n](const OnaContext& ctx) {
+    return observer_episodes(ctx.evidence, ctx.subject, ctx.features).size() >=
+           n;
+  };
+}
+
+OnaCondition observers_spatially_correlated() {
+  return [](const OnaContext& ctx) {
+    const auto eps = observer_episodes(ctx.evidence, ctx.subject, ctx.features);
+    return spatially_correlated(ctx.evidence, ctx.subject, eps, ctx.layout,
+                                ctx.component_count, ctx.features);
+  };
+}
+
+OnaCondition observers_isolated() {
+  return [](const OnaContext& ctx) {
+    const auto eps = observer_episodes(ctx.evidence, ctx.subject, ctx.features);
+    if (eps.empty()) return false;
+    return !spatially_correlated(ctx.evidence, ctx.subject, eps, ctx.layout,
+                                 ctx.component_count, ctx.features);
+  };
+}
+
+OnaCondition no_sender_evidence() {
+  return [](const OnaContext& ctx) {
+    return sender_episodes(ctx.evidence, ctx.subject, ctx.features).empty();
+  };
+}
+
+namespace {
+OnaCondition dominant(int which) {  // 0 omission, 1 timing, 2 crc
+  return [which](const OnaContext& ctx) {
+    const auto vt = verdict_totals(ctx.evidence, ctx.subject, ctx.features);
+    if (vt.quorum_rounds == 0) return false;
+    switch (which) {
+      case 0: return vt.omission >= vt.crc && vt.omission >= vt.timing;
+      case 1: return vt.timing > vt.crc && vt.timing > vt.omission;
+      default: return vt.crc >= vt.timing && vt.crc >= vt.omission;
+    }
+  };
+}
+}  // namespace
+
+OnaCondition dominant_omission() { return dominant(0); }
+OnaCondition dominant_timing() { return dominant(1); }
+OnaCondition dominant_corruption() { return dominant(2); }
+
+}  // namespace conditions
+
+std::vector<const OutOfNormAssertion*> OnaEngine::evaluate(
+    const OnaContext& ctx) const {
+  std::vector<const OutOfNormAssertion*> out;
+  for (const auto& rule : rules_) {
+    if (rule.triggered(ctx)) out.push_back(&rule);
+  }
+  return out;
+}
+
+OnaEngine OnaEngine::standard_rules() {
+  using namespace conditions;
+  OnaEngine engine;
+  // Fig. 8 column 1: wearout — increasing episode frequency, one
+  // component, value corruption.
+  engine.add(OutOfNormAssertion(
+      "wearout", fault::FaultClass::kComponentInternal,
+      {sender_rate_increasing(), dominant_corruption()}));
+  // Fig. 8 column 2: massive transient — multiple proximate components'
+  // receive paths disturbed at (about) the same time, sender side clean.
+  engine.add(OutOfNormAssertion(
+      "massive-transient", fault::FaultClass::kComponentExternal,
+      {observer_episode_count_at_least(1), observers_spatially_correlated(),
+       no_sender_evidence()}));
+  // Fig. 8 column 3: connector — recurring receive-path errors on exactly
+  // one component, arbitrary in time.
+  engine.add(OutOfNormAssertion(
+      "connector", fault::FaultClass::kComponentBorderline,
+      {observer_episode_count_at_least(3), observers_isolated(),
+       no_sender_evidence()}));
+  // Permanent hardware death: a dense continuous omission tail.
+  engine.add(OutOfNormAssertion(
+      "permanent-silence", fault::FaultClass::kComponentInternal,
+      {sender_dense_tail(200), dominant_omission()}));
+  // Oscillator defect: persistent timing violations.
+  engine.add(OutOfNormAssertion(
+      "clock-defect", fault::FaultClass::kComponentInternal,
+      {sender_dense_tail(200), dominant_timing()}));
+  // Single external hit (SEU-like): brief sender-side episode(s) without
+  // recurrence.
+  engine.add(OutOfNormAssertion(
+      "isolated-transient", fault::FaultClass::kComponentExternal,
+      {sender_episode_count_at_most(2)}));
+  return engine;
+}
+
+}  // namespace decos::diag

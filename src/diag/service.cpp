@@ -1,0 +1,103 @@
+#include "diag/service.hpp"
+
+#include <algorithm>
+
+namespace decos::diag {
+
+DiagnosticService::DiagnosticService(platform::System& system, SpecTable specs,
+                                     fault::SpatialLayout layout, Params params)
+    : system_(system), specs_(std::move(specs)) {
+  // Application jobs existing now are the diagnosis subjects; everything
+  // created below belongs to the diagnostic DAS.
+  for (platform::JobId j = 0; j < static_cast<platform::JobId>(system_.job_count());
+       ++j) {
+    subject_jobs_.push_back(j);
+  }
+
+  das_ = system_.add_das("diagnostic", platform::Criticality::kSafetyCritical);
+
+  std::vector<platform::ComponentId> hosts{params.assessor_host};
+  hosts.insert(hosts.end(), params.replica_hosts.begin(),
+               params.replica_hosts.end());
+
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    assessors_.push_back(std::make_unique<Assessor>(
+        params.assessor, layout, system_.component_count(),
+        static_cast<std::uint32_t>(system_.job_count())));
+    Assessor* assessor = assessors_.back().get();
+    platform::Job& job = system_.add_job(
+        das_, i == 0 ? "diag.assessor" : "diag.assessor.r" + std::to_string(i),
+        hosts[i],
+        [assessor](platform::JobContext& ctx) { assessor->process(ctx); });
+    assessor_jobs_.push_back(job.id());
+    for (platform::JobId j : subject_jobs_) {
+      assessor->register_subject_job(j, system_.job(j).host());
+    }
+  }
+  assessor_job_ = assessor_jobs_.front();
+
+  for (platform::ComponentId c = 0; c < system_.component_count(); ++c) {
+    agents_.push_back(
+        std::make_unique<Agent>(system_, das_, c, specs_, assessor_jobs_));
+    for (auto& assessor : assessors_) {
+      assessor->register_agent(agents_.back()->job_id(), c);
+    }
+  }
+
+  // The star coupler (bus guardian) reports blocked transmissions
+  // directly: it is physically part of the interconnect, not of any
+  // component, so its evidence does not travel over a component's agent.
+  system_.cluster().bus().on_blocked = [this](tta::NodeId sender,
+                                              sim::SimTime when) {
+    Symptom s;
+    s.type = SymptomType::kGuardianBlock;
+    s.observer = sender;  // self-incriminating by construction
+    s.subject_component = sender;
+    s.round = system_.cluster().schedule().round_at(when);
+    s.magnitude = 1.0;
+    for (auto& assessor : assessors_) assessor->ingest_external(s);
+  };
+}
+
+bool DiagnosticService::is_diagnostic_job(platform::JobId j) const {
+  if (std::find(assessor_jobs_.begin(), assessor_jobs_.end(), j) !=
+      assessor_jobs_.end()) {
+    return true;
+  }
+  return std::any_of(agents_.begin(), agents_.end(),
+                     [j](const auto& a) { return a->job_id() == j; });
+}
+
+std::vector<FruReport> DiagnosticService::report() const {
+  static const OnaEngine kOnaRules = OnaEngine::standard_rules();
+  const fault::SpatialLayout& layout =
+      assessors_.front()->classifier().layout();
+  std::vector<FruReport> rows;
+  for (platform::ComponentId c = 0; c < system_.component_count(); ++c) {
+    FruReport row;
+    row.fru = "component " + std::to_string(c);
+    row.trust = assessors_.front()->component_trust(c);
+    row.diagnosis = assessors_.front()->diagnose_component(c);
+    row.action = row.diagnosis.action();
+    const OnaContext ctx{assessors_.front()->evidence(), c,
+                         assessors_.front()->current_round(),
+                         system_.component_count(), layout, FeatureParams{}};
+    for (const auto* hit : kOnaRules.evaluate(ctx)) {
+      row.asserted_onas.push_back(hit->name());
+    }
+    rows.push_back(std::move(row));
+  }
+  for (platform::JobId j : subject_jobs_) {
+    const auto& job = system_.job(j);
+    FruReport row;
+    row.fru = "job " + job.name() + " (j" + std::to_string(j) +
+              ") on component " + std::to_string(job.host());
+    row.trust = assessors_.front()->job_trust(j);
+    row.diagnosis = assessors_.front()->diagnose_job(j);
+    row.action = row.diagnosis.action();
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace decos::diag

@@ -1,0 +1,82 @@
+// DiagnosticService — facade wiring the complete integrated diagnostic
+// architecture into a System: the encapsulated diagnostic DAS with one
+// assessor job, one detection agent per component, and the symptom ports
+// on the reserved virtual diagnostic network (Fig. 1's three-step model:
+// detect -> disseminate -> analyse).
+//
+// Construct it after all application DASs/jobs/ports exist and before
+// System::finalize(). The maintenance report it produces per FRU — trust
+// level, fault class, recommended action — is what the paper hands to the
+// service technician (Fig. 11).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "diag/agent.hpp"
+#include "diag/assessor.hpp"
+#include "diag/ona.hpp"
+#include "diag/port_spec.hpp"
+#include "fault/injector.hpp"
+#include "platform/system.hpp"
+
+namespace decos::diag {
+
+/// One row of the maintenance report.
+struct FruReport {
+  std::string fru;  // "component 3" or "job brake1 (j5) on component 2"
+  double trust = 1.0;
+  Diagnosis diagnosis;
+  fault::MaintenanceAction action = fault::MaintenanceAction::kNoAction;
+  /// Names of the standard Out-of-Norm Assertions currently asserted for
+  /// this FRU (component rows only; the declarative cross-check of the
+  /// rule classifier's verdict).
+  std::vector<std::string> asserted_onas;
+};
+
+class DiagnosticService {
+ public:
+  struct Params {
+    /// Component hosting the (primary) assessor job.
+    platform::ComponentId assessor_host = 0;
+    /// Additional components hosting replica assessors. The diagnostic
+    /// DAS is itself safety-relevant: replicated assessors keep the
+    /// maintenance view alive when the primary's component dies. Agents
+    /// multicast their symptom stream to every assessor.
+    std::vector<platform::ComponentId> replica_hosts;
+    Assessor::Params assessor{};
+  };
+
+  DiagnosticService(platform::System& system, SpecTable specs,
+                    fault::SpatialLayout layout, Params params);
+
+  [[nodiscard]] Assessor& assessor() { return *assessors_.front(); }
+  [[nodiscard]] const Assessor& assessor() const { return *assessors_.front(); }
+  /// Replica access (0 = primary).
+  [[nodiscard]] Assessor& assessor(std::size_t i) { return *assessors_.at(i); }
+  [[nodiscard]] std::size_t assessor_count() const { return assessors_.size(); }
+  [[nodiscard]] const SpecTable& specs() const { return specs_; }
+  [[nodiscard]] platform::DasId das() const { return das_; }
+  [[nodiscard]] platform::JobId assessor_job() const { return assessor_job_; }
+
+  /// Is this job part of the diagnostic DAS (agents + assessor)?
+  [[nodiscard]] bool is_diagnostic_job(platform::JobId j) const;
+
+  /// Maintenance report over all FRUs: components first, then application
+  /// jobs. Only FRUs whose trust fell below the report threshold carry a
+  /// non-kNone diagnosis request, but every FRU is listed.
+  [[nodiscard]] std::vector<FruReport> report() const;
+
+ private:
+  platform::System& system_;
+  SpecTable specs_;
+  platform::DasId das_ = 0;
+  platform::JobId assessor_job_ = platform::kInvalidJob;
+  std::vector<platform::JobId> assessor_jobs_;
+  std::vector<std::unique_ptr<Assessor>> assessors_;
+  std::vector<std::unique_ptr<Agent>> agents_;
+  std::vector<platform::JobId> subject_jobs_;
+};
+
+}  // namespace decos::diag

@@ -1,0 +1,68 @@
+#include "diag/symptom.hpp"
+
+#include <cstdio>
+
+namespace decos::diag {
+
+const char* to_string(SymptomType t) {
+  switch (t) {
+    case SymptomType::kSlotCrcError: return "slot-crc-error";
+    case SymptomType::kSlotTimingError: return "slot-timing-error";
+    case SymptomType::kSlotOmission: return "slot-omission";
+    case SymptomType::kQueueOverflow: return "queue-overflow";
+    case SymptomType::kValueOutOfRange: return "value-out-of-range";
+    case SymptomType::kMessageGap: return "message-gap";
+    case SymptomType::kGuardianBlock: return "guardian-block";
+    case SymptomType::kTransducerSuspect: return "transducer-suspect";
+  }
+  return "?";
+}
+
+std::string Symptom::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "[r%llu] %s obs=c%u subj=c%u%s%s mag=%.3f",
+                static_cast<unsigned long long>(round), diag::to_string(type),
+                observer, subject_component, subject_job ? " j" : "",
+                subject_job ? std::to_string(*subject_job).c_str() : "",
+                magnitude);
+  return buf;
+}
+
+std::uint32_t pack_aux(const Symptom& s, std::uint8_t age_rounds) {
+  const std::uint32_t job_bits =
+      s.subject_job ? static_cast<std::uint32_t>(*s.subject_job) : 0xFFFFu;
+  return (static_cast<std::uint32_t>(age_rounds) << 24) |
+         ((static_cast<std::uint32_t>(s.subject_component) & 0xFFu) << 16) |
+         (job_bits & 0xFFFFu);
+}
+
+vnet::Message encode(const Symptom& s, tta::RoundId send_round) {
+  const tta::RoundId age = send_round > s.round ? send_round - s.round : 0;
+  vnet::Message m;
+  m.kind = static_cast<std::uint8_t>(s.type);
+  m.aux = pack_aux(s, static_cast<std::uint8_t>(age > 255 ? 255 : age));
+  m.value = s.magnitude;
+  m.sent_round = s.round;
+  return m;
+}
+
+std::optional<Symptom> decode(const vnet::Message& m,
+                              platform::ComponentId observer) {
+  if (m.kind < 1 || m.kind > 8) return std::nullopt;
+  Symptom s;
+  s.type = static_cast<SymptomType>(m.kind);
+  s.observer = observer;
+  s.subject_component =
+      static_cast<platform::ComponentId>((m.aux >> 16) & 0xFFu);
+  const std::uint32_t job_bits = m.aux & 0xFFFFu;
+  if (job_bits != 0xFFFFu) {
+    s.subject_job = static_cast<platform::JobId>(job_bits);
+  }
+  const std::uint32_t age = (m.aux >> 24) & 0xFFu;
+  s.round = m.sent_round > age ? m.sent_round - age : 0;
+  s.magnitude = m.value;
+  return s;
+}
+
+}  // namespace decos::diag

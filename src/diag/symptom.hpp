@@ -1,0 +1,86 @@
+// Symptoms — the atoms of the diagnostic architecture.
+//
+// "A symptom is a condition on a set of interface state variables of a
+// particular component that is monitored to detect deviations from the LIF
+// specification" (Section V-A). Per-component diagnostic agents detect
+// symptoms locally and disseminate them as messages on the dedicated
+// virtual diagnostic network; the diagnostic DAS assembles them into the
+// distributed state on which Out-of-Norm Assertions operate.
+//
+// A symptom names an observer (who saw it), a subject (which FRU it is
+// about), a type, a round, and a magnitude. Symptoms are encoded into the
+// 28-byte vnet wire record: kind = type, aux = packed subject/detail,
+// value = magnitude, sent_round = round of observation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "platform/types.hpp"
+#include "tta/types.hpp"
+#include "vnet/message.hpp"
+
+namespace decos::diag {
+
+enum class SymptomType : std::uint8_t {
+  /// Transport-level verdicts about a *remote sender* component.
+  kSlotCrcError = 1,
+  kSlotTimingError = 2,
+  kSlotOmission = 3,
+  /// Local vnet layer: output queue overflow on a port (config fault cue).
+  kQueueOverflow = 4,
+  /// LIF value check: a local job emitted a value outside its port spec.
+  kValueOutOfRange = 5,
+  /// LIF timing check: a local job missed its specified send period.
+  kMessageGap = 6,
+  /// The bus guardian blocked an out-of-window transmission attempt of
+  /// the subject (star-coupler evidence; a contained babbling idiot).
+  kGuardianBlock = 7,
+  /// Application-level model-based assertion (Section IV-B.1): the job's
+  /// own plausibility model indicts its transducer (e.g. the plant is not
+  /// following commands). This is the "job internal information" the
+  /// paper says is needed to tell transducer from software faults.
+  kTransducerSuspect = 8,
+};
+
+[[nodiscard]] const char* to_string(SymptomType t);
+
+struct Symptom {
+  SymptomType type = SymptomType::kSlotCrcError;
+  /// Component whose agent detected the symptom.
+  platform::ComponentId observer = 0;
+  /// Component the symptom is about (for transport symptoms: the sender
+  /// under judgement; for local symptoms: the observer itself).
+  platform::ComponentId subject_component = 0;
+  /// Job the symptom is about, when job-level (value/gap/overflow).
+  std::optional<platform::JobId> subject_job;
+  tta::RoundId round = 0;
+  /// Type-specific magnitude: timing offset in us, value deviation from
+  /// the spec bound, number of coalesced occurrences, ...
+  double magnitude = 0.0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Packs subject ids into the message aux word: bits 0..15 subject job
+/// (0xFFFF = none), 16..23 subject component, 24..31 age of the
+/// observation in rounds at send time (saturating at 255) — symptoms may
+/// wait in the diagnostic queue, and the assessor must correlate them on
+/// the round they were *observed*, not flushed.
+[[nodiscard]] std::uint32_t pack_aux(const Symptom& s,
+                                     std::uint8_t age_rounds = 0);
+
+/// Encodes a symptom for transmission on the diagnostic vnet; `send_round`
+/// is the round the flush happens in (determines the age field). The
+/// sending agent's job/port identify the observer on the receiving side.
+[[nodiscard]] vnet::Message encode(const Symptom& s,
+                                   tta::RoundId send_round);
+
+/// Decodes a diagnostic-vnet message back into a symptom. The observer
+/// field is reconstructed by the caller from the sending agent's identity
+/// (`observer_of_sender`). Returns nullopt for non-symptom kinds.
+[[nodiscard]] std::optional<Symptom> decode(const vnet::Message& m,
+                                            platform::ComponentId observer);
+
+}  // namespace decos::diag

@@ -1,0 +1,464 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+namespace decos::fault {
+
+SpatialLayout SpatialLayout::linear(std::uint32_t n, double spacing) {
+  SpatialLayout l;
+  l.position.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    l.position.push_back(static_cast<double>(i) * spacing);
+  }
+  return l;
+}
+
+std::vector<platform::ComponentId> SpatialLayout::within(double center,
+                                                         double radius) const {
+  std::vector<platform::ComponentId> out;
+  for (std::size_t i = 0; i < position.size(); ++i) {
+    if (std::abs(position[i] - center) <= radius) {
+      out.push_back(static_cast<platform::ComponentId>(i));
+    }
+  }
+  return out;
+}
+
+FaultInjector::FaultInjector(sim::Simulator& sim, platform::System& system,
+                             SpatialLayout layout)
+    : sim_(sim), system_(system), layout_(std::move(layout)) {
+  assert(layout_.position.size() >= system_.component_count());
+}
+
+FaultId FaultInjector::record(InjectedFault f) {
+  f.id = ledger_.size();
+  sim_.log(sim::TraceCategory::kFault,
+           "component." + std::to_string(f.component),
+           std::string(to_string(f.cls)) + ": " + f.description);
+  ledger_.push_back(std::move(f));
+  return ledger_.back().id;
+}
+
+FaultId FaultInjector::inject_emi_burst(double center, double radius,
+                                        sim::SimTime start,
+                                        sim::Duration duration,
+                                        double corrupt_prob) {
+  const auto affected = layout_.within(center, radius);
+  auto rng = std::make_shared<sim::Rng>(
+      sim_.fork_rng("emi." + std::to_string(ledger_.size())));
+  const sim::SimTime end = start + duration;
+
+  sim_.schedule_at(start, [this, affected, corrupt_prob, rng, end] {
+    auto hook_id = std::make_shared<std::uint64_t>(0);
+    *hook_id = system_.cluster().bus().add_channel_fault(
+        [affected, corrupt_prob, rng](tta::Frame& copy, tta::NodeId receiver,
+                                      sim::SimTime) {
+          // The burst couples into the harness near the affected nodes:
+          // frames *arriving at* an affected receiver get bit flips
+          // (multiple flips per frame — Fig. 8's value signature).
+          for (auto c : affected) {
+            if (c == receiver && rng->bernoulli(corrupt_prob)) {
+              if (copy.payload.empty()) return false;  // frame lost entirely
+              for (int flip = 0; flip < 3; ++flip) {
+                const auto idx = static_cast<std::size_t>(rng->uniform_int(
+                    0, static_cast<std::int64_t>(copy.payload.size()) - 1));
+                copy.payload[idx] ^= static_cast<std::uint8_t>(
+                    1u << rng->uniform_int(0, 7));
+              }
+            }
+          }
+          return true;
+        });
+    sim_.schedule_at(end, [this, hook_id] {
+      system_.cluster().bus().remove_channel_fault(*hook_id);
+    });
+  }, sim::EventPriority::kFault);
+
+  InjectedFault f;
+  f.cls = FaultClass::kComponentExternal;
+  f.persistence = Persistence::kTransient;
+  f.component = affected.empty() ? 0 : affected.front();
+  f.affected = affected;
+  f.start = start;
+  f.duration = duration;
+  f.description = "EMI burst r=" + std::to_string(radius) + " affecting " +
+                  std::to_string(affected.size()) + " components";
+  return record(f);
+}
+
+FaultId FaultInjector::inject_seu(platform::ComponentId component,
+                                  sim::SimTime start) {
+  sim_.schedule_at(start, [this, component] {
+    // One corrupted transmission, then back to healthy.
+    auto& node = system_.cluster().node(component);
+    node.faults().tx_corrupt_prob = 1.0;
+    sim_.schedule_after(system_.cluster().schedule().round_length(),
+                        [&node] { node.faults().tx_corrupt_prob = 0.0; },
+                        sim::EventPriority::kFault);
+  }, sim::EventPriority::kFault);
+
+  InjectedFault f;
+  f.cls = FaultClass::kComponentExternal;
+  f.persistence = Persistence::kTransient;
+  f.component = component;
+  f.start = start;
+  f.duration = system_.cluster().schedule().round_length();
+  f.description = "SEU single bit flip";
+  return record(f);
+}
+
+FaultId FaultInjector::inject_connector_fault(platform::ComponentId component,
+                                              sim::SimTime start,
+                                              sim::Duration mean_episode_gap,
+                                              sim::Duration episode_len,
+                                              double drop_prob) {
+  auto rng = std::make_shared<sim::Rng>(
+      sim_.fork_rng("connector." + std::to_string(component)));
+  auto active = std::make_shared<bool>(true);
+
+  // Self-rescheduling episode chain with exponential gaps (arbitrary in
+  // time, Fig. 8) — only this component's receive path is disturbed.
+  auto episode = std::make_shared<std::function<void()>>();
+  *episode = [this, component, mean_episode_gap, episode_len, drop_prob, rng,
+              episode, active] {
+    if (!*active) return;  // the connector was repaired
+    auto& node = system_.cluster().node(component);
+    node.faults().rx_drop_prob = drop_prob;
+    node.faults().rx_corrupt_prob = (1.0 - drop_prob);
+    sim_.schedule_after(episode_len, [&node] {
+      node.faults().rx_drop_prob = 0.0;
+      node.faults().rx_corrupt_prob = 0.0;
+    }, sim::EventPriority::kFault);
+
+    const double gap_ns = rng->exponential(
+        1.0 / static_cast<double>(mean_episode_gap.ns()));
+    sim_.schedule_after(episode_len + sim::Duration{static_cast<std::int64_t>(gap_ns)},
+                        *episode, sim::EventPriority::kFault);
+  };
+  sim_.schedule_at(start, *episode, sim::EventPriority::kFault);
+
+  InjectedFault f;
+  f.cls = FaultClass::kComponentBorderline;
+  f.persistence = Persistence::kIntermittent;
+  f.component = component;
+  f.start = start;
+  f.description = "connector fault (intermittent contact)";
+  f.active = std::move(active);
+  return record(f);
+}
+
+FaultId FaultInjector::inject_wearout(platform::ComponentId component,
+                                      sim::SimTime start,
+                                      sim::Duration initial_gap,
+                                      double gap_shrink,
+                                      sim::Duration episode_len) {
+  auto gap = std::make_shared<double>(static_cast<double>(initial_gap.ns()));
+  auto active = std::make_shared<bool>(true);
+  auto episode = std::make_shared<std::function<void()>>();
+  *episode = [this, component, gap, gap_shrink, episode_len, episode, active] {
+    if (!*active) return;  // the cracked board was replaced
+    auto& node = system_.cluster().node(component);
+    node.faults().tx_corrupt_prob = 1.0;
+    sim_.schedule_after(episode_len, [&node] {
+      node.faults().tx_corrupt_prob = 0.0;
+    }, sim::EventPriority::kFault);
+
+    *gap *= gap_shrink;  // increasing frequency as time progresses (Fig. 8)
+    const auto next = sim::Duration{static_cast<std::int64_t>(*gap)} + episode_len;
+    sim_.schedule_after(next, *episode, sim::EventPriority::kFault);
+  };
+  sim_.schedule_at(start, *episode, sim::EventPriority::kFault);
+
+  InjectedFault f;
+  f.cls = FaultClass::kComponentInternal;
+  f.persistence = Persistence::kIntermittent;
+  f.component = component;
+  f.start = start;
+  f.description = "wearout (PCB crack, rising transient rate)";
+  f.active = std::move(active);
+  return record(f);
+}
+
+FaultId FaultInjector::inject_permanent_failure(platform::ComponentId component,
+                                                sim::SimTime start) {
+  sim_.schedule_at(start, [this, component] {
+    system_.cluster().node(component).faults().fail_silent = true;
+  }, sim::EventPriority::kFault);
+
+  InjectedFault f;
+  f.cls = FaultClass::kComponentInternal;
+  f.persistence = Persistence::kPermanent;
+  f.component = component;
+  f.start = start;
+  f.description = "permanent hardware failure (fail-silent)";
+  return record(f);
+}
+
+FaultId FaultInjector::inject_quartz_fault(platform::ComponentId component,
+                                           sim::SimTime start,
+                                           double drift_ppm) {
+  sim_.schedule_at(start, [this, component, drift_ppm] {
+    system_.cluster().node(component).clock().set_drift_ppm(drift_ppm);
+  }, sim::EventPriority::kFault);
+
+  InjectedFault f;
+  f.cls = FaultClass::kComponentInternal;
+  f.persistence = Persistence::kPermanent;
+  f.component = component;
+  f.start = start;
+  f.description = "quartz defect (" + std::to_string(drift_ppm) + " ppm)";
+  return record(f);
+}
+
+FaultId FaultInjector::inject_transient_outage(platform::ComponentId component,
+                                               sim::SimTime start,
+                                               sim::Duration duration) {
+  sim_.schedule_at(start, [this, component, duration] {
+    auto& node = system_.cluster().node(component);
+    node.faults().fail_silent = true;
+    sim_.schedule_after(duration, [&node] { node.faults().fail_silent = false; },
+                        sim::EventPriority::kFault);
+  }, sim::EventPriority::kFault);
+
+  InjectedFault f;
+  f.cls = FaultClass::kComponentExternal;
+  f.persistence = Persistence::kTransient;
+  f.component = component;
+  f.start = start;
+  f.duration = duration;
+  f.description =
+      "transient outage (" + std::to_string(duration.ms()) + " ms)";
+  return record(f);
+}
+
+FaultId FaultInjector::inject_babbling(platform::ComponentId component,
+                                       sim::SimTime start,
+                                       sim::Duration duration,
+                                       sim::Duration mean_attempt_gap) {
+  auto rng = std::make_shared<sim::Rng>(
+      sim_.fork_rng("babble." + std::to_string(component)));
+  const sim::SimTime end = start + duration;
+  auto attempt = std::make_shared<std::function<void()>>();
+  *attempt = [this, component, mean_attempt_gap, rng, end, attempt] {
+    if (sim_.now() >= end) return;
+    system_.cluster().node(component).attempt_transmit_now();
+    const double gap_ns = rng->exponential(
+        1.0 / static_cast<double>(mean_attempt_gap.ns()));
+    sim_.schedule_after(sim::Duration{static_cast<std::int64_t>(gap_ns)},
+                        *attempt, sim::EventPriority::kFault);
+  };
+  sim_.schedule_at(start, *attempt, sim::EventPriority::kFault);
+
+  InjectedFault f;
+  f.cls = FaultClass::kComponentInternal;
+  f.persistence = Persistence::kPermanent;
+  f.component = component;
+  f.start = start;
+  f.duration = duration;
+  f.description = "babbling idiot (random-instant transmissions)";
+  return record(f);
+}
+
+FaultId FaultInjector::inject_brownout(platform::ComponentId component,
+                                       sim::SimTime start,
+                                       sim::Duration outage,
+                                       sim::Duration uptime) {
+  auto active = std::make_shared<bool>(true);
+  auto cycle = std::make_shared<std::function<void()>>();
+  *cycle = [this, component, outage, uptime, cycle, active] {
+    if (!*active) return;  // the supply was repaired
+    auto& node = system_.cluster().node(component);
+    node.faults().fail_silent = true;
+    sim_.schedule_after(outage, [&node] { node.faults().fail_silent = false; },
+                        sim::EventPriority::kFault);
+    sim_.schedule_after(outage + uptime, *cycle, sim::EventPriority::kFault);
+  };
+  sim_.schedule_at(start, *cycle, sim::EventPriority::kFault);
+
+  InjectedFault f;
+  f.cls = FaultClass::kComponentInternal;
+  f.persistence = Persistence::kIntermittent;
+  f.component = component;
+  f.start = start;
+  f.description = "power-supply brownout (cyclic resets)";
+  f.active = std::move(active);
+  return record(f);
+}
+
+FaultId FaultInjector::inject_config_fault(platform::VnetId vnet,
+                                           sim::SimTime start,
+                                           std::uint16_t wrong_budget,
+                                           std::uint16_t wrong_depth) {
+  sim_.schedule_at(start, [this, vnet, wrong_budget, wrong_depth] {
+    auto& cfg = system_.plan().mutable_vnet(vnet);
+    cfg.msgs_per_round_per_node = wrong_budget;
+    cfg.queue_depth = wrong_depth;
+  }, sim::EventPriority::kFault);
+
+  // Attribute the configuration fault to the first sender job of the vnet
+  // (its ports are the ones whose queues overflow).
+  InjectedFault f;
+  f.cls = FaultClass::kJobBorderline;
+  f.persistence = Persistence::kPermanent;
+  for (const auto& pc : system_.plan().ports()) {
+    if (pc.vnet == vnet) {
+      f.job = pc.owner;
+      f.component = system_.job(pc.owner).host();
+      break;
+    }
+  }
+  f.start = start;
+  f.description = "vnet misconfiguration (budget=" +
+                  std::to_string(wrong_budget) + ", depth=" +
+                  std::to_string(wrong_depth) + ")";
+  return record(f);
+}
+
+FaultId FaultInjector::inject_heisenbug(platform::JobId job, sim::SimTime start,
+                                        double prob, double value_error) {
+  sim_.schedule_at(start, [this, job, prob, value_error] {
+    auto& sw = system_.job(job).sw_faults();
+    sw.heisenbug_prob = prob;
+    sw.manifestation = platform::SoftwareFaultControls::Manifestation::kValueError;
+    sw.value_error = value_error;
+  }, sim::EventPriority::kFault);
+
+  InjectedFault f;
+  f.cls = FaultClass::kJobInherentSoftware;
+  f.persistence = Persistence::kIntermittent;
+  f.job = job;
+  f.component = system_.job(job).host();
+  f.start = start;
+  f.description = "Heisenbug (p=" + std::to_string(prob) + ")";
+  return record(f);
+}
+
+FaultId FaultInjector::inject_bohrbug(platform::JobId job, sim::SimTime start,
+                                      std::uint64_t modulo, std::uint64_t phase) {
+  sim_.schedule_at(start, [this, job, modulo, phase] {
+    auto& sw = system_.job(job).sw_faults();
+    sw.bohrbug_trigger = [modulo, phase](tta::RoundId r,
+                                         const std::vector<vnet::Message>&) {
+      return (r % modulo) == phase;
+    };
+    sw.manifestation = platform::SoftwareFaultControls::Manifestation::kValueError;
+  }, sim::EventPriority::kFault);
+
+  InjectedFault f;
+  f.cls = FaultClass::kJobInherentSoftware;
+  f.persistence = Persistence::kIntermittent;
+  f.job = job;
+  f.component = system_.job(job).host();
+  f.start = start;
+  f.description = "Bohrbug (round % " + std::to_string(modulo) + " == " +
+                  std::to_string(phase) + ")";
+  return record(f);
+}
+
+FaultId FaultInjector::inject_software_crash(platform::JobId job,
+                                             sim::SimTime start) {
+  sim_.schedule_at(start, [this, job] {
+    system_.job(job).sw_faults().crashed = true;
+  }, sim::EventPriority::kFault);
+
+  InjectedFault f;
+  f.cls = FaultClass::kJobInherentSoftware;
+  f.persistence = Persistence::kPermanent;
+  f.job = job;
+  f.component = system_.job(job).host();
+  f.start = start;
+  f.description = "software crash (job halted)";
+  return record(f);
+}
+
+FaultId FaultInjector::inject_sensor_fault(platform::JobId job,
+                                           std::size_t sensor_index,
+                                           platform::SensorFaultMode mode,
+                                           sim::SimTime start) {
+  sim_.schedule_at(start, [this, job, sensor_index, mode] {
+    system_.job(job).sensor(sensor_index).set_fault(mode, sim_.now());
+  }, sim::EventPriority::kFault);
+
+  InjectedFault f;
+  f.cls = FaultClass::kJobInherentTransducer;
+  f.persistence = Persistence::kPermanent;
+  f.job = job;
+  f.component = system_.job(job).host();
+  f.start = start;
+  f.description = std::string("sensor fault (") + to_string(mode) + ")";
+  return record(f);
+}
+
+void FaultInjector::repair_component(platform::ComponentId c) {
+  for (auto& f : ledger_) {
+    if (!f.job.has_value() && f.component == c) *f.active = false;
+  }
+}
+
+void FaultInjector::repair_job(platform::JobId j) {
+  for (auto& f : ledger_) {
+    if (f.job.has_value() && *f.job == j) *f.active = false;
+  }
+}
+
+FaultId FaultInjector::inject_actuator_fault(platform::JobId job,
+                                             std::size_t actuator_index,
+                                             platform::ActuatorFaultMode mode,
+                                             sim::SimTime start) {
+  sim_.schedule_at(start, [this, job, actuator_index, mode] {
+    system_.job(job).actuator(actuator_index).set_fault(mode);
+  }, sim::EventPriority::kFault);
+
+  InjectedFault f;
+  f.cls = FaultClass::kJobInherentTransducer;
+  f.persistence = Persistence::kPermanent;
+  f.job = job;
+  f.component = system_.job(job).host();
+  f.start = start;
+  f.description = std::string("actuator fault (") + to_string(mode) + ")";
+  return record(f);
+}
+
+FaultClass FaultInjector::truth_for_component(platform::ComponentId c) const {
+  // Component-level truth: the most replacement-relevant class wins if
+  // several faults touch the same FRU (internal > borderline > external).
+  FaultClass best = FaultClass::kNone;
+  auto rank = [](FaultClass fc) {
+    switch (fc) {
+      case FaultClass::kComponentInternal: return 3;
+      case FaultClass::kComponentBorderline: return 2;
+      case FaultClass::kComponentExternal: return 1;
+      default: return 0;
+    }
+  };
+  for (const auto& f : ledger_) {
+    if (f.job.has_value()) continue;  // job-level faults judged per job
+    const bool touches =
+        f.component == c ||
+        std::find(f.affected.begin(), f.affected.end(), c) != f.affected.end();
+    if (!touches) continue;
+    if (rank(f.cls) > rank(best)) best = f.cls;
+  }
+  return best;
+}
+
+FaultClass FaultInjector::truth_for_job(platform::JobId j) const {
+  FaultClass best = FaultClass::kNone;
+  auto rank = [](FaultClass fc) {
+    switch (fc) {
+      case FaultClass::kJobInherentSoftware: return 3;
+      case FaultClass::kJobInherentTransducer: return 3;
+      case FaultClass::kJobBorderline: return 2;
+      default: return 0;
+    }
+  };
+  for (const auto& f : ledger_) {
+    if (!f.job.has_value() || *f.job != j) continue;
+    if (rank(f.cls) > rank(best)) best = f.cls;
+  }
+  return best;
+}
+
+}  // namespace decos::fault

@@ -1,0 +1,70 @@
+#include "platform/component.hpp"
+
+#include <cassert>
+
+namespace decos::platform {
+
+Component::Component(sim::Simulator& sim, tta::TtaNode& node,
+                     const vnet::NetworkPlan& plan)
+    : sim_(sim), node_(node), plan_(plan), mux_(plan, node.node_id()) {}
+
+void Component::host(Job& job) {
+  assert(job.host() == id() && "job host mismatch");
+  jobs_.emplace(job.id(), &job);
+}
+
+void Component::host_port(PortId port) { mux_.host_port(port); }
+
+void Component::bind() {
+  node_.payload_provider = [this](tta::RoundId round) {
+    return build_payload(round);
+  };
+  node_.delivery_handler = [this](tta::NodeId, const std::vector<std::uint8_t>& payload,
+                                  tta::RoundId) {
+    for (const vnet::Message& m : mux_.unpack_arrival(payload)) {
+      route_local(m);
+    }
+  };
+}
+
+std::vector<std::uint8_t> Component::build_payload(tta::RoundId round) {
+  // Application layer first: dispatch partitions scheduled this round.
+  const sim::SimTime now = sim_.now();
+  for (auto& [jid, job] : jobs_) {
+    if (!job->scheduled_in(round)) continue;
+    job->dispatch(
+        round, now,
+        [this, round](PortId port, double value, std::uint8_t kind,
+                      std::uint32_t aux) {
+          vnet::Message msg;
+          msg.port = port;
+          msg.value = value;
+          msg.kind = kind;
+          msg.aux = aux;
+          return mux_.send(msg, round);
+        },
+        [this, round, jid = jid](double magnitude) {
+          if (on_transducer_anomaly) {
+            on_transducer_anomaly(jid, magnitude, round);
+          }
+        });
+  }
+
+  // Then the encapsulation service: drain under the vnet budgets.
+  const auto msgs = mux_.drain_messages(round);
+  for (const vnet::Message& m : msgs) {
+    if (on_message_sent) on_message_sent(m, round);
+    route_local(m);  // loopback for co-hosted subscribers (no self-reception)
+  }
+  return vnet::pack(msgs, round);
+}
+
+void Component::route_local(const vnet::Message& msg) {
+  const vnet::PortConfig& pc = plan_.port(msg.port);
+  for (JobId receiver : pc.receivers) {
+    auto it = jobs_.find(receiver);
+    if (it != jobs_.end()) it->second->deliver(msg);
+  }
+}
+
+}  // namespace decos::platform

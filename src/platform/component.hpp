@@ -1,0 +1,72 @@
+// The DECOS component (Fig. 2) — the paper's FCR/FRU for hardware faults.
+//
+// A component couples one TTA communication controller (the node) with an
+// application layer hosting jobs of several DASs in separate partitions.
+// The component implements the encapsulation glue: at its TDMA send
+// instant it dispatches the jobs scheduled this round, drains their port
+// queues through the multiplexer under the vnets' bandwidth budgets, packs
+// the result into the frame, and loops drained messages back to local
+// subscribers; on frame arrival it routes records to hosted receiver jobs.
+//
+// Because every hosted job shares this node's physical resources, a
+// component-internal hardware fault disturbs *all* of them at once — the
+// correlation signature Fig. 10's judgement relies on.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "platform/job.hpp"
+#include "platform/types.hpp"
+#include "sim/simulator.hpp"
+#include "tta/node.hpp"
+#include "vnet/multiplexer.hpp"
+#include "vnet/network_plan.hpp"
+
+namespace decos::platform {
+
+class Component {
+ public:
+  Component(sim::Simulator& sim, tta::TtaNode& node,
+            const vnet::NetworkPlan& plan);
+
+  /// Registers a job as hosted here (its partition). Jobs dispatch in
+  /// ascending JobId order within a round.
+  void host(Job& job);
+
+  /// Declares an output port whose owner job runs here.
+  void host_port(PortId port);
+
+  /// Installs the node callbacks. Call once after all hosting is done.
+  void bind();
+
+  [[nodiscard]] ComponentId id() const { return node_.node_id(); }
+  [[nodiscard]] tta::TtaNode& node() { return node_; }
+  [[nodiscard]] vnet::Multiplexer& mux() { return mux_; }
+  [[nodiscard]] const std::map<JobId, Job*>& hosted_jobs() const {
+    return jobs_;
+  }
+
+  /// Sender-side LIF observation hook: every message this component put
+  /// on the (virtual) wire this round. The local diagnostic agent
+  /// subscribes here.
+  std::function<void(const vnet::Message&, tta::RoundId)> on_message_sent;
+
+  /// Model-based application assertions raised by hosted jobs
+  /// (JobContext::report_transducer_anomaly). The local diagnostic agent
+  /// subscribes here.
+  std::function<void(JobId, double, tta::RoundId)> on_transducer_anomaly;
+
+ private:
+  std::vector<std::uint8_t> build_payload(tta::RoundId round);
+  void route_local(const vnet::Message& msg);
+
+  sim::Simulator& sim_;
+  tta::TtaNode& node_;
+  const vnet::NetworkPlan& plan_;
+  vnet::Multiplexer mux_;
+  std::map<JobId, Job*> jobs_;  // ordered: deterministic dispatch order
+};
+
+}  // namespace decos::platform

@@ -1,0 +1,122 @@
+// The controlled object and the actuator side of the transducer story.
+//
+// Sensors alone only cover half of the paper's job-inherent transducer
+// class: an actuator fault is invisible at the actuator itself and
+// manifests only through the *physics* — the controlled object stops
+// following its commands, and some sensor (possibly owned by a different
+// job) reports the deviation. The ControlledObject is a first-order lag
+// plant advanced lazily on the simulation clock; the Actuator applies its
+// fault transform to every command before it reaches the plant.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace decos::platform {
+
+/// First-order plant: dx/dt = (u - x) / tau (+ process noise).
+class ControlledObject {
+ public:
+  struct Params {
+    std::string name = "plant";
+    double time_constant_sec = 0.5;
+    double initial = 0.0;
+    double noise_stddev = 0.0;  // per advance step
+  };
+
+  ControlledObject(Params p, sim::Rng rng)
+      : p_(p), rng_(rng), state_(p.initial) {}
+
+  /// Sets the held input (actuator output) effective from `now`.
+  void set_input(double u, sim::SimTime now) {
+    advance(now);
+    input_ = u;
+  }
+
+  /// Current plant state at `now`.
+  [[nodiscard]] double state(sim::SimTime now) {
+    advance(now);
+    return state_;
+  }
+
+  [[nodiscard]] const std::string& name() const { return p_.name; }
+
+ private:
+  void advance(sim::SimTime now) {
+    if (now <= last_) return;
+    const double dt = (now - last_).sec();
+    last_ = now;
+    const double alpha = 1.0 - std::exp(-dt / p_.time_constant_sec);
+    state_ += (input_ - state_) * alpha;
+    if (p_.noise_stddev > 0.0) state_ += rng_.normal(0.0, p_.noise_stddev);
+  }
+
+  Params p_;
+  sim::Rng rng_;
+  double state_;
+  double input_ = 0.0;
+  sim::SimTime last_{};
+};
+
+enum class ActuatorFaultMode : std::uint8_t {
+  kHealthy,
+  kStuck,   // output frozen at the last healthy command
+  kOffset,  // constant bias added to every command
+  kDead,    // output drops to zero regardless of command
+};
+
+[[nodiscard]] constexpr const char* to_string(ActuatorFaultMode m) {
+  switch (m) {
+    case ActuatorFaultMode::kHealthy: return "healthy";
+    case ActuatorFaultMode::kStuck: return "stuck";
+    case ActuatorFaultMode::kOffset: return "offset";
+    case ActuatorFaultMode::kDead: return "dead";
+  }
+  return "?";
+}
+
+class Actuator {
+ public:
+  struct Params {
+    std::string name = "actuator";
+    double offset_bias = 5.0;
+  };
+
+  Actuator(Params p, ControlledObject& plant) : p_(p), plant_(plant) {}
+
+  /// Drives the plant with `u`, subject to the active fault mode.
+  void command(double u, sim::SimTime now) {
+    switch (mode_) {
+      case ActuatorFaultMode::kHealthy:
+        last_healthy_ = u;
+        plant_.set_input(u, now);
+        break;
+      case ActuatorFaultMode::kStuck:
+        plant_.set_input(last_healthy_, now);
+        break;
+      case ActuatorFaultMode::kOffset:
+        plant_.set_input(u + p_.offset_bias, now);
+        break;
+      case ActuatorFaultMode::kDead:
+        plant_.set_input(0.0, now);
+        break;
+    }
+  }
+
+  void set_fault(ActuatorFaultMode mode) { mode_ = mode; }
+  [[nodiscard]] ActuatorFaultMode fault() const { return mode_; }
+  [[nodiscard]] const std::string& name() const { return p_.name; }
+  [[nodiscard]] ControlledObject& plant() { return plant_; }
+
+ private:
+  Params p_;
+  ControlledObject& plant_;
+  ActuatorFaultMode mode_ = ActuatorFaultMode::kHealthy;
+  double last_healthy_ = 0.0;
+};
+
+}  // namespace decos::platform

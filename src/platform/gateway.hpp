@@ -1,0 +1,41 @@
+// Hidden gateways (Fig. 1): interconnect two DASs "to improve quality of
+// service and eliminate resource duplication". A gateway is an ordinary
+// job subscribed to ports of one virtual network that republishes selected
+// messages on its own port of another virtual network — hidden because
+// neither DAS's jobs can tell a gatewayed message from a native one.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "platform/job.hpp"
+
+namespace decos::platform {
+
+struct GatewayOptions {
+  /// Optional value transformation (unit conversion, rescaling).
+  std::function<double(double)> transform;
+  /// Forward only messages whose kind matches (255 = all).
+  std::uint8_t kind_filter = 255;
+  /// Downsampling: forward every Nth message (1 = all).
+  std::uint32_t decimation = 1;
+};
+
+/// Builds the gateway behaviour: every dispatch, the inbox (messages from
+/// the source vnet's ports this job subscribes to) is filtered,
+/// transformed and republished on `out_port`. The PortId is captured
+/// through a shared slot because ports are created after jobs.
+[[nodiscard]] inline Job::Behavior make_gateway(
+    std::shared_ptr<PortId> out_port, GatewayOptions opts = {}) {
+  auto counter = std::make_shared<std::uint32_t>(0);
+  return [out_port, opts = std::move(opts), counter](JobContext& ctx) {
+    for (const auto& m : ctx.inbox()) {
+      if (opts.kind_filter != 255 && m.kind != opts.kind_filter) continue;
+      if (opts.decimation > 1 && (++*counter % opts.decimation) != 0) continue;
+      const double v = opts.transform ? opts.transform(m.value) : m.value;
+      ctx.send(*out_port, v, m.kind);
+    }
+  };
+}
+
+}  // namespace decos::platform

@@ -1,0 +1,69 @@
+#include "platform/job.hpp"
+
+#include <utility>
+
+namespace decos::platform {
+
+Sensor& JobContext::sensor(std::size_t i) { return job_.sensor(i); }
+
+Actuator& JobContext::actuator(std::size_t i) { return job_.actuator(i); }
+
+Job::Job(Params p, Behavior behavior, sim::Rng rng)
+    : p_(std::move(p)), behavior_(std::move(behavior)), rng_(rng) {}
+
+Sensor& Job::add_sensor(Sensor::Params sp) {
+  sensors_.push_back(std::make_unique<Sensor>(
+      std::move(sp), rng_.fork("sensor." + std::to_string(sensors_.size()))));
+  return *sensors_.back();
+}
+
+Actuator& Job::add_actuator(Actuator::Params ap, ControlledObject& plant) {
+  actuators_.push_back(std::make_unique<Actuator>(std::move(ap), plant));
+  return *actuators_.back();
+}
+
+void Job::dispatch(tta::RoundId round, sim::SimTime now,
+                   std::function<bool(PortId, double, std::uint8_t, std::uint32_t)> send_fn,
+                   std::function<void(double)> anomaly_fn) {
+  if (sw_faults_.crashed) {
+    inbox_.clear();
+    return;
+  }
+
+  // Decide whether this dispatch misbehaves (Heisenbug stochastically,
+  // Bohrbug deterministically on its trigger condition).
+  bool misbehave = false;
+  if (sw_faults_.heisenbug_prob > 0.0 && rng_.bernoulli(sw_faults_.heisenbug_prob)) {
+    misbehave = true;
+  }
+  if (sw_faults_.bohrbug_trigger && sw_faults_.bohrbug_trigger(round, inbox_)) {
+    misbehave = true;
+  }
+
+  using M = SoftwareFaultControls::Manifestation;
+  if (misbehave && sw_faults_.manifestation == M::kCrash) {
+    sw_faults_.crashed = true;
+    inbox_.clear();
+    return;
+  }
+  if (misbehave && sw_faults_.manifestation == M::kSkipDispatch) {
+    inbox_.clear();
+    return;
+  }
+
+  const bool corrupt_values =
+      misbehave && sw_faults_.manifestation == M::kValueError;
+
+  auto wrapped_send = [&](PortId port, double value, std::uint8_t kind,
+                          std::uint32_t aux) {
+    if (corrupt_values) value += sw_faults_.value_error;
+    return send_fn(port, value, kind, aux);
+  };
+
+  JobContext ctx(*this, round, now, std::exchange(inbox_, {}), wrapped_send,
+                 std::move(anomaly_fn));
+  ++dispatches_;
+  if (behavior_) behavior_(ctx);
+}
+
+}  // namespace decos::platform

@@ -1,0 +1,163 @@
+// Jobs — the paper's FCR/FRU for software faults.
+//
+// A job is dispatched in its partition once per dispatch period (in TDMA
+// rounds), reads its sensors, consumes messages delivered to it since the
+// last dispatch, and emits messages on its output ports. Everything a job
+// does is visible only at its ports — the Linking Interface — which is the
+// observability assumption the whole diagnostic architecture rests on.
+//
+// Software faults are modelled at dispatch time: Heisenbugs as stochastic
+// misbehaviour (skip, crash, value error), Bohrbugs as a deterministic
+// trigger predicate. The fault injector owns these controls.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "platform/controlled_object.hpp"
+#include "platform/transducer.hpp"
+#include "platform/types.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+#include "tta/types.hpp"
+#include "vnet/message.hpp"
+
+namespace decos::platform {
+
+class Job;
+
+/// Execution context handed to the job's behaviour at each dispatch.
+class JobContext {
+ public:
+  JobContext(Job& job, tta::RoundId round, sim::SimTime now,
+             std::vector<vnet::Message> inbox,
+             std::function<bool(PortId, double, std::uint8_t, std::uint32_t)> send_fn,
+             std::function<void(double)> anomaly_fn = {})
+      : job_(job), round_(round), now_(now), inbox_(std::move(inbox)),
+        send_fn_(std::move(send_fn)), anomaly_fn_(std::move(anomaly_fn)) {}
+
+  [[nodiscard]] tta::RoundId round() const { return round_; }
+  [[nodiscard]] sim::SimTime now() const { return now_; }
+  [[nodiscard]] const std::vector<vnet::Message>& inbox() const { return inbox_; }
+
+  /// Emits a message on one of the job's output ports.
+  /// Returns false on queue overflow.
+  bool send(PortId port, double value, std::uint8_t kind = 0,
+            std::uint32_t aux = 0) {
+    return send_fn_(port, value, kind, aux);
+  }
+
+  /// Model-based application assertion (Section IV-B.1): the job's own
+  /// plausibility model found its transducer implausible. This is the
+  /// "job internal information" that lets the diagnosis tell transducer
+  /// faults from software faults — neither is distinguishable from the
+  /// interface state alone.
+  void report_transducer_anomaly(double magnitude) {
+    if (anomaly_fn_) anomaly_fn_(magnitude);
+  }
+
+  [[nodiscard]] Job& job() { return job_; }
+  [[nodiscard]] Sensor& sensor(std::size_t i);
+  [[nodiscard]] Actuator& actuator(std::size_t i);
+
+ private:
+  Job& job_;
+  tta::RoundId round_;
+  sim::SimTime now_;
+  std::vector<vnet::Message> inbox_;
+  std::function<bool(PortId, double, std::uint8_t, std::uint32_t)> send_fn_;
+  std::function<void(double)> anomaly_fn_;
+};
+
+/// Software fault controls of one job (set by the fault injector).
+struct SoftwareFaultControls {
+  /// Permanent crash: job stops being dispatched until update/restart.
+  bool crashed = false;
+  /// Heisenbug: per-dispatch probability of transiently misbehaving.
+  double heisenbug_prob = 0.0;
+  /// Bohrbug: deterministic trigger; when it returns true the dispatch
+  /// misbehaves (same manifestations as the Heisenbug).
+  std::function<bool(tta::RoundId, const std::vector<vnet::Message>&)>
+      bohrbug_trigger;
+  /// What a misbehaving dispatch does.
+  enum class Manifestation : std::uint8_t {
+    kSkipDispatch,   // no outputs this dispatch (timing/omission failure)
+    kValueError,     // outputs corrupted by value_error magnitude
+    kCrash,          // job crashes permanently
+  } manifestation = Manifestation::kValueError;
+  double value_error = 50.0;
+};
+
+class Job {
+ public:
+  using Behavior = std::function<void(JobContext&)>;
+
+  struct Params {
+    JobId id = 0;
+    std::string name;
+    DasId das = 0;
+    Criticality criticality = Criticality::kNonSafetyCritical;
+    ComponentId host = 0;
+    /// Dispatch period in TDMA rounds (1 = every round).
+    std::uint32_t period_rounds = 1;
+    std::uint32_t phase_rounds = 0;
+  };
+
+  Job(Params p, Behavior behavior, sim::Rng rng);
+
+  [[nodiscard]] JobId id() const { return p_.id; }
+  [[nodiscard]] const std::string& name() const { return p_.name; }
+  [[nodiscard]] DasId das() const { return p_.das; }
+  [[nodiscard]] Criticality criticality() const { return p_.criticality; }
+  [[nodiscard]] ComponentId host() const { return p_.host; }
+
+  [[nodiscard]] bool scheduled_in(tta::RoundId round) const {
+    return (round % p_.period_rounds) == p_.phase_rounds % p_.period_rounds;
+  }
+
+  /// Message arrival from the vnet layer (buffered until next dispatch).
+  void deliver(const vnet::Message& msg) { inbox_.push_back(msg); }
+
+  /// Runs one dispatch (called by the component when scheduled). The
+  /// send_fn routes to the component's multiplexer; sends may be mutated
+  /// here by active software faults before they reach the port.
+  void dispatch(tta::RoundId round, sim::SimTime now,
+                std::function<bool(PortId, double, std::uint8_t, std::uint32_t)> send_fn,
+                std::function<void(double)> anomaly_fn = {});
+
+  /// Software update / restart: clears the crashed flag (the maintenance
+  /// action for an identified software fault).
+  void software_update() { sw_faults_.crashed = false; }
+
+  Sensor& add_sensor(Sensor::Params sp);
+  [[nodiscard]] std::size_t sensor_count() const { return sensors_.size(); }
+  [[nodiscard]] Sensor& sensor(std::size_t i) { return *sensors_.at(i); }
+
+  /// Attaches an actuator driving `plant` (exclusive access per the DECOS
+  /// model; the plant itself is owned by the scenario's physical world).
+  Actuator& add_actuator(Actuator::Params ap, ControlledObject& plant);
+  [[nodiscard]] std::size_t actuator_count() const { return actuators_.size(); }
+  [[nodiscard]] Actuator& actuator(std::size_t i) { return *actuators_.at(i); }
+
+  SoftwareFaultControls& sw_faults() { return sw_faults_; }
+  [[nodiscard]] const SoftwareFaultControls& sw_faults() const {
+    return sw_faults_;
+  }
+
+  [[nodiscard]] std::uint64_t dispatches() const { return dispatches_; }
+
+ private:
+  Params p_;
+  Behavior behavior_;
+  sim::Rng rng_;
+  SoftwareFaultControls sw_faults_{};
+  std::vector<std::unique_ptr<Sensor>> sensors_;
+  std::vector<std::unique_ptr<Actuator>> actuators_;
+  std::vector<vnet::Message> inbox_;
+  std::uint64_t dispatches_ = 0;
+};
+
+}  // namespace decos::platform

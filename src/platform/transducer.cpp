@@ -1,0 +1,63 @@
+#include "platform/transducer.hpp"
+
+#include <cmath>
+
+namespace decos::platform {
+
+const char* to_string(SensorFaultMode m) {
+  switch (m) {
+    case SensorFaultMode::kHealthy: return "healthy";
+    case SensorFaultMode::kStuck: return "stuck";
+    case SensorFaultMode::kOffset: return "offset";
+    case SensorFaultMode::kDrift: return "drift";
+    case SensorFaultMode::kNoisy: return "noisy";
+  }
+  return "?";
+}
+
+Sensor::Sensor(Params p, sim::Rng rng) : p_(std::move(p)), rng_(rng) {
+  if (!p_.signal) p_.signal = constant_signal(0.0);
+}
+
+double Sensor::truth(sim::SimTime now) const { return p_.signal(now); }
+
+double Sensor::read(sim::SimTime now) {
+  const double base = truth(now);
+  switch (mode_) {
+    case SensorFaultMode::kHealthy: {
+      const double v = base + rng_.normal(0.0, p_.noise_stddev);
+      last_healthy_ = v;
+      return v;
+    }
+    case SensorFaultMode::kStuck:
+      return last_healthy_;
+    case SensorFaultMode::kOffset:
+      return base + p_.offset_bias + rng_.normal(0.0, p_.noise_stddev);
+    case SensorFaultMode::kDrift: {
+      const double hrs = (now - fault_since_).hours();
+      return base + p_.drift_rate_per_hour * hrs +
+             rng_.normal(0.0, p_.noise_stddev);
+    }
+    case SensorFaultMode::kNoisy:
+      return base + rng_.normal(0.0, p_.noisy_stddev);
+  }
+  return base;
+}
+
+void Sensor::set_fault(SensorFaultMode mode, sim::SimTime since) {
+  mode_ = mode;
+  fault_since_ = since;
+}
+
+std::function<double(sim::SimTime)> constant_signal(double v) {
+  return [v](sim::SimTime) { return v; };
+}
+
+std::function<double(sim::SimTime)> sine_signal(double amplitude,
+                                                double period_sec, double mean) {
+  return [=](sim::SimTime t) {
+    return mean + amplitude * std::sin(2.0 * 3.14159265358979 * t.sec() / period_sec);
+  };
+}
+
+}  // namespace decos::platform

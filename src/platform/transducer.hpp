@@ -1,0 +1,72 @@
+// Sensors and actuators (transducers) — the linkage between the computer
+// system and the controlled object. In the DECOS model each job has
+// exclusive access to its transducers, so a transducer fault manifests as
+// unspecified behaviour of exactly one job (a *job inherent* fault that is
+// indistinguishable from a software fault at the interface, Section III-D).
+//
+// The sensor produces a reading of a synthetic physical signal; its fault
+// mode distorts the reading the way real failure mechanisms do: stuck-at
+// (frozen), offset (calibration loss), drift (wearout — the paper's
+// "increasing deviation ... at the verge of becoming incorrect", Fig. 8),
+// or noise (intermittent contact).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace decos::platform {
+
+enum class SensorFaultMode : std::uint8_t {
+  kHealthy,
+  kStuck,    // output frozen at the last healthy reading
+  kOffset,   // constant bias added
+  kDrift,    // bias grows linearly with time (wearout signature)
+  kNoisy,    // heavy gaussian noise added
+};
+
+[[nodiscard]] const char* to_string(SensorFaultMode m);
+
+class Sensor {
+ public:
+  struct Params {
+    std::string name = "sensor";
+    /// Ground-truth signal as a function of time.
+    std::function<double(sim::SimTime)> signal;
+    /// Healthy measurement noise (stddev).
+    double noise_stddev = 0.01;
+    double offset_bias = 5.0;              // bias in kOffset mode
+    double drift_rate_per_hour = 1.0;      // bias growth in kDrift mode
+    double noisy_stddev = 3.0;             // stddev in kNoisy mode
+  };
+
+  Sensor(Params p, sim::Rng rng);
+
+  /// One reading at instant `now`.
+  [[nodiscard]] double read(sim::SimTime now);
+
+  /// Ground truth (for oracles/tests only — no job may call this).
+  [[nodiscard]] double truth(sim::SimTime now) const;
+
+  void set_fault(SensorFaultMode mode, sim::SimTime since);
+  [[nodiscard]] SensorFaultMode fault() const { return mode_; }
+  [[nodiscard]] const std::string& name() const { return p_.name; }
+
+ private:
+  Params p_;
+  sim::Rng rng_;
+  SensorFaultMode mode_ = SensorFaultMode::kHealthy;
+  sim::SimTime fault_since_{};
+  double last_healthy_ = 0.0;
+};
+
+/// Standard test signals.
+[[nodiscard]] std::function<double(sim::SimTime)> constant_signal(double v);
+[[nodiscard]] std::function<double(sim::SimTime)> sine_signal(double amplitude,
+                                                              double period_sec,
+                                                              double mean = 0.0);
+
+}  // namespace decos::platform

@@ -1,0 +1,38 @@
+// Identifiers and enums of the DECOS platform layer (Fig. 1 / Fig. 2).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "tta/types.hpp"
+
+namespace decos::platform {
+
+/// Component id == the TTA node id of its communication controller.
+using ComponentId = tta::NodeId;
+
+/// Distributed Application Subsystem id, dense from 0.
+using DasId = std::uint16_t;
+
+/// Job id, globally unique and dense from 0 across the whole system.
+using JobId = std::uint16_t;
+inline constexpr JobId kInvalidJob = std::numeric_limits<JobId>::max();
+
+/// Port id, globally unique and dense from 0.
+using PortId = std::uint16_t;
+
+/// Virtual network id, dense from 0. Vnet 0 is reserved for the virtual
+/// diagnostic network (Section II-D).
+using VnetId = std::uint16_t;
+inline constexpr VnetId kDiagnosticVnet = 0;
+
+enum class Criticality : std::uint8_t {
+  kSafetyCritical,
+  kNonSafetyCritical,
+};
+
+[[nodiscard]] constexpr const char* to_string(Criticality c) {
+  return c == Criticality::kSafetyCritical ? "SC" : "non-SC";
+}
+
+}  // namespace decos::platform

@@ -1,0 +1,27 @@
+#include "reliability/alpha_count.hpp"
+
+#include <cassert>
+
+namespace decos::reliability {
+
+void WindowCount::observe(bool failed) {
+  assert(window_ <= 512);
+  const std::uint32_t pos = static_cast<std::uint32_t>(round_ % window_);
+  const std::uint32_t word = pos / 64, bit = pos % 64;
+  const std::uint64_t mask = std::uint64_t{1} << bit;
+
+  // Evict the observation that falls out of the window.
+  if (round_ >= window_ && (recent_bits_[word] & mask) != 0) {
+    --recent_count_;
+  }
+  if (failed) {
+    recent_bits_[word] |= mask;
+    ++recent_count_;
+  } else {
+    recent_bits_[word] &= ~mask;
+  }
+  ++round_;
+  if (recent_count_ >= k_) flagged_ = true;
+}
+
+}  // namespace decos::reliability

@@ -1,0 +1,67 @@
+// FIT-rate arithmetic.
+//
+// The paper states its fault-hypothesis rates in FIT (failures per 10^9
+// device-hours): ~100 FIT permanent, ~100 000 FIT transient. These helpers
+// keep the unit conversions in one place and strongly typed.
+#pragma once
+
+#include <cmath>
+
+#include "sim/time.hpp"
+
+namespace decos::reliability {
+
+/// Failure rate expressed in FIT = failures / 10^9 hours.
+class FitRate {
+ public:
+  constexpr FitRate() = default;
+  constexpr explicit FitRate(double fit) : fit_(fit) {}
+
+  [[nodiscard]] constexpr double fit() const { return fit_; }
+
+  /// Failures per hour.
+  [[nodiscard]] constexpr double per_hour() const { return fit_ * 1e-9; }
+
+  /// Failures per simulated nanosecond (the kernel's unit).
+  [[nodiscard]] constexpr double per_ns() const {
+    return per_hour() / 3.6e12;
+  }
+
+  /// Mean time to failure in hours. Returned as a double because low FIT
+  /// rates (100 FIT ~ 1141 years) exceed the +-292-year range of the
+  /// nanosecond Duration type.
+  [[nodiscard]] constexpr double mttf_hours() const { return 1.0 / per_hour(); }
+
+  /// Probability of at least one failure within `d` under an exponential
+  /// (constant-rate) model.
+  [[nodiscard]] double failure_probability(sim::Duration d) const {
+    return 1.0 - std::exp(-per_ns() * static_cast<double>(d.ns()));
+  }
+
+  constexpr FitRate operator+(FitRate o) const { return FitRate{fit_ + o.fit_}; }
+  constexpr FitRate operator*(double k) const { return FitRate{fit_ * k}; }
+  constexpr auto operator<=>(const FitRate&) const = default;
+
+ private:
+  double fit_ = 0.0;
+};
+
+/// Paper fault-hypothesis constants (Section III-E).
+namespace paper {
+/// Permanent hardware failure rate of a component FRU: ~100 FIT (~1000 yr).
+inline constexpr FitRate kPermanentHardware{100.0};
+/// Transient hardware failure rate of a component FRU: ~100 000 FIT (~1 yr).
+inline constexpr FitRate kTransientHardware{100'000.0};
+/// Duration of a transient hardware failure: tens of milliseconds (<50 ms).
+inline constexpr sim::Duration kTransientOutageMax = sim::milliseconds(50);
+/// Duration of a correlated EMI burst (ISO 7637): ~10 ms.
+inline constexpr sim::Duration kEmiBurstDuration = sim::milliseconds(10);
+/// OBD recording threshold for transient failures: 500 ms.
+inline constexpr sim::Duration kObdRecordThreshold = sim::milliseconds(500);
+/// Useful-life ECU field failure frequency: 50 per 1M ECUs per year.
+inline constexpr double kUsefulLifeFailuresPerMillionPerYear = 50.0;
+/// Average cost of a single LRU removal (USD), avionics (Section I).
+inline constexpr double kCostPerLruRemoval = 800.0;
+}  // namespace paper
+
+}  // namespace decos::reliability

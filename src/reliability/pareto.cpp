@@ -1,0 +1,80 @@
+#include "reliability/pareto.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace decos::reliability {
+namespace {
+
+// Head share of a Zipf law with exponent s over n items.
+double zipf_head_share(double s, std::size_t n, double fraction) {
+  const std::size_t head = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(fraction * static_cast<double>(n))));
+  double head_sum = 0.0, total = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    const double w = std::pow(static_cast<double>(i), -s);
+    total += w;
+    if (i <= head) head_sum += w;
+  }
+  return head_sum / total;
+}
+
+}  // namespace
+
+double ParetoAllocator::solve_exponent(std::size_t n) const {
+  // Bisection on s in [0, 6]: head share grows monotonically with s.
+  double lo = 0.0, hi = 6.0;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (zipf_head_share(mid, n, p_.head_fraction) < p_.head_mass) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+std::vector<double> ParetoAllocator::weights(std::size_t n) const {
+  assert(n > 0);
+  const double s = solve_exponent(n);
+  std::vector<double> w(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = std::pow(static_cast<double>(i + 1), -s);
+    total += w[i];
+  }
+  for (auto& v : w) v /= total;
+  return w;
+}
+
+std::vector<std::size_t> ParetoAllocator::allocate(std::size_t n,
+                                                   std::size_t total_faults,
+                                                   sim::Rng& rng) const {
+  if (n == 0) return {};
+  const auto w = weights(n);
+  std::vector<double> cdf(n);
+  std::partial_sum(w.begin(), w.end(), cdf.begin());
+  std::vector<std::size_t> counts(n, 0);
+  for (std::size_t f = 0; f < total_faults; ++f) {
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    const auto idx = static_cast<std::size_t>(it - cdf.begin());
+    ++counts[std::min(idx, n - 1)];
+  }
+  return counts;
+}
+
+double ParetoAllocator::head_share(const std::vector<double>& w, double fraction) {
+  if (w.empty()) return 0.0;
+  const std::size_t head = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(fraction * static_cast<double>(w.size()))));
+  const double total = std::accumulate(w.begin(), w.end(), 0.0);
+  const double head_sum = std::accumulate(w.begin(), w.begin() + static_cast<std::ptrdiff_t>(head), 0.0);
+  return total > 0.0 ? head_sum / total : 0.0;
+}
+
+}  // namespace decos::reliability

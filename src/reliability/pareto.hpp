@@ -1,0 +1,50 @@
+// The "20-80 rule" of software faults (Section IV-B.1, citing Fenton &
+// Ohlsson): a small minority of software modules causes the majority of
+// operational failures. ParetoAllocator distributes a total fault budget
+// over N modules so that the top `head_fraction` of modules receives
+// `head_mass` of the faults, following a truncated power law.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace decos::reliability {
+
+class ParetoAllocator {
+ public:
+  struct Params {
+    double head_fraction = 0.20;  // top 20% of modules ...
+    double head_mass = 0.80;      // ... carry 80% of the fault mass
+  };
+
+  ParetoAllocator() : ParetoAllocator(Params{}) {}
+  explicit ParetoAllocator(Params p) : p_(p) {}
+
+  /// Returns per-module fault weights (summing to 1) for `n` modules,
+  /// sorted descending. Uses a Zipf-like law with the exponent solved so
+  /// the head/mass constraint holds.
+  [[nodiscard]] std::vector<double> weights(std::size_t n) const;
+
+  /// Distributes `total_faults` faults over `n` modules by sampling the
+  /// weight distribution; returns per-module counts (index = module).
+  [[nodiscard]] std::vector<std::size_t> allocate(std::size_t n,
+                                                  std::size_t total_faults,
+                                                  sim::Rng& rng) const;
+
+  /// Fraction of mass carried by the top `fraction` of entries of `w`
+  /// (assumed sorted descending); used by tests and bench E8 to verify the
+  /// realised distribution.
+  [[nodiscard]] static double head_share(const std::vector<double>& w,
+                                         double fraction);
+
+  [[nodiscard]] const Params& params() const { return p_; }
+
+ private:
+  [[nodiscard]] double solve_exponent(std::size_t n) const;
+
+  Params p_;
+};
+
+}  // namespace decos::reliability

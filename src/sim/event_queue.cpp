@@ -1,0 +1,49 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace decos::sim {
+
+EventId EventQueue::push(SimTime when, EventPriority prio, EventFn fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, prio, next_seq_++, id, std::move(fn)});
+  ++live_;
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return;
+  cancelled_.push_back(id);
+  if (live_ > 0) --live_;
+}
+
+void EventQueue::drop_cancelled() {
+  while (!heap_.empty()) {
+    const EventId id = heap_.top().id;
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() {
+  drop_cancelled();
+  assert(!heap_.empty());
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled();
+  assert(!heap_.empty());
+  // priority_queue::top() is const; the entry is about to be discarded, so
+  // moving the callable out is safe.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  Fired fired{top.time, std::move(top.fn)};
+  heap_.pop();
+  --live_;
+  return fired;
+}
+
+}  // namespace decos::sim

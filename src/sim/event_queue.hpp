@@ -1,0 +1,78 @@
+// Pending-event set of the discrete-event kernel.
+//
+// Ordering is total: (time, priority, sequence). Sequence is the insertion
+// order, so two events scheduled for the same instant at the same priority
+// fire in the order they were scheduled — a property the TDMA bus model and
+// the determinism tests both rely on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace decos::sim {
+
+/// Priority classes for same-instant events. Lower fires first.
+enum class EventPriority : std::uint8_t {
+  kClock = 0,     // clock ticks / slot boundaries
+  kTransport = 1, // frame delivery
+  kApplication = 2,
+  kFault = 3,     // fault activation/deactivation
+  kDiagnosis = 4, // observers run after everything else at an instant
+};
+
+using EventFn = std::function<void()>;
+
+/// Token identifying a scheduled event, usable for cancellation.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  /// Adds an event; returns its id.
+  EventId push(SimTime when, EventPriority prio, EventFn fn);
+
+  /// Lazily cancels the event with the given id (no-op if already fired).
+  void cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Time of the earliest live event. Requires !empty().
+  [[nodiscard]] SimTime next_time();
+
+  /// Removes and returns the earliest live event. Requires !empty().
+  struct Fired {
+    SimTime time;
+    EventFn fn;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventPriority prio;
+    std::uint64_t seq;
+    EventId id;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.prio != b.prio) return a.prio > b.prio;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<EventId> cancelled_;  // sorted lazily on lookup
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace decos::sim

@@ -1,0 +1,109 @@
+#include "sim/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace decos::sim {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t v, int k) { return (v << k) | (v >> (64 - k)); }
+
+}  // namespace
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+Rng::Rng(std::uint64_t seed) {
+  // Avoid the all-zero state xoshiro cannot leave.
+  std::uint64_t x = seed ^ 0xD1B54A32D192ED03ull;
+  for (auto& w : s_) w = splitmix64(x);
+}
+
+Rng Rng::fork(std::string_view stream_name) const {
+  std::uint64_t mix = s_[0] ^ rotl(s_[2], 17) ^ fnv1a(stream_name);
+  return Rng{mix};
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Rejection-free modulo is fine here: spans are tiny vs 2^64, bias < 2^-40.
+  return lo + static_cast<std::int64_t>(next_u64() % span);
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+double Rng::exponential(double rate) {
+  assert(rate > 0.0);
+  // -log(1-u) avoids log(0) since uniform() < 1.
+  return -std::log1p(-uniform()) / rate;
+}
+
+double Rng::weibull(double shape, double scale) {
+  assert(shape > 0.0 && scale > 0.0);
+  return scale * std::pow(-std::log1p(-uniform()), 1.0 / shape);
+}
+
+double Rng::normal(double mean, double stddev) {
+  // Box-Muller; always consumes exactly two draws to keep streams aligned.
+  const double u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log1p(-u1));
+  return mean + stddev * r * std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  assert(mean >= 0.0);
+  if (mean <= 0.0) return 0;
+  if (mean < 64.0) {
+    const double limit = std::exp(-mean);
+    double prod = uniform();
+    std::uint64_t n = 0;
+    while (prod > limit) {
+      prod *= uniform();
+      ++n;
+    }
+    return n;
+  }
+  const double v = normal(mean, std::sqrt(mean));
+  return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v + 0.5);
+}
+
+}  // namespace decos::sim

@@ -1,0 +1,69 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <memory>
+#include <stdexcept>
+
+namespace decos::sim {
+
+Simulator::Simulator(std::uint64_t seed) : master_rng_(seed), seed_(seed) {}
+
+EventId Simulator::schedule_at(SimTime when, EventFn fn, EventPriority prio) {
+  assert(when >= now_ && "cannot schedule into the past");
+  return queue_.push(when, prio, std::move(fn));
+}
+
+EventId Simulator::schedule_after(Duration delay, EventFn fn, EventPriority prio) {
+  assert(delay.ns() >= 0);
+  return queue_.push(now_ + delay, prio, std::move(fn));
+}
+
+void Simulator::execute_one() {
+  auto fired = queue_.pop();
+  assert(fired.time >= now_);
+  now_ = fired.time;
+  ++events_executed_;
+  if (events_executed_ > event_limit_) {
+    throw std::runtime_error("simulator event limit exceeded (runaway schedule?)");
+  }
+  fired.fn();
+}
+
+std::uint64_t Simulator::run_until(SimTime until) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.next_time() <= until) {
+    execute_one();
+    ++n;
+  }
+  if (now_ < until) now_ = until;
+  return n;
+}
+
+std::uint64_t Simulator::run_all() {
+  std::uint64_t n = 0;
+  while (!queue_.empty()) {
+    execute_one();
+    ++n;
+  }
+  return n;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  execute_one();
+  return true;
+}
+
+void schedule_periodic(Simulator& sim, SimTime first, Duration period,
+                       std::function<bool()> fn, EventPriority prio) {
+  assert(period.ns() > 0);
+  // The closure reschedules itself until fn() returns false.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [&sim, period, fn = std::move(fn), tick, prio]() {
+    if (!fn()) return;
+    sim.schedule_after(period, *tick, prio);
+  };
+  sim.schedule_at(first, *tick, prio);
+}
+
+}  // namespace decos::sim

@@ -1,0 +1,31 @@
+#include "sim/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace decos::sim {
+namespace {
+
+std::string format_ns(std::int64_t ns) {
+  char buf[64];
+  const double a = std::abs(static_cast<double>(ns));
+  if (a >= 3.6e12) {
+    std::snprintf(buf, sizeof buf, "%.3fh", static_cast<double>(ns) / 3.6e12);
+  } else if (a >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3fs", static_cast<double>(ns) * 1e-9);
+  } else if (a >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3fms", static_cast<double>(ns) * 1e-6);
+  } else if (a >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.3fus", static_cast<double>(ns) * 1e-3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns));
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string to_string(SimTime t) { return format_ns(t.ns()); }
+std::string to_string(Duration d) { return format_ns(d.ns()); }
+
+}  // namespace decos::sim

@@ -1,0 +1,81 @@
+// Simulated-time primitives.
+//
+// All simulation time is kept as an integral count of nanoseconds since the
+// start of the run. Integral time makes event ordering total and runs
+// bit-reproducible across platforms, which the diagnostic experiments rely
+// on (same seed => same trajectory). SimTime is a strong type so that raw
+// integers, durations and absolute instants cannot be mixed up silently.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace decos::sim {
+
+/// A span of simulated time in nanoseconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double us() const { return static_cast<double>(ns_) * 1e-3; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(ns_) * 1e-6; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(ns_) * 1e-9; }
+  [[nodiscard]] constexpr double hours() const { return sec() / 3600.0; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return Duration{ns_ + o.ns_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{ns_ - o.ns_}; }
+  constexpr Duration operator*(std::int64_t k) const { return Duration{ns_ * k}; }
+  constexpr Duration operator/(std::int64_t k) const { return Duration{ns_ / k}; }
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+constexpr Duration nanoseconds(std::int64_t v) { return Duration{v}; }
+constexpr Duration microseconds(std::int64_t v) { return Duration{v * 1'000}; }
+constexpr Duration milliseconds(std::int64_t v) { return Duration{v * 1'000'000}; }
+constexpr Duration seconds(std::int64_t v) { return Duration{v * 1'000'000'000}; }
+constexpr Duration minutes(std::int64_t v) { return seconds(v * 60); }
+constexpr Duration hours(std::int64_t v) { return seconds(v * 3600); }
+
+/// An absolute instant on the global (reference) simulated time base.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] static constexpr SimTime zero() { return SimTime{0}; }
+  [[nodiscard]] static constexpr SimTime max() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double us() const { return static_cast<double>(ns_) * 1e-3; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(ns_) * 1e-6; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(ns_) * 1e-9; }
+  [[nodiscard]] constexpr double hours() const { return sec() / 3600.0; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(Duration d) const { return SimTime{ns_ + d.ns()}; }
+  constexpr SimTime operator-(Duration d) const { return SimTime{ns_ - d.ns()}; }
+  constexpr Duration operator-(SimTime o) const { return Duration{ns_ - o.ns_}; }
+  constexpr SimTime& operator+=(Duration d) { ns_ += d.ns(); return *this; }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// Human-readable rendering, e.g. "12.500ms" or "3.2h"; for traces/reports.
+[[nodiscard]] std::string to_string(SimTime t);
+[[nodiscard]] std::string to_string(Duration d);
+
+}  // namespace decos::sim

@@ -1,0 +1,47 @@
+#include "sim/trace.hpp"
+
+#include <cstdio>
+
+namespace decos::sim {
+
+const char* to_string(TraceCategory c) {
+  switch (c) {
+    case TraceCategory::kKernel: return "kernel";
+    case TraceCategory::kBus: return "bus";
+    case TraceCategory::kClockSync: return "clocksync";
+    case TraceCategory::kMembership: return "membership";
+    case TraceCategory::kPlatform: return "platform";
+    case TraceCategory::kVirtualNetwork: return "vnet";
+    case TraceCategory::kFault: return "fault";
+    case TraceCategory::kDiagnosis: return "diag";
+    case TraceCategory::kMaintenance: return "maint";
+  }
+  return "?";
+}
+
+void TraceLog::append(SimTime t, TraceCategory c, std::string entity,
+                      std::string message) {
+  if (echo_) {
+    std::fprintf(stderr, "[%12s] %-10s %-18s %s\n", to_string(t).c_str(),
+                 to_string(c), entity.c_str(), message.c_str());
+  }
+  records_.push_back(TraceRecord{t, c, std::move(entity), std::move(message)});
+}
+
+std::vector<TraceRecord> TraceLog::by_category(TraceCategory c) const {
+  std::vector<TraceRecord> out;
+  for (const auto& r : records_) {
+    if (r.category == c) out.push_back(r);
+  }
+  return out;
+}
+
+std::size_t TraceLog::count_containing(std::string_view needle) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.message.find(needle) != std::string::npos) ++n;
+  }
+  return n;
+}
+
+}  // namespace decos::sim

@@ -1,0 +1,61 @@
+// Structured trace log.
+//
+// Components append TraceRecords (category + entity + message) instead of
+// printing; tests and the bench harness query the records afterwards. Kept
+// deliberately simple — a vector with category filters — because traces are
+// also the audit trail the maintenance analysis replays.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace decos::sim {
+
+enum class TraceCategory : std::uint8_t {
+  kKernel,
+  kBus,
+  kClockSync,
+  kMembership,
+  kPlatform,
+  kVirtualNetwork,
+  kFault,
+  kDiagnosis,
+  kMaintenance,
+};
+
+[[nodiscard]] const char* to_string(TraceCategory c);
+
+struct TraceRecord {
+  SimTime time;
+  TraceCategory category;
+  std::string entity;   // e.g. "component.3", "job.brake1"
+  std::string message;
+};
+
+class TraceLog {
+ public:
+  void append(SimTime t, TraceCategory c, std::string entity, std::string message);
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
+
+  /// All records of one category, in time order (append order == time order
+  /// because the kernel appends as events fire).
+  [[nodiscard]] std::vector<TraceRecord> by_category(TraceCategory c) const;
+
+  /// Number of records whose message contains `needle`.
+  [[nodiscard]] std::size_t count_containing(std::string_view needle) const;
+
+  void clear() { records_.clear(); }
+
+  /// When set, records are also echoed to stderr as they are appended.
+  void set_echo(bool on) { echo_ = on; }
+
+ private:
+  std::vector<TraceRecord> records_;
+  bool echo_ = false;
+};
+
+}  // namespace decos::sim

@@ -1,0 +1,99 @@
+#include "tta/bus.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace decos::tta {
+
+Bus::Bus(sim::Simulator& sim, TdmaSchedule schedule, Params params)
+    : sim_(sim), schedule_(std::move(schedule)), params_(params) {}
+
+void Bus::attach(BusReceiver& receiver) { receivers_.push_back(&receiver); }
+
+bool Bus::transmit(NodeId sender, Frame frame) {
+  const sim::SimTime now = sim_.now();
+
+  if (params_.guardian_enabled) {
+    // Cold start: after a long bus silence the guardian has no usable
+    // schedule anchor. Like a TTP star coupler it adopts the first
+    // transmission as the new time-base anchor (assuming the sender
+    // transmits at its nominal send instant) and polices everything after
+    // that against it.
+    if ((now - last_accepted_) > schedule_.round_length() * 4) {
+      const SlotId own_slot0 = schedule_.slot_of(sender);
+      const RoundId r0 = schedule_.round_at(now);
+      guardian_offset_ns_ = static_cast<double>(
+          (now - schedule_.send_instant(r0, own_slot0)).ns());
+    }
+    // Judge the transmission on the guardian's tracked cluster time base
+    // (see guardian_offset_ns_), not raw reference time.
+    const sim::SimTime adjusted =
+        now - sim::Duration{static_cast<std::int64_t>(guardian_offset_ns_)};
+    const SlotId own_slot = schedule_.slot_of(sender);
+    // Candidate send instants in the rounds adjacent to `adjusted` (the
+    // window may straddle a round boundary).
+    const RoundId round = schedule_.round_at(adjusted);
+    bool inside = false;
+    RoundId matched_round = round;
+    for (RoundId r : {round > 0 ? round - 1 : round, round, round + 1}) {
+      const sim::SimTime nominal = schedule_.send_instant(r, own_slot);
+      if (adjusted >= nominal - params_.guardian_tolerance &&
+          adjusted <= nominal + params_.guardian_tolerance) {
+        inside = true;
+        matched_round = r;
+        break;
+      }
+    }
+    if (!inside) {
+      ++frames_blocked_;
+      sim_.log(sim::TraceCategory::kBus, "guardian",
+               "blocked out-of-window transmission from node " +
+                   std::to_string(sender));
+      if (on_blocked) on_blocked(sender, now);
+      return false;
+    }
+    // Track the cluster's common-mode drift from accepted traffic.
+    // Only transmissions within the guardian tolerance of their *nominal
+    // send instant* feed the estimator: synchronised traffic is
+    // microseconds-tight there, while an in-slot babble lands anywhere in
+    // the slot — letting it vote would let a babbling node poison the
+    // estimate and lock out legitimate senders.
+    const double dev = static_cast<double>(
+        (adjusted - schedule_.send_instant(matched_round, own_slot)).ns());
+    guardian_offset_ns_ += 0.1 * dev;
+  }
+
+  ++frames_sent_;
+  last_accepted_ = now;
+  const sim::SimTime arrival = now + params_.propagation_delay;
+  for (BusReceiver* rx : receivers_) {
+    if (rx->node_id() == sender) continue;  // no self-reception
+    // Each receiver gets its own mutable copy so channel faults can be
+    // receiver-local (EMI near one corner of the vehicle).
+    Frame copy = frame;
+    bool deliver = true;
+    for (auto& [id, hook] : fault_hooks_) {
+      if (!hook(copy, rx->node_id(), now)) {
+        deliver = false;
+        break;
+      }
+    }
+    if (!deliver) continue;
+    sim_.schedule_at(
+        arrival, [rx, copy = std::move(copy), arrival]() { rx->on_frame(copy, arrival); },
+        sim::EventPriority::kTransport);
+  }
+  return true;
+}
+
+std::uint64_t Bus::add_channel_fault(ChannelFaultHook hook) {
+  const std::uint64_t id = next_hook_id_++;
+  fault_hooks_.emplace_back(id, std::move(hook));
+  return id;
+}
+
+void Bus::remove_channel_fault(std::uint64_t id) {
+  std::erase_if(fault_hooks_, [id](const auto& p) { return p.first == id; });
+}
+
+}  // namespace decos::tta

@@ -1,0 +1,53 @@
+// Local clock of a TTA node.
+//
+// Each node owns a crystal oscillator with a drift rate in ppm; the local
+// clock maps reference (simulation) time to local time. The clock-sync
+// service periodically applies a correction term. A defective quartz (one
+// of the paper's component-internal fault examples) is modelled as a drift
+// excursion far beyond the spec'd bound, which eventually makes the node
+// lose synchronisation.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace decos::tta {
+
+class LocalClock {
+ public:
+  /// `drift_ppm`: constant rate deviation of this crystal from perfect time
+  /// in parts per million (positive = fast).
+  explicit LocalClock(double drift_ppm = 0.0) : drift_ppm_(drift_ppm) {}
+
+  /// Local reading at reference instant `ref`.
+  [[nodiscard]] sim::SimTime local_time(sim::SimTime ref) const {
+    const double skewed =
+        static_cast<double>(ref.ns()) * (1.0 + drift_ppm_ * 1e-6);
+    return sim::SimTime{static_cast<std::int64_t>(skewed) + offset_ns_};
+  }
+
+  /// Offset of local from reference time at `ref` (positive = local ahead).
+  [[nodiscard]] sim::Duration offset(sim::SimTime ref) const {
+    return local_time(ref) - ref;
+  }
+
+  /// Reference instant at which the local clock will read `local`.
+  /// Inverse of local_time(); used to schedule actions planned on the
+  /// local time base onto the simulation kernel.
+  [[nodiscard]] sim::SimTime ref_time_for_local(sim::SimTime local) const {
+    const double ref =
+        static_cast<double>(local.ns() - offset_ns_) / (1.0 + drift_ppm_ * 1e-6);
+    return sim::SimTime{static_cast<std::int64_t>(ref)};
+  }
+
+  /// Applies a state correction (from the clock-sync service).
+  void adjust(sim::Duration correction) { offset_ns_ += correction.ns(); }
+
+  [[nodiscard]] double drift_ppm() const { return drift_ppm_; }
+  void set_drift_ppm(double ppm) { drift_ppm_ = ppm; }
+
+ private:
+  double drift_ppm_;
+  std::int64_t offset_ns_ = 0;
+};
+
+}  // namespace decos::tta

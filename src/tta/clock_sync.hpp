@@ -1,0 +1,54 @@
+// Fault-tolerant clock synchronisation (core service C2).
+//
+// Classic fault-tolerant average (FTA): every round a node measures, for
+// each timely frame, the deviation between the frame's expected and actual
+// arrival instants on its own clock. At the round boundary the k largest
+// and k smallest deviations are discarded (tolerating k arbitrary faulty
+// clocks) and the mean of the rest, halved, is applied as the correction.
+// Pure algorithm class — the node feeds measurements in and applies the
+// returned correction — so its convergence bound is unit-testable without
+// a cluster.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "tta/types.hpp"
+
+namespace decos::tta {
+
+class FtaClockSync {
+ public:
+  struct Params {
+    /// Number of extreme measurements discarded at each end.
+    std::uint32_t k = 1;
+    /// Correction gain; 0.5 halves the measured deviation per round, which
+    /// damps oscillation between mutually-correcting nodes.
+    double gain = 0.5;
+  };
+
+  FtaClockSync() : FtaClockSync(Params{}) {}
+  explicit FtaClockSync(Params p) : p_(p) {}
+
+  /// Records a deviation measurement from one timely frame this round.
+  /// Positive deviation = the frame arrived later than the local clock
+  /// expected = the local clock runs fast relative to the sender.
+  void record(NodeId sender, sim::Duration deviation);
+
+  /// Computes the round's correction and clears the measurement set.
+  /// With fewer than 2k+1 measurements the correction is zero (not enough
+  /// evidence to outvote k faulty clocks).
+  [[nodiscard]] sim::Duration finish_round();
+
+  [[nodiscard]] std::size_t measurements_this_round() const {
+    return measurements_.size();
+  }
+  [[nodiscard]] const Params& params() const { return p_; }
+
+ private:
+  Params p_;
+  std::vector<sim::Duration> measurements_;
+};
+
+}  // namespace decos::tta

@@ -1,0 +1,81 @@
+// TDMA schedule of the time-triggered core (core service C1: predictable
+// transport). The schedule is static: every node owns exactly one slot per
+// round, slots have equal length, and a receive window around the expected
+// arrival instant bounds what counts as timely.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "sim/time.hpp"
+#include "tta/types.hpp"
+
+namespace decos::tta {
+
+class TdmaSchedule {
+ public:
+  struct Params {
+    std::uint32_t slots_per_round = 4;       // == number of nodes
+    sim::Duration slot_length = sim::microseconds(500);
+    /// Half-width of the receive window around the expected arrival
+    /// instant; arrivals outside it are timing failures. Must exceed the
+    /// clock-sync precision plus propagation delay.
+    sim::Duration receive_window = sim::microseconds(20);
+    /// Action-lattice offset: transmissions start this long after the slot
+    /// boundary, so small clock offsets never push a send into the
+    /// neighbouring slot.
+    sim::Duration action_offset = sim::microseconds(50);
+  };
+
+  explicit TdmaSchedule(Params p) : p_(p) {
+    assert(p_.slots_per_round > 0);
+    assert(p_.slot_length.ns() > 0);
+    assert(p_.action_offset < p_.slot_length);
+  }
+
+  [[nodiscard]] const Params& params() const { return p_; }
+
+  [[nodiscard]] sim::Duration round_length() const {
+    return p_.slot_length * p_.slots_per_round;
+  }
+
+  /// Node that owns slot `s` (identity mapping: slot i belongs to node i).
+  [[nodiscard]] NodeId slot_owner(SlotId s) const {
+    assert(s < p_.slots_per_round);
+    return s;
+  }
+
+  /// Slot owned by `n`.
+  [[nodiscard]] SlotId slot_of(NodeId n) const {
+    assert(n < p_.slots_per_round);
+    return n;
+  }
+
+  /// Round counter at time `t` (on whichever time base `t` lives on).
+  [[nodiscard]] RoundId round_at(sim::SimTime t) const {
+    return static_cast<RoundId>(t.ns() / round_length().ns());
+  }
+
+  /// Slot index active at time `t`.
+  [[nodiscard]] SlotId slot_at(sim::SimTime t) const {
+    return static_cast<SlotId>((t.ns() % round_length().ns()) /
+                               p_.slot_length.ns());
+  }
+
+  /// Start instant of slot `s` of round `r`.
+  [[nodiscard]] sim::SimTime slot_start(RoundId r, SlotId s) const {
+    return sim::SimTime{static_cast<std::int64_t>(r) * round_length().ns() +
+                        static_cast<std::int64_t>(s) * p_.slot_length.ns()};
+  }
+
+  /// Instant at which the slot owner starts transmitting in slot `s` of
+  /// round `r` (slot start + action offset).
+  [[nodiscard]] sim::SimTime send_instant(RoundId r, SlotId s) const {
+    return slot_start(r, s) + p_.action_offset;
+  }
+
+ private:
+  Params p_;
+};
+
+}  // namespace decos::tta

@@ -1,0 +1,19 @@
+// Shared identifiers of the time-triggered core.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace decos::tta {
+
+/// Index of a node (= DECOS component) in the cluster, dense from 0.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Slot index within a TDMA round.
+using SlotId = std::uint32_t;
+
+/// Monotonic TDMA round counter since cluster startup.
+using RoundId = std::uint64_t;
+
+}  // namespace decos::tta

@@ -1,0 +1,91 @@
+#include "vnet/multiplexer.hpp"
+
+#include <cassert>
+
+namespace decos::vnet {
+
+Multiplexer::Multiplexer(const NetworkPlan& plan, platform::ComponentId component)
+    : plan_(plan), component_(component) {}
+
+void Multiplexer::host_port(platform::PortId port) {
+  const PortConfig& cfg = plan_.port(port);
+  assert(!hosted_.contains(port));
+  hosted_.emplace(port, PortQueue{port, {}, 0, 0});
+  by_vnet_[cfg.vnet].push_back(port);
+}
+
+bool Multiplexer::send(Message msg, tta::RoundId round) {
+  auto it = hosted_.find(msg.port);
+  assert(it != hosted_.end() && "send on a port not hosted here");
+  PortQueue& pq = it->second;
+  const VnetConfig& vn = plan_.vnet(plan_.port(msg.port).vnet);
+
+  msg.vnet = plan_.port(msg.port).vnet;
+  msg.sender = plan_.port(msg.port).owner;
+  msg.sent_round = round;
+
+  if (vn.kind == VnetKind::kTimeTriggered) {
+    // State semantics: the port is a single-value register; a newer value
+    // overwrites an unsent older one. Never overflows.
+    msg.seq = pq.next_seq++;
+    if (!pq.queue.empty()) {
+      pq.queue.back() = msg;
+    } else {
+      pq.queue.push_back(msg);
+    }
+    return true;
+  }
+
+  if (pq.queue.size() >= vn.queue_depth) {
+    ++pq.overflows;
+    ++total_overflows_;
+    if (on_overflow) on_overflow(msg.port, round);
+    return false;
+  }
+  msg.seq = pq.next_seq++;
+  pq.queue.push_back(msg);
+  return true;
+}
+
+std::vector<Message> Multiplexer::drain_messages(tta::RoundId round) {
+  std::vector<Message> out;
+  for (auto& [vnet_id, ports] : by_vnet_) {
+    const VnetConfig& vn = plan_.vnet(vnet_id);
+    std::uint16_t budget = vn.msgs_per_round_per_node;
+    // Round-robin across the vnet's hosted ports until the budget is used
+    // or all queues are empty.
+    bool progress = true;
+    while (budget > 0 && progress) {
+      progress = false;
+      for (platform::PortId pid : ports) {
+        if (budget == 0) break;
+        auto& pq = hosted_.at(pid);
+        if (pq.queue.empty()) continue;
+        out.push_back(pq.queue.front());
+        pq.queue.pop_front();
+        --budget;
+        progress = true;
+      }
+    }
+  }
+  (void)round;
+  return out;
+}
+
+std::vector<Message> Multiplexer::unpack_arrival(
+    std::span<const std::uint8_t> payload) const {
+  auto msgs = unpack(payload);
+  return msgs ? std::move(*msgs) : std::vector<Message>{};
+}
+
+std::uint64_t Multiplexer::overflows(platform::PortId port) const {
+  auto it = hosted_.find(port);
+  return it == hosted_.end() ? 0 : it->second.overflows;
+}
+
+std::size_t Multiplexer::queue_length(platform::PortId port) const {
+  auto it = hosted_.find(port);
+  return it == hosted_.end() ? 0 : it->second.queue.size();
+}
+
+}  // namespace decos::vnet

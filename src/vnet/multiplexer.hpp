@@ -1,0 +1,67 @@
+// Per-component encapsulation service.
+//
+// Owns the output queues of every port hosted on one component, packs them
+// into the node's TDMA payload under each vnet's bandwidth budget, and
+// unpacks arriving payloads. Queue overflow — offered load exceeding the
+// configured queue depth or budget — is precisely the manifestation of the
+// paper's *job borderline (configuration) fault*, so overflows are counted
+// per port and reported through a callback the diagnostic agent hooks.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "vnet/message.hpp"
+#include "vnet/network_plan.hpp"
+
+namespace decos::vnet {
+
+class Multiplexer {
+ public:
+  Multiplexer(const NetworkPlan& plan, platform::ComponentId component);
+
+  /// Declares that the owning job of `port` runs on this component.
+  void host_port(platform::PortId port);
+
+  /// Job-side send. Returns false (and counts an overflow) if the port's
+  /// queue is at its configured depth.
+  bool send(Message msg, tta::RoundId round);
+
+  /// Drains hosted queues for `round`: oldest first, round-robin across
+  /// ports within each vnet, up to the vnet's per-round budget. Messages
+  /// beyond the budget stay queued (and will overflow eventually if the
+  /// load persists). The caller packs the result into the frame payload
+  /// and performs local loopback delivery.
+  [[nodiscard]] std::vector<Message> drain_messages(tta::RoundId round);
+
+  /// Unpacks an arriving payload. Malformed payloads yield an empty list.
+  [[nodiscard]] std::vector<Message> unpack_arrival(
+      std::span<const std::uint8_t> payload) const;
+
+  [[nodiscard]] std::uint64_t overflows(platform::PortId port) const;
+  [[nodiscard]] std::uint64_t total_overflows() const { return total_overflows_; }
+  [[nodiscard]] std::size_t queue_length(platform::PortId port) const;
+
+  /// Called on every overflow drop: (port, round).
+  std::function<void(platform::PortId, tta::RoundId)> on_overflow;
+
+ private:
+  const NetworkPlan& plan_;
+  platform::ComponentId component_;
+  struct PortQueue {
+    platform::PortId id;
+    std::deque<Message> queue;
+    std::uint64_t overflows = 0;
+    std::uint32_t next_seq = 0;
+  };
+  std::unordered_map<platform::PortId, PortQueue> hosted_;
+  /// Hosted ports grouped by vnet, in hosting order (drain fairness).
+  std::map<platform::VnetId, std::vector<platform::PortId>> by_vnet_;  // ordered: deterministic drain order
+  std::uint64_t total_overflows_ = 0;
+};
+
+}  // namespace decos::vnet

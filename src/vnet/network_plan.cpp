@@ -1,0 +1,18 @@
+#include "vnet/network_plan.hpp"
+
+#include <cassert>
+
+namespace decos::vnet {
+
+void NetworkPlan::add_vnet(VnetConfig cfg) {
+  assert(cfg.id == vnets_.size() && "vnet ids must be dense and in order");
+  vnets_.push_back(std::move(cfg));
+}
+
+void NetworkPlan::add_port(PortConfig cfg) {
+  assert(cfg.id == ports_.size() && "port ids must be dense and in order");
+  assert(cfg.vnet < vnets_.size() && "port references unknown vnet");
+  ports_.push_back(std::move(cfg));
+}
+
+}  // namespace decos::vnet

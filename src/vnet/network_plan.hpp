@@ -1,0 +1,82 @@
+// Static configuration of the virtual networks: which vnets exist, their
+// per-round bandwidth share, queue depths, and which ports belong to which
+// vnet. Derived by the (tool-supported) configuration process the paper
+// describes in Section IV-B.2 — and deliberately mutable enough that a
+// *wrong* configuration (undersized queue or budget for the offered load)
+// can be injected as a job borderline fault.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "platform/types.hpp"
+
+namespace decos::vnet {
+
+/// Communication paradigm of a virtual network.
+enum class VnetKind : std::uint8_t {
+  /// Event-triggered: messages queue FIFO; a full queue overflows (drops
+  /// the new message) — the failure mode behind job borderline faults.
+  kEventTriggered,
+  /// Time-triggered state semantics: a port holds only the *latest*
+  /// value; a newer write overwrites the older unsent one. Overflow is
+  /// structurally impossible — which is exactly why the paper's
+  /// configuration faults concern the event-triggered networks.
+  kTimeTriggered,
+};
+
+[[nodiscard]] constexpr const char* to_string(VnetKind k) {
+  return k == VnetKind::kTimeTriggered ? "TT" : "ET";
+}
+
+struct VnetConfig {
+  platform::VnetId id = 0;
+  std::string name;
+  /// Messages this vnet may place into one node's frame per round
+  /// (the vnet's bandwidth share on that node).
+  std::uint16_t msgs_per_round_per_node = 4;
+  /// Depth of each output port queue on this vnet (ET only; TT ports are
+  /// single-value registers).
+  std::uint16_t queue_depth = 8;
+  VnetKind kind = VnetKind::kEventTriggered;
+};
+
+struct PortConfig {
+  platform::PortId id = 0;
+  std::string name;
+  platform::VnetId vnet = 0;
+  platform::JobId owner = 0;  // sending job
+  /// Receiving jobs (multicast set). Delivery is by subscription: every
+  /// component hosting one of these jobs hands arriving records to it.
+  std::vector<platform::JobId> receivers;
+};
+
+class NetworkPlan {
+ public:
+  /// Adds a vnet; ids must be dense and added in order.
+  void add_vnet(VnetConfig cfg);
+  /// Adds an output port; ids must be dense and added in order.
+  void add_port(PortConfig cfg);
+
+  [[nodiscard]] const VnetConfig& vnet(platform::VnetId id) const {
+    return vnets_.at(id);
+  }
+  [[nodiscard]] const PortConfig& port(platform::PortId id) const {
+    return ports_.at(id);
+  }
+  [[nodiscard]] const std::vector<VnetConfig>& vnets() const { return vnets_; }
+  [[nodiscard]] const std::vector<PortConfig>& ports() const { return ports_; }
+
+  /// Mutable access for configuration-fault injection (job borderline
+  /// faults are misconfigurations of exactly these records).
+  [[nodiscard]] VnetConfig& mutable_vnet(platform::VnetId id) {
+    return vnets_.at(id);
+  }
+
+ private:
+  std::vector<VnetConfig> vnets_;
+  std::vector<PortConfig> ports_;
+};
+
+}  // namespace decos::vnet

@@ -1,0 +1,63 @@
+#include "vnet/tmr.hpp"
+
+#include <cmath>
+
+namespace decos::vnet {
+
+TmrVoter::Result TmrVoter::vote(
+    std::span<const std::optional<double>> replicas) const {
+  Result r;
+  std::vector<std::size_t> present;
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    if (replicas[i].has_value()) present.push_back(i);
+  }
+  if (present.size() < 2) return r;  // kInsufficient
+
+  // Find an agreeing pair; its mean is the vote.
+  for (std::size_t a = 0; a < present.size(); ++a) {
+    for (std::size_t b = a + 1; b < present.size(); ++b) {
+      const double va = *replicas[present[a]];
+      const double vb = *replicas[present[b]];
+      if (std::abs(va - vb) <= p_.epsilon) {
+        r.value = 0.5 * (va + vb);
+        r.status = Status::kUnanimous;
+        // Anything present that disagrees with the vote is outvoted.
+        for (std::size_t i : present) {
+          if (std::abs(*replicas[i] - r.value) > p_.epsilon) {
+            r.status = Status::kMajority;
+            r.outvoted = i;
+          }
+        }
+        return r;
+      }
+    }
+  }
+  r.status = Status::kNoQuorum;
+  return r;
+}
+
+void RedundancyMonitor::observe(
+    std::span<const std::optional<double>> replicas,
+    const TmrVoter::Result& result) {
+  ++rounds_;
+  for (std::size_t i = 0; i < p_.replica_count && i < replicas.size(); ++i) {
+    const bool missing = !replicas[i].has_value();
+    const bool outvoted = result.outvoted.has_value() && *result.outvoted == i;
+    if (missing || outvoted) {
+      if (++bad_streak_[i] >= p_.degraded_after_rounds) lost_[i] = true;
+    } else {
+      bad_streak_[i] = 0;
+      lost_[i] = false;  // a recovered replica restores the redundancy
+    }
+  }
+}
+
+std::vector<std::size_t> RedundancyMonitor::lost_replicas() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < lost_.size(); ++i) {
+    if (lost_[i]) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace decos::vnet

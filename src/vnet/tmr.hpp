@@ -1,0 +1,92 @@
+// Redundancy management (Fig. 1's high-level service): triple-modular
+// redundancy voting and — the diagnostic architecture's particular concern
+// (Section II-D: "assessment of fault-tolerance mechanisms") — detection of
+// *latent* redundancy loss. A TMR system that silently degraded to two
+// replicas still delivers correct service; finding and repairing the dead
+// replica before the second fault is a maintenance problem, exactly the
+// kind this architecture exists for.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "tta/types.hpp"
+
+namespace decos::vnet {
+
+class TmrVoter {
+ public:
+  struct Params {
+    /// Two replica values agree when they differ by at most epsilon.
+    double epsilon = 1.0;
+  };
+
+  TmrVoter() : TmrVoter(Params{}) {}
+  explicit TmrVoter(Params p) : p_(p) {}
+
+  enum class Status : std::uint8_t {
+    kUnanimous,     // all present replicas agree
+    kMajority,      // a majority agrees; at least one replica outvoted
+    kNoQuorum,      // fewer than two agreeing replicas
+    kInsufficient,  // fewer than two replica values at all
+  };
+
+  struct Result {
+    Status status = Status::kInsufficient;
+    double value = 0.0;
+    /// Index (into the input span) of an outvoted replica, if any.
+    std::optional<std::size_t> outvoted;
+  };
+
+  /// Votes over the replica values of one round. Values are positional:
+  /// index i is replica i; missing replicas are nullopt.
+  [[nodiscard]] Result vote(
+      std::span<const std::optional<double>> replicas) const;
+
+  [[nodiscard]] const Params& params() const { return p_; }
+
+ private:
+  Params p_;
+};
+
+/// Watches a TMR triple round by round and raises the latent-fault flag
+/// when a replica has been missing or outvoted for a sustained run —
+/// the trigger for preventive maintenance of the redundant set.
+class RedundancyMonitor {
+ public:
+  struct Params {
+    std::size_t replica_count = 3;
+    /// Consecutive bad rounds after which a replica counts as lost.
+    std::uint32_t degraded_after_rounds = 50;
+  };
+
+  RedundancyMonitor() : RedundancyMonitor(Params{}) {}
+  explicit RedundancyMonitor(Params p)
+      : p_(p), bad_streak_(p.replica_count, 0), lost_(p.replica_count, false) {}
+
+  /// Feeds one vote round: which replicas supplied values, and which one
+  /// (if any) was outvoted.
+  void observe(std::span<const std::optional<double>> replicas,
+               const TmrVoter::Result& result);
+
+  /// Replicas currently considered lost (missing/outvoted persistently).
+  [[nodiscard]] std::vector<std::size_t> lost_replicas() const;
+  [[nodiscard]] bool degraded() const { return !lost_replicas().empty(); }
+  /// Healthy replicas remaining.
+  [[nodiscard]] std::size_t intact_replicas() const {
+    return p_.replica_count - lost_replicas().size();
+  }
+
+  [[nodiscard]] std::uint64_t rounds_observed() const { return rounds_; }
+  [[nodiscard]] const Params& params() const { return p_; }
+
+ private:
+  Params p_;
+  std::vector<std::uint32_t> bad_streak_;
+  std::vector<bool> lost_;
+  std::uint64_t rounds_ = 0;
+};
+
+}  // namespace decos::vnet

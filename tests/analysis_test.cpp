@@ -1,0 +1,164 @@
+#include <algorithm>
+// Tests for the analysis layer: confusion matrix math, NFF accounting and
+// the strategy decision rule, fleet correlation, and the table renderer.
+#include <gtest/gtest.h>
+
+#include "analysis/confusion.hpp"
+#include "analysis/fleet.hpp"
+#include "analysis/nff.hpp"
+#include "analysis/table.hpp"
+
+namespace decos::analysis {
+namespace {
+
+using fault::FaultClass;
+using fault::MaintenanceAction;
+
+// --- confusion matrix -----------------------------------------------------------
+
+TEST(ConfusionMatrix, AccuracyAndRecall) {
+  ConfusionMatrix cm;
+  cm.add(FaultClass::kComponentInternal, FaultClass::kComponentInternal, 8);
+  cm.add(FaultClass::kComponentInternal, FaultClass::kComponentExternal, 2);
+  cm.add(FaultClass::kComponentExternal, FaultClass::kComponentExternal, 10);
+  EXPECT_EQ(cm.total(), 20u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 18.0 / 20.0);
+  EXPECT_DOUBLE_EQ(cm.recall(FaultClass::kComponentInternal), 0.8);
+  EXPECT_DOUBLE_EQ(cm.recall(FaultClass::kComponentExternal), 1.0);
+  EXPECT_DOUBLE_EQ(cm.precision(FaultClass::kComponentExternal), 10.0 / 12.0);
+}
+
+TEST(ConfusionMatrix, EmptyMatrixIsSafe) {
+  ConfusionMatrix cm;
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.recall(FaultClass::kNone), 0.0);
+  EXPECT_FALSE(cm.to_table().empty());
+}
+
+TEST(ConfusionMatrix, TableShowsOnlyInjectedRows) {
+  ConfusionMatrix cm;
+  cm.add(FaultClass::kJobBorderline, FaultClass::kJobBorderline, 3);
+  const auto table = cm.to_table();
+  EXPECT_NE(table.find("job-borderline"), std::string::npos);
+  EXPECT_EQ(table.find("job-inherent-software"), std::string::npos);
+}
+
+// --- NFF accounting ---------------------------------------------------------------
+
+TEST(NffAccounting, NaiveReplacementOnExternalIsNff) {
+  NffAccounting acc(800.0);
+  acc.record(FaultClass::kComponentExternal,
+             decide(Strategy::kNaiveReplace, FaultClass::kComponentExternal));
+  EXPECT_EQ(acc.removals(), 1u);
+  EXPECT_EQ(acc.nff_removals(), 1u);
+  EXPECT_EQ(acc.faults_eliminated(), 0u);
+  EXPECT_DOUBLE_EQ(acc.wasted_cost(), 800.0);
+  EXPECT_DOUBLE_EQ(acc.nff_ratio(), 1.0);
+}
+
+TEST(NffAccounting, ModelGuidedExternalTakesNoAction) {
+  NffAccounting acc;
+  acc.record(FaultClass::kComponentExternal,
+             decide(Strategy::kModelGuided, FaultClass::kComponentExternal));
+  EXPECT_EQ(acc.removals(), 0u);
+  EXPECT_EQ(acc.nff_removals(), 0u);
+  EXPECT_EQ(acc.faults_eliminated(), 1u);
+}
+
+TEST(NffAccounting, BothStrategiesReplaceInternal) {
+  for (auto strat : {Strategy::kNaiveReplace, Strategy::kModelGuided}) {
+    NffAccounting acc;
+    acc.record(FaultClass::kComponentInternal,
+               decide(strat, FaultClass::kComponentInternal));
+    EXPECT_EQ(acc.removals(), 1u) << to_string(strat);
+    EXPECT_EQ(acc.nff_removals(), 0u) << to_string(strat);
+    EXPECT_EQ(acc.faults_eliminated(), 1u) << to_string(strat);
+  }
+}
+
+TEST(NffAccounting, NaiveMishandlesConfigFault) {
+  NffAccounting acc;
+  // Naive reflashes the software; the misconfiguration persists.
+  acc.record(FaultClass::kJobBorderline,
+             decide(Strategy::kNaiveReplace, FaultClass::kJobBorderline));
+  EXPECT_EQ(acc.faults_eliminated(), 0u);
+  EXPECT_EQ(acc.ineffective_visits(), 1u);
+}
+
+TEST(NffAccounting, SummaryContainsKeyNumbers) {
+  NffAccounting acc;
+  acc.record(FaultClass::kComponentExternal,
+             MaintenanceAction::kReplaceComponent);
+  const auto s = acc.summary("naive");
+  EXPECT_NE(s.find("naive"), std::string::npos);
+  EXPECT_NE(s.find("NFF"), std::string::npos);
+}
+
+TEST(Decide, ModelGuidedFollowsFig11) {
+  EXPECT_EQ(decide(Strategy::kModelGuided, FaultClass::kComponentBorderline),
+            MaintenanceAction::kInspectConnector);
+  EXPECT_EQ(decide(Strategy::kModelGuided, FaultClass::kJobInherentTransducer),
+            MaintenanceAction::kInspectTransducer);
+}
+
+// --- fleet analysis ----------------------------------------------------------------
+
+TEST(FleetAnalyzer, RankingAndHeadShare) {
+  FleetAnalyzer fleet;
+  // Module 7 fails on many vehicles; module 3 on one vehicle a lot.
+  for (std::uint32_t v = 0; v < 20; ++v) fleet.record(v, 7, 5);
+  fleet.record(2, 3, 30);
+  fleet.record(5, 9, 1);
+  const auto ranked = fleet.ranking();
+  ASSERT_GE(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].module, 7u);
+  EXPECT_EQ(ranked[0].failures, 100u);
+  EXPECT_EQ(ranked[0].vehicles, 20u);
+  EXPECT_EQ(ranked[1].module, 3u);
+  EXPECT_EQ(fleet.total_failures(), 131u);
+  EXPECT_EQ(fleet.vehicles_reporting(), 20u);  // vehicles 0..19 incl. 2 and 5
+  EXPECT_GT(fleet.head_share(0.34), 0.9);      // top 1 of 3 modules
+}
+
+TEST(FleetAnalyzer, DesignFaultCandidatesNeedVehicleQuorum) {
+  FleetAnalyzer fleet;
+  for (std::uint32_t v = 0; v < 10; ++v) fleet.record(v, 1);
+  fleet.record(3, 2, 50);  // single-vehicle module: hardware suspicion
+  const auto candidates = fleet.design_fault_candidates(5);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0], 1u);
+}
+
+TEST(FleetAnalyzer, EmptyFleetIsSafe) {
+  FleetAnalyzer fleet;
+  EXPECT_EQ(fleet.total_failures(), 0u);
+  EXPECT_TRUE(fleet.ranking().empty());
+  EXPECT_DOUBLE_EQ(fleet.head_share(0.2), 0.0);
+}
+
+// --- table renderer -----------------------------------------------------------------
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"a-much-longer-name", "22.5"});
+  const auto out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("a-much-longer-name"), std::string::npos);
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_NO_THROW(t.render());
+}
+
+}  // namespace
+}  // namespace decos::analysis

@@ -1,0 +1,168 @@
+// Direct unit tests of the feature-extraction layer shared by the
+// classifier and the ONA library: credibility filtering, verdict totals,
+// spatial correlation geometry, drift-bucket tests, and the alpha score.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "diag/features.hpp"
+
+namespace decos::diag {
+namespace {
+
+Symptom transport(tta::RoundId round, SymptomType type,
+                  platform::ComponentId obs, platform::ComponentId subj) {
+  Symptom s;
+  s.round = round;
+  s.type = type;
+  s.observer = obs;
+  s.subject_component = subj;
+  s.magnitude = 1.0;
+  return s;
+}
+
+// --- credibility filter -----------------------------------------------------------
+
+TEST(Features, SelfSuspectObserverDoesNotCountTowardQuorum) {
+  EvidenceStore ev;
+  // Observer 1 reports subjects 0 and 2 in round 10 (spread 2 >= bar) —
+  // self-suspect; observer 3 reports only subject 0 — credible.
+  ev.ingest(transport(10, SymptomType::kSlotCrcError, 1, 0));
+  ev.ingest(transport(10, SymptomType::kSlotCrcError, 1, 2));
+  ev.ingest(transport(10, SymptomType::kSlotCrcError, 3, 0));
+  FeatureParams p;
+  p.observer_quorum = 2;
+  p.sender_spread = 2;
+  // Subject 0 has observers {1 (suspect), 3 (credible)}: 1 credible < 2.
+  EXPECT_TRUE(credible_sender_rounds(ev, 0, p).empty());
+  // Add a second credible observer.
+  ev.ingest(transport(10, SymptomType::kSlotCrcError, 4, 0));
+  EXPECT_EQ(credible_sender_rounds(ev, 0, p).size(), 1u);
+}
+
+TEST(Features, ObserverRoundsNeedSpread) {
+  EvidenceStore ev;
+  ev.ingest(transport(5, SymptomType::kSlotOmission, 2, 0));
+  FeatureParams p;
+  p.sender_spread = 2;
+  EXPECT_TRUE(observer_rounds(ev, 2, p).empty());  // only one sender flagged
+  ev.ingest(transport(5, SymptomType::kSlotOmission, 2, 1));
+  EXPECT_EQ(observer_rounds(ev, 2, p).size(), 1u);
+}
+
+// --- verdict totals -----------------------------------------------------------------
+
+TEST(Features, VerdictTotalsCountOnlyQuorumRounds) {
+  EvidenceStore ev;
+  // Round 1: two observers (quorum met). Round 2: one observer only.
+  ev.ingest(transport(1, SymptomType::kSlotCrcError, 1, 0));
+  ev.ingest(transport(1, SymptomType::kSlotOmission, 2, 0));
+  ev.ingest(transport(2, SymptomType::kSlotTimingError, 1, 0));
+  FeatureParams p;
+  const auto vt = verdict_totals(ev, 0, p);
+  EXPECT_EQ(vt.quorum_rounds, 1u);
+  EXPECT_EQ(vt.crc, 1u);
+  EXPECT_EQ(vt.omission, 1u);
+  EXPECT_EQ(vt.timing, 0u);  // round 2 below quorum
+}
+
+// --- spatial correlation geometry ----------------------------------------------------
+
+TEST(Features, SpatialCorrelationRespectsRadiusAndDelta) {
+  FeatureParams p;
+  p.sender_spread = 2;
+  p.spatial_radius = 1.5;
+  p.correlation_delta = 5;
+  const auto layout = fault::SpatialLayout::linear(5);
+
+  auto make_ev = [&](platform::ComponentId other, tta::RoundId other_round) {
+    EvidenceStore ev;
+    // Component 1 has an observer episode at rounds 100-102.
+    for (tta::RoundId r = 100; r <= 102; ++r) {
+      ev.ingest(transport(r, SymptomType::kSlotCrcError, 1, 0));
+      ev.ingest(transport(r, SymptomType::kSlotCrcError, 1, 3));
+    }
+    // `other` has observer activity at `other_round`.
+    ev.ingest(transport(other_round, SymptomType::kSlotCrcError, other, 0));
+    ev.ingest(transport(other_round, SymptomType::kSlotCrcError, other, 3));
+    return ev;
+  };
+
+  // Neighbour (distance 1) within delta: correlated.
+  {
+    const auto ev = make_ev(2, 104);
+    const auto eps = observer_episodes(ev, 1, p);
+    EXPECT_TRUE(spatially_correlated(ev, 1, eps, layout, 5, p));
+  }
+  // Neighbour but far in time: not correlated.
+  {
+    const auto ev = make_ev(2, 300);
+    const auto eps = observer_episodes(ev, 1, p);
+    EXPECT_FALSE(spatially_correlated(ev, 1, eps, layout, 5, p));
+  }
+  // Coincident in time but spatially remote (distance 3): not correlated.
+  {
+    const auto ev = make_ev(4, 101);
+    const auto eps = observer_episodes(ev, 1, p);
+    EXPECT_FALSE(spatially_correlated(ev, 1, eps, layout, 5, p));
+  }
+}
+
+// --- drift buckets ---------------------------------------------------------------------
+
+TEST(Features, DriftNeedsMonotoneGrowth) {
+  // Clean growth: drifting.
+  std::vector<double> rising;
+  for (int i = 0; i < 16; ++i) rising.push_back(1.0 + 0.3 * i);
+  EXPECT_TRUE(magnitudes_drifting(rising));
+
+  // Flat: not drifting.
+  std::vector<double> flat(16, 5.0);
+  EXPECT_FALSE(magnitudes_drifting(flat));
+
+  // Declining: not drifting.
+  std::vector<double> falling;
+  for (int i = 0; i < 16; ++i) falling.push_back(10.0 - 0.5 * i);
+  EXPECT_FALSE(magnitudes_drifting(falling));
+
+  // Too short: undecidable.
+  EXPECT_FALSE(magnitudes_drifting({1, 2, 3, 4, 5, 6, 7}));
+
+  // Growth modulated by oscillation (the sine-sensor case): still drifts.
+  std::vector<double> wavy;
+  for (int i = 0; i < 24; ++i) {
+    wavy.push_back(1.0 + 0.4 * i + 0.8 * std::sin(i * 1.3));
+  }
+  EXPECT_TRUE(magnitudes_drifting(wavy));
+}
+
+// --- alpha score ----------------------------------------------------------------------
+
+TEST(Features, AlphaScoreDecaysAndAccumulates) {
+  FeatureParams p;
+  EvidenceStore ev;
+  // One old symptomatic round: nearly fully decayed after 5000 rounds.
+  ev.ingest(transport(100, SymptomType::kSlotCrcError, 1, 0));
+  ev.ingest(transport(100, SymptomType::kSlotCrcError, 2, 0));
+  EXPECT_LT(alpha_score(ev, 0, 5100, p, 0.999), 0.01);
+
+  // A dense recent run accumulates toward its length.
+  for (tta::RoundId r = 5000; r < 5050; ++r) {
+    ev.ingest(transport(r, SymptomType::kSlotCrcError, 1, 0));
+    ev.ingest(transport(r, SymptomType::kSlotCrcError, 2, 0));
+  }
+  const double a = alpha_score(ev, 0, 5050, p, 0.999);
+  EXPECT_GT(a, 45.0);
+  EXPECT_LT(a, 51.0);
+}
+
+TEST(Features, AlphaScoreIgnoresFutureRounds) {
+  FeatureParams p;
+  EvidenceStore ev;
+  ev.ingest(transport(200, SymptomType::kSlotCrcError, 1, 0));
+  ev.ingest(transport(200, SymptomType::kSlotCrcError, 2, 0));
+  EXPECT_DOUBLE_EQ(alpha_score(ev, 0, 100, p, 0.999), 0.0);
+}
+
+}  // namespace
+}  // namespace decos::diag

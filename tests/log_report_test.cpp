@@ -1,0 +1,138 @@
+// Tests for the diagnostic flight recorder (serialise, parse, file
+// round-trip, replay into a fresh evidence store with identical
+// classification) and the technician report renderer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "analysis/technician_report.hpp"
+#include "diag/log.hpp"
+#include "scenario/fig10.hpp"
+
+namespace decos::diag {
+namespace {
+
+Symptom make_symptom(tta::RoundId round, SymptomType type,
+                     platform::ComponentId obs, platform::ComponentId subj,
+                     std::optional<platform::JobId> job, double mag) {
+  Symptom s;
+  s.round = round;
+  s.type = type;
+  s.observer = obs;
+  s.subject_component = subj;
+  s.subject_job = job;
+  s.magnitude = mag;
+  return s;
+}
+
+TEST(DiagnosticLog, SerialiseParseRoundTrip) {
+  DiagnosticLog log;
+  log.record(make_symptom(10, SymptomType::kSlotCrcError, 0, 2, std::nullopt, 1.0));
+  log.record(make_symptom(11, SymptomType::kValueOutOfRange, 1, 1, 7, 42.5));
+  log.record(make_symptom(12, SymptomType::kGuardianBlock, 3, 3, std::nullopt, 1.0));
+
+  const auto text = log.serialize();
+  const auto back = DiagnosticLog::parse(text);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), 3u);
+  EXPECT_EQ(back->symptoms()[0].type, SymptomType::kSlotCrcError);
+  EXPECT_EQ(back->symptoms()[1].subject_job, std::optional<platform::JobId>(7));
+  EXPECT_DOUBLE_EQ(back->symptoms()[1].magnitude, 42.5);
+  EXPECT_FALSE(back->symptoms()[2].subject_job.has_value());
+  EXPECT_EQ(back->symptoms()[2].round, 12u);
+}
+
+TEST(DiagnosticLog, ParseRejectsGarbage) {
+  EXPECT_FALSE(DiagnosticLog::parse("not a log line\n").has_value());
+  EXPECT_FALSE(DiagnosticLog::parse("10 99 0 0 -1 1.0\n").has_value());  // bad type
+  // Empty text is a valid empty log.
+  const auto empty = DiagnosticLog::parse("");
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_EQ(empty->size(), 0u);
+}
+
+TEST(DiagnosticLog, FileRoundTrip) {
+  DiagnosticLog log;
+  log.record(make_symptom(5, SymptomType::kSlotOmission, 1, 4, std::nullopt, 1.0));
+  const std::string path = "/tmp/decos_diag_log_test.txt";
+  ASSERT_TRUE(log.save(path));
+  const auto back = DiagnosticLog::load(path);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), 1u);
+  EXPECT_EQ(back->symptoms()[0].subject_component, 4u);
+  std::remove(path.c_str());
+}
+
+TEST(DiagnosticLog, LoadMissingFileFails) {
+  EXPECT_FALSE(DiagnosticLog::load("/tmp/does_not_exist_decos.txt").has_value());
+}
+
+TEST(DiagnosticLog, ReplayReproducesClassificationOffBoard) {
+  // On-board: record the symptom stream while a wearout develops.
+  scenario::Fig10System rig({.seed = 91});
+  DiagnosticLog recorder;
+  rig.diag().assessor().set_flight_recorder(&recorder);
+  rig.injector().inject_wearout(1, sim::SimTime{0} + sim::milliseconds(300),
+                                sim::milliseconds(600), 0.7,
+                                sim::milliseconds(10));
+  rig.run(sim::seconds(5));
+  const auto onboard = rig.diag().assessor().diagnose_component(1);
+  ASSERT_EQ(onboard.cls, fault::FaultClass::kComponentInternal);
+  ASSERT_GT(recorder.size(), 50u);
+
+  // Off-board (service station): serialise, re-parse, replay into a fresh
+  // evidence store, classify with the same rules.
+  const auto replayed = DiagnosticLog::parse(recorder.serialize());
+  ASSERT_TRUE(replayed.has_value());
+  EvidenceStore store;
+  replayed->replay_into(store);
+  Classifier classifier({}, fault::SpatialLayout::linear(5));
+  const auto offboard =
+      classifier.classify_component(store, 1, rig.round(), 5);
+  EXPECT_EQ(offboard.cls, onboard.cls) << offboard.rationale;
+}
+
+TEST(TechnicianReport, RendersBarsAndRationales) {
+  std::vector<FruReport> rows;
+  FruReport healthy;
+  healthy.fru = "component 0";
+  healthy.trust = 1.0;
+  rows.push_back(healthy);
+  FruReport bad;
+  bad.fru = "component 1";
+  bad.trust = 0.3;
+  bad.diagnosis = {fault::FaultClass::kComponentInternal,
+                   fault::Persistence::kIntermittent, 0.8, "wearing out"};
+  bad.action = fault::MaintenanceAction::kReplaceComponent;
+  rows.push_back(bad);
+
+  const auto text = analysis::render_technician_report(rows);
+  EXPECT_EQ(text.find("component 0"), std::string::npos);  // hidden healthy
+  EXPECT_NE(text.find("component 1"), std::string::npos);
+  EXPECT_NE(text.find("###......."), std::string::npos);  // 30% bar
+  EXPECT_NE(text.find("wearing out"), std::string::npos);
+  EXPECT_NE(text.find("replace-component"), std::string::npos);
+
+  analysis::TechnicianReportOptions show_all;
+  show_all.hide_healthy = false;
+  const auto full = analysis::render_technician_report(rows, show_all);
+  EXPECT_NE(full.find("component 0"), std::string::npos);
+}
+
+TEST(TechnicianReport, OnaFindingsRendered) {
+  scenario::Fig10System rig({.seed = 92});
+  rig.injector().inject_wearout(1, sim::SimTime{0} + sim::milliseconds(300),
+                                sim::milliseconds(600), 0.7,
+                                sim::milliseconds(10));
+  rig.run(sim::seconds(5));
+  const auto engine = OnaEngine::standard_rules();
+  const auto layout = fault::SpatialLayout::linear(5);
+  const OnaContext ctx{rig.diag().assessor().evidence(), 1, rig.round(), 5,
+                       layout, FeatureParams{}};
+  const auto text = analysis::render_ona_findings(engine, ctx);
+  EXPECT_NE(text.find("wearout"), std::string::npos);
+  EXPECT_NE(text.find("component-internal"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace decos::diag

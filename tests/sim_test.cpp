@@ -1,0 +1,261 @@
+// Unit tests for the discrete-event kernel: time arithmetic, RNG stream
+// independence and distribution sanity, event ordering, cancellation,
+// periodic scheduling, and determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace decos::sim {
+namespace {
+
+// --- time ------------------------------------------------------------------
+
+TEST(SimTime, ArithmeticAndComparisons) {
+  const SimTime t0 = SimTime::zero();
+  const SimTime t1 = t0 + milliseconds(5);
+  EXPECT_EQ(t1.ns(), 5'000'000);
+  EXPECT_LT(t0, t1);
+  EXPECT_EQ(t1 - t0, milliseconds(5));
+  EXPECT_EQ((t1 - milliseconds(5)), t0);
+}
+
+TEST(SimTime, UnitHelpers) {
+  EXPECT_EQ(microseconds(1).ns(), 1'000);
+  EXPECT_EQ(seconds(1).ns(), 1'000'000'000);
+  EXPECT_EQ(hours(1).ns(), 3'600'000'000'000);
+  EXPECT_DOUBLE_EQ(hours(2).hours(), 2.0);
+  EXPECT_DOUBLE_EQ(milliseconds(1500).sec(), 1.5);
+}
+
+TEST(SimTime, ToStringPicksSensibleUnit) {
+  EXPECT_EQ(to_string(SimTime{500}), "500ns");
+  EXPECT_NE(to_string(milliseconds(3)).find("ms"), std::string::npos);
+  EXPECT_NE(to_string(hours(5)).find("h"), std::string::npos);
+}
+
+// --- rng ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndStable) {
+  Rng base(7);
+  Rng f1 = base.fork("alpha");
+  Rng f2 = base.fork("beta");
+  Rng f1_again = base.fork("alpha");
+  EXPECT_EQ(f1.next_u64(), f1_again.next_u64());
+  EXPECT_NE(f1.next_u64(), f2.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversBoundsInclusive) {
+  Rng r(4);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    saw_lo |= (v == 2);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng r(5);
+  const double rate = 0.25;
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.15);
+}
+
+TEST(Rng, WeibullShapeOneIsExponential) {
+  Rng r(6);
+  const double scale = 8.0;
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.weibull(1.0, scale);
+  EXPECT_NEAR(sum / n, scale, 0.4);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(8);
+  const int n = 20000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Rng, PoissonMeanSmallAndLarge) {
+  Rng r(9);
+  for (double mean : {2.0, 120.0}) {
+    double sum = 0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(r.poisson(mean));
+    EXPECT_NEAR(sum / n, mean, mean * 0.1 + 0.2);
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(10);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Fnv1a, StableKnownValue) {
+  // FNV-1a of empty string is the offset basis.
+  EXPECT_EQ(fnv1a(""), 0xCBF29CE484222325ull);
+  EXPECT_NE(fnv1a("a"), fnv1a("b"));
+}
+
+// --- event queue / simulator -------------------------------------------------
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim(1);
+  std::vector<int> order;
+  sim.schedule_at(SimTime{300}, [&] { order.push_back(3); });
+  sim.schedule_at(SimTime{100}, [&] { order.push_back(1); });
+  sim.schedule_at(SimTime{200}, [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), SimTime{300});
+}
+
+TEST(Simulator, SameInstantRespectsPriorityThenFifo) {
+  Simulator sim(1);
+  std::vector<int> order;
+  sim.schedule_at(SimTime{100}, [&] { order.push_back(2); },
+                  EventPriority::kApplication);
+  sim.schedule_at(SimTime{100}, [&] { order.push_back(3); },
+                  EventPriority::kDiagnosis);
+  sim.schedule_at(SimTime{100}, [&] { order.push_back(1); },
+                  EventPriority::kClock);
+  sim.schedule_at(SimTime{100}, [&] { order.push_back(4); },
+                  EventPriority::kDiagnosis);  // FIFO within same priority
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(Simulator, RunUntilStopsAndAdvancesClock) {
+  Simulator sim(1);
+  int fired = 0;
+  sim.schedule_at(SimTime{100}, [&] { ++fired; });
+  sim.schedule_at(SimTime{200}, [&] { ++fired; });
+  sim.schedule_at(SimTime{300}, [&] { ++fired; });
+  const auto n = sim.run_until(SimTime{200});
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), SimTime{200});
+  sim.run_all();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim(1);
+  int fired = 0;
+  const EventId id = sim.schedule_at(SimTime{100}, [&] { ++fired; });
+  sim.schedule_at(SimTime{50}, [&] { ++fired; });
+  sim.cancel(id);
+  sim.run_all();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  Simulator sim(1);
+  std::vector<std::int64_t> at;
+  sim.schedule_at(SimTime{10}, [&] {
+    at.push_back(sim.now().ns());
+    sim.schedule_after(Duration{5}, [&] { at.push_back(sim.now().ns()); });
+  });
+  sim.run_all();
+  EXPECT_EQ(at, (std::vector<std::int64_t>{10, 15}));
+}
+
+TEST(Simulator, PeriodicRunsUntilFalse) {
+  Simulator sim(1);
+  int count = 0;
+  schedule_periodic(sim, SimTime{0}, Duration{10}, [&] {
+    ++count;
+    return count < 5;
+  });
+  sim.run_all();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now(), SimTime{40});
+}
+
+TEST(Simulator, EventLimitThrows) {
+  Simulator sim(1);
+  sim.set_event_limit(100);
+  schedule_periodic(sim, SimTime{0}, Duration{1}, [] { return true; });
+  EXPECT_THROW(sim.run_until(SimTime{10'000}), std::runtime_error);
+}
+
+TEST(Simulator, TraceRecordsCarryTimeAndCategory) {
+  Simulator sim(1);
+  sim.schedule_at(SimTime{42}, [&] {
+    sim.log(TraceCategory::kFault, "x", "boom");
+  });
+  sim.run_all();
+  ASSERT_EQ(sim.trace().records().size(), 1u);
+  EXPECT_EQ(sim.trace().records()[0].time, SimTime{42});
+  EXPECT_EQ(sim.trace().records()[0].category, TraceCategory::kFault);
+  EXPECT_EQ(sim.trace().count_containing("boom"), 1u);
+  EXPECT_EQ(sim.trace().by_category(TraceCategory::kFault).size(), 1u);
+  EXPECT_EQ(sim.trace().by_category(TraceCategory::kBus).size(), 0u);
+}
+
+// Determinism: two simulators with the same seed produce identical event
+// streams (property the whole experiment suite rests on).
+TEST(Simulator, DeterministicAcrossInstances) {
+  auto run = [](std::uint64_t seed) {
+    Simulator sim(seed);
+    Rng r = sim.fork_rng("load");
+    std::vector<std::int64_t> times;
+    for (int i = 0; i < 50; ++i) {
+      sim.schedule_at(SimTime{static_cast<std::int64_t>(r.uniform_int(0, 1000))},
+                      [&times, &sim] { times.push_back(sim.now().ns()); });
+    }
+    sim.run_all();
+    return times;
+  };
+  EXPECT_EQ(run(77), run(77));
+  EXPECT_NE(run(77), run(78));
+}
+
+}  // namespace
+}  // namespace decos::sim

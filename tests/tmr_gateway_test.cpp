@@ -1,0 +1,200 @@
+// Tests for the redundancy-management service (TMR voter + latent-fault
+// monitor) and the hidden gateway: unit level plus end-to-end on the
+// Fig. 10 system (replica loss detected as degraded redundancy while the
+// voted service stays correct) and a hand-built gateway bridging two DASs.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "platform/gateway.hpp"
+#include "scenario/fig10.hpp"
+#include "vnet/tmr.hpp"
+
+namespace decos::vnet {
+namespace {
+
+using Opt = std::optional<double>;
+
+// --- voter ---------------------------------------------------------------------
+
+TEST(TmrVoter, UnanimousTriple) {
+  TmrVoter v{TmrVoter::Params{.epsilon = 0.5}};
+  const std::array<Opt, 3> r{10.0, 10.1, 9.9};
+  const auto res = v.vote(r);
+  EXPECT_EQ(res.status, TmrVoter::Status::kUnanimous);
+  EXPECT_NEAR(res.value, 10.0, 0.2);
+  EXPECT_FALSE(res.outvoted.has_value());
+}
+
+TEST(TmrVoter, MajorityOutvotesDeviant) {
+  TmrVoter v{TmrVoter::Params{.epsilon = 0.5}};
+  const std::array<Opt, 3> r{10.0, 55.0, 10.2};
+  const auto res = v.vote(r);
+  EXPECT_EQ(res.status, TmrVoter::Status::kMajority);
+  EXPECT_NEAR(res.value, 10.1, 0.2);
+  ASSERT_TRUE(res.outvoted.has_value());
+  EXPECT_EQ(*res.outvoted, 1u);
+}
+
+TEST(TmrVoter, TwoOfThreeWithMissingReplica) {
+  TmrVoter v{TmrVoter::Params{.epsilon = 0.5}};
+  const std::array<Opt, 3> r{10.0, std::nullopt, 10.2};
+  const auto res = v.vote(r);
+  EXPECT_EQ(res.status, TmrVoter::Status::kUnanimous);
+  EXPECT_NEAR(res.value, 10.1, 0.2);
+}
+
+TEST(TmrVoter, NoQuorumWhenAllDisagree) {
+  TmrVoter v{TmrVoter::Params{.epsilon = 0.5}};
+  const std::array<Opt, 3> r{1.0, 20.0, 40.0};
+  EXPECT_EQ(v.vote(r).status, TmrVoter::Status::kNoQuorum);
+}
+
+TEST(TmrVoter, InsufficientWithOneValue) {
+  TmrVoter v;
+  const std::array<Opt, 3> r{std::nullopt, 5.0, std::nullopt};
+  EXPECT_EQ(v.vote(r).status, TmrVoter::Status::kInsufficient);
+}
+
+// --- redundancy monitor -------------------------------------------------------------
+
+TEST(RedundancyMonitor, DetectsPersistentlyMissingReplica) {
+  TmrVoter v;
+  RedundancyMonitor mon{RedundancyMonitor::Params{.replica_count = 3,
+                                                  .degraded_after_rounds = 10}};
+  const std::array<Opt, 3> degraded{10.0, std::nullopt, 10.1};
+  for (int i = 0; i < 9; ++i) mon.observe(degraded, v.vote(degraded));
+  EXPECT_FALSE(mon.degraded());
+  mon.observe(degraded, v.vote(degraded));
+  EXPECT_TRUE(mon.degraded());
+  EXPECT_EQ(mon.lost_replicas(), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(mon.intact_replicas(), 2u);
+}
+
+TEST(RedundancyMonitor, DetectsPersistentlyOutvotedReplica) {
+  TmrVoter v{TmrVoter::Params{.epsilon = 0.5}};
+  RedundancyMonitor mon{RedundancyMonitor::Params{.replica_count = 3,
+                                                  .degraded_after_rounds = 5}};
+  const std::array<Opt, 3> deviant{10.0, 99.0, 10.1};
+  for (int i = 0; i < 6; ++i) mon.observe(deviant, v.vote(deviant));
+  EXPECT_TRUE(mon.degraded());
+  EXPECT_EQ(mon.lost_replicas(), (std::vector<std::size_t>{1}));
+}
+
+TEST(RedundancyMonitor, RecoveryRestoresRedundancy) {
+  TmrVoter v;
+  RedundancyMonitor mon{RedundancyMonitor::Params{.replica_count = 3,
+                                                  .degraded_after_rounds = 5}};
+  const std::array<Opt, 3> degraded{10.0, std::nullopt, 10.1};
+  const std::array<Opt, 3> healthy{10.0, 10.05, 10.1};
+  for (int i = 0; i < 10; ++i) mon.observe(degraded, v.vote(degraded));
+  EXPECT_TRUE(mon.degraded());
+  mon.observe(healthy, v.vote(healthy));
+  EXPECT_FALSE(mon.degraded());
+  EXPECT_EQ(mon.intact_replicas(), 3u);
+}
+
+// --- end-to-end: latent redundancy loss ------------------------------------------
+
+TEST(RedundancyLive, ReplicaHostFailureDegradesRedundancyButNotService) {
+  scenario::Fig10System rig({.seed = 71});
+  rig.run(sim::seconds(1));
+  EXPECT_FALSE(rig.tmr().monitor.degraded());
+  // Kill S1's host (component 0): the TMR triple silently degrades.
+  rig.injector().inject_permanent_failure(0, sim::SimTime{0} + sim::milliseconds(1200));
+  const auto votes_before = rig.tmr().votes;
+  rig.run(sim::seconds(2));
+  // Service survived...
+  EXPECT_GT(rig.tmr().votes, votes_before + 100);
+  EXPECT_EQ(rig.tmr().vote_failures, 0u);
+  // ...but the monitor reports the latent loss of replica 0,
+  EXPECT_TRUE(rig.tmr().monitor.degraded());
+  EXPECT_EQ(rig.tmr().monitor.lost_replicas(), (std::vector<std::size_t>{0}));
+  // ...and the diagnosis independently names the dead component.
+  EXPECT_EQ(rig.diag().assessor().diagnose_component(0).cls,
+            fault::FaultClass::kComponentInternal);
+}
+
+// --- gateway ----------------------------------------------------------------------
+
+TEST(Gateway, BridgesTwoVnetsWithTransform) {
+  sim::Simulator simulator(72);
+  platform::System::Params sp;
+  sp.cluster.node_count = 4;
+  platform::System sys(simulator, sp);
+  const auto das_a = sys.add_das("A", platform::Criticality::kNonSafetyCritical);
+  const auto das_b = sys.add_das("B", platform::Criticality::kNonSafetyCritical);
+  const auto vn_a = sys.add_vnet("vn.A", 4, 8);
+  const auto vn_b = sys.add_vnet("vn.B", 4, 8);
+
+  // Producer in DAS A publishes Fahrenheit.
+  auto p_port = std::make_shared<platform::PortId>(0);
+  platform::Job& producer = sys.add_job(
+      das_a, "prod", 0, [p_port](platform::JobContext& ctx) {
+        ctx.send(*p_port, 212.0);
+      });
+
+  // Consumer in DAS B expects Celsius.
+  std::vector<double> received;
+  platform::Job& consumer = sys.add_job(
+      das_b, "cons", 2, [&received](platform::JobContext& ctx) {
+        for (const auto& m : ctx.inbox()) received.push_back(m.value);
+      });
+
+  // Hidden gateway on component 1: subscribes to the producer's port on
+  // vn.A, republishes on vn.B with a unit conversion.
+  auto g_port = std::make_shared<platform::PortId>(0);
+  platform::GatewayOptions gw_opts;
+  gw_opts.transform = [](double f) { return (f - 32.0) * 5.0 / 9.0; };
+  platform::Job& gateway = sys.add_job(
+      das_b, "gateway", 1, platform::make_gateway(g_port, std::move(gw_opts)));
+
+  *p_port = sys.add_port(producer.id(), "prod.out", vn_a, {gateway.id()});
+  *g_port = sys.add_port(gateway.id(), "gw.out", vn_b, {consumer.id()});
+
+  sys.finalize();
+  sys.start();
+  simulator.run_until(sim::SimTime{0} + sim::milliseconds(60));
+
+  ASSERT_GT(received.size(), 10u);
+  for (double v : received) EXPECT_NEAR(v, 100.0, 1e-9);
+}
+
+TEST(Gateway, DecimationForwardsEveryNth) {
+  sim::Simulator simulator(73);
+  platform::System::Params sp;
+  sp.cluster.node_count = 4;
+  platform::System sys(simulator, sp);
+  const auto das = sys.add_das("A", platform::Criticality::kNonSafetyCritical);
+  const auto vn_a = sys.add_vnet("vn.A", 4, 8);
+  const auto vn_b = sys.add_vnet("vn.B", 4, 8);
+
+  auto p_port = std::make_shared<platform::PortId>(0);
+  platform::Job& producer = sys.add_job(
+      das, "prod", 0, [p_port](platform::JobContext& ctx) {
+        ctx.send(*p_port, static_cast<double>(ctx.round()));
+      });
+  int forwarded = 0;
+  platform::Job& consumer = sys.add_job(
+      das, "cons", 2, [&forwarded](platform::JobContext& ctx) {
+        forwarded += static_cast<int>(ctx.inbox().size());
+      });
+  auto g_port = std::make_shared<platform::PortId>(0);
+  platform::GatewayOptions gw_opts;
+  gw_opts.decimation = 4;
+  platform::Job& gateway = sys.add_job(
+      das, "gateway", 1, platform::make_gateway(g_port, std::move(gw_opts)));
+  *p_port = sys.add_port(producer.id(), "prod.out", vn_a, {gateway.id()});
+  *g_port = sys.add_port(gateway.id(), "gw.out", vn_b, {consumer.id()});
+
+  sys.finalize();
+  sys.start();
+  simulator.run_until(sim::SimTime{0} + sim::milliseconds(100));
+  const auto rounds = sys.cluster().node(0).current_round();
+  EXPECT_NEAR(static_cast<double>(forwarded),
+              static_cast<double>(rounds) / 4.0,
+              static_cast<double>(rounds) / 10.0);
+}
+
+}  // namespace
+}  // namespace decos::vnet

@@ -1,0 +1,248 @@
+// Tests for the virtual-network layer: wire format round-trips, network
+// plan validation, multiplexer budgets, queue overflow (the job borderline
+// fault manifestation), and drain fairness.
+#include <gtest/gtest.h>
+
+#include "vnet/message.hpp"
+#include "vnet/multiplexer.hpp"
+#include "vnet/network_plan.hpp"
+
+namespace decos::vnet {
+namespace {
+
+// --- wire format ---------------------------------------------------------------
+
+TEST(WireFormat, RoundTripsMessages) {
+  std::vector<Message> msgs;
+  for (int i = 0; i < 5; ++i) {
+    Message m;
+    m.vnet = static_cast<platform::VnetId>(i);
+    m.port = static_cast<platform::PortId>(10 + i);
+    m.sender = static_cast<platform::JobId>(20 + i);
+    m.kind = static_cast<std::uint8_t>(i);
+    m.seq = static_cast<std::uint32_t>(1000 + i);
+    m.value = 3.25 * i - 7.5;
+    msgs.push_back(m);
+  }
+  const auto bytes = pack(msgs, 42);
+  const auto back = unpack(bytes);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), msgs.size());
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    EXPECT_EQ((*back)[i].vnet, msgs[i].vnet);
+    EXPECT_EQ((*back)[i].port, msgs[i].port);
+    EXPECT_EQ((*back)[i].sender, msgs[i].sender);
+    EXPECT_EQ((*back)[i].kind, msgs[i].kind);
+    EXPECT_EQ((*back)[i].seq, msgs[i].seq);
+    EXPECT_DOUBLE_EQ((*back)[i].value, msgs[i].value);
+  }
+}
+
+TEST(WireFormat, EmptyListRoundTrips) {
+  const auto bytes = pack({}, 0);
+  EXPECT_EQ(bytes.size(), 2u);
+  const auto back = unpack(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(WireFormat, TruncatedPayloadRejected) {
+  Message m;
+  m.value = 1.0;
+  auto bytes = pack({m}, 0);
+  bytes.pop_back();
+  EXPECT_FALSE(unpack(bytes).has_value());
+}
+
+TEST(WireFormat, TooShortPayloadRejected) {
+  std::vector<std::uint8_t> one{0x01};
+  EXPECT_FALSE(unpack(one).has_value());
+}
+
+TEST(WireFormat, NegativeAndSpecialValuesSurvive) {
+  Message m;
+  m.value = -0.0;
+  auto back = unpack(pack({m}, 0));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ((*back)[0].value, 0.0);
+  m.value = 1e300;
+  back = unpack(pack({m}, 0));
+  EXPECT_DOUBLE_EQ((*back)[0].value, 1e300);
+}
+
+// --- network plan -----------------------------------------------------------
+
+NetworkPlan two_vnet_plan() {
+  NetworkPlan plan;
+  plan.add_vnet({.id = 0, .name = "diag", .msgs_per_round_per_node = 2,
+                 .queue_depth = 4});
+  plan.add_vnet({.id = 1, .name = "app", .msgs_per_round_per_node = 2,
+                 .queue_depth = 3});
+  plan.add_port({.id = 0, .name = "p0", .vnet = 1, .owner = 0, .receivers = {1}});
+  plan.add_port({.id = 1, .name = "p1", .vnet = 1, .owner = 2, .receivers = {1, 3}});
+  return plan;
+}
+
+TEST(NetworkPlan, LookupByIds) {
+  const auto plan = two_vnet_plan();
+  EXPECT_EQ(plan.vnet(1).name, "app");
+  EXPECT_EQ(plan.port(1).receivers.size(), 2u);
+  EXPECT_EQ(plan.ports().size(), 2u);
+}
+
+TEST(NetworkPlan, MutableVnetAllowsConfigFaultInjection) {
+  auto plan = two_vnet_plan();
+  plan.mutable_vnet(1).queue_depth = 1;  // misconfiguration
+  EXPECT_EQ(plan.vnet(1).queue_depth, 1);
+}
+
+// --- multiplexer --------------------------------------------------------------
+
+TEST(Multiplexer, SendAndDrainRespectsBudget) {
+  const auto plan = two_vnet_plan();
+  Multiplexer mux(plan, 0);
+  mux.host_port(0);
+  Message m;
+  m.port = 0;
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(mux.send(m, 1));
+  // Budget is 2 per round: first drain gives 2, second the remaining 1.
+  EXPECT_EQ(mux.drain_messages(1).size(), 2u);
+  EXPECT_EQ(mux.drain_messages(2).size(), 1u);
+  EXPECT_EQ(mux.drain_messages(3).size(), 0u);
+}
+
+TEST(Multiplexer, AssignsSequenceNumbersAndMetadata) {
+  const auto plan = two_vnet_plan();
+  Multiplexer mux(plan, 0);
+  mux.host_port(0);
+  Message m;
+  m.port = 0;
+  m.value = 9.0;
+  ASSERT_TRUE(mux.send(m, 5));
+  ASSERT_TRUE(mux.send(m, 5));
+  const auto out = mux.drain_messages(5);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].seq, 0u);
+  EXPECT_EQ(out[1].seq, 1u);
+  EXPECT_EQ(out[0].vnet, 1);
+  EXPECT_EQ(out[0].sender, 0);
+  EXPECT_EQ(out[0].sent_round, 5u);
+}
+
+TEST(Multiplexer, QueueOverflowDropsAndCounts) {
+  const auto plan = two_vnet_plan();  // app vnet queue_depth = 3
+  Multiplexer mux(plan, 0);
+  mux.host_port(0);
+  int overflow_events = 0;
+  mux.on_overflow = [&](platform::PortId p, tta::RoundId) {
+    EXPECT_EQ(p, 0);
+    ++overflow_events;
+  };
+  Message m;
+  m.port = 0;
+  EXPECT_TRUE(mux.send(m, 1));
+  EXPECT_TRUE(mux.send(m, 1));
+  EXPECT_TRUE(mux.send(m, 1));
+  EXPECT_FALSE(mux.send(m, 1));  // 4th exceeds depth 3
+  EXPECT_FALSE(mux.send(m, 1));
+  EXPECT_EQ(mux.overflows(0), 2u);
+  EXPECT_EQ(mux.total_overflows(), 2u);
+  EXPECT_EQ(overflow_events, 2);
+  EXPECT_EQ(mux.queue_length(0), 3u);
+}
+
+TEST(Multiplexer, DrainIsRoundRobinAcrossPorts) {
+  NetworkPlan plan;
+  plan.add_vnet({.id = 0, .name = "diag", .msgs_per_round_per_node = 1,
+                 .queue_depth = 4});
+  plan.add_vnet({.id = 1, .name = "app", .msgs_per_round_per_node = 2,
+                 .queue_depth = 8});
+  plan.add_port({.id = 0, .name = "a", .vnet = 1, .owner = 0, .receivers = {}});
+  plan.add_port({.id = 1, .name = "b", .vnet = 1, .owner = 1, .receivers = {}});
+  Multiplexer mux(plan, 0);
+  mux.host_port(0);
+  mux.host_port(1);
+  Message m;
+  m.port = 0;
+  ASSERT_TRUE(mux.send(m, 1));
+  ASSERT_TRUE(mux.send(m, 1));
+  m.port = 1;
+  ASSERT_TRUE(mux.send(m, 1));
+  // Budget 2: fairness gives one from each port, not two from port 0.
+  const auto out = mux.drain_messages(1);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].port, 0);
+  EXPECT_EQ(out[1].port, 1);
+}
+
+TEST(Multiplexer, UnpackArrivalToleratesGarbage) {
+  const auto plan = two_vnet_plan();
+  Multiplexer mux(plan, 0);
+  std::vector<std::uint8_t> garbage{1, 2, 3};
+  EXPECT_TRUE(mux.unpack_arrival(garbage).empty());
+}
+
+TEST(Multiplexer, SeparateVnetBudgetsAreIndependent) {
+  const auto plan = two_vnet_plan();
+  Multiplexer mux(plan, 0);
+  NetworkPlan plan2;  // unused; ensure no cross effects via fresh plan
+  (void)plan2;
+  mux.host_port(0);  // vnet 1
+  Message m;
+  m.port = 0;
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(mux.send(m, 1));
+  // vnet 1 budget is 2; diag vnet budget unused.
+  EXPECT_EQ(mux.drain_messages(1).size(), 2u);
+}
+
+
+// --- time-triggered state semantics ------------------------------------------------
+
+TEST(Multiplexer, TimeTriggeredPortNeverOverflows) {
+  NetworkPlan plan;
+  plan.add_vnet({.id = 0, .name = "diag", .msgs_per_round_per_node = 2,
+                 .queue_depth = 4});
+  plan.add_vnet({.id = 1, .name = "tt", .msgs_per_round_per_node = 2,
+                 .queue_depth = 1, .kind = VnetKind::kTimeTriggered});
+  plan.add_port({.id = 0, .name = "state", .vnet = 1, .owner = 0,
+                 .receivers = {}});
+  Multiplexer mux(plan, 0);
+  mux.host_port(0);
+  int overflows = 0;
+  mux.on_overflow = [&](platform::PortId, tta::RoundId) { ++overflows; };
+  Message m;
+  m.port = 0;
+  for (int i = 0; i < 100; ++i) {
+    m.value = static_cast<double>(i);
+    EXPECT_TRUE(mux.send(m, 1));
+  }
+  EXPECT_EQ(overflows, 0);
+  EXPECT_EQ(mux.total_overflows(), 0u);
+  // The register holds only the latest value.
+  const auto out = mux.drain_messages(1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].value, 99.0);
+}
+
+TEST(Multiplexer, TimeTriggeredSequenceCountsWrites) {
+  NetworkPlan plan;
+  plan.add_vnet({.id = 0, .name = "diag", .msgs_per_round_per_node = 2,
+                 .queue_depth = 4});
+  plan.add_vnet({.id = 1, .name = "tt", .msgs_per_round_per_node = 2,
+                 .queue_depth = 1, .kind = VnetKind::kTimeTriggered});
+  plan.add_port({.id = 0, .name = "state", .vnet = 1, .owner = 0,
+                 .receivers = {}});
+  Multiplexer mux(plan, 0);
+  mux.host_port(0);
+  Message m;
+  m.port = 0;
+  ASSERT_TRUE(mux.send(m, 1));
+  ASSERT_TRUE(mux.send(m, 1));  // overwrite
+  const auto out = mux.drain_messages(1);
+  ASSERT_EQ(out.size(), 1u);
+  // The receiver can detect skipped updates from the seq jump.
+  EXPECT_EQ(out[0].seq, 1u);
+}
+
+}  // namespace
+}  // namespace decos::vnet
