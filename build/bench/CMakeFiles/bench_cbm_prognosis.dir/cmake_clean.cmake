@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cbm_prognosis.dir/bench_cbm_prognosis.cpp.o"
+  "CMakeFiles/bench_cbm_prognosis.dir/bench_cbm_prognosis.cpp.o.d"
+  "bench_cbm_prognosis"
+  "bench_cbm_prognosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cbm_prognosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

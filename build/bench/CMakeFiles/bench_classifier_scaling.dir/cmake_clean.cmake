@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_classifier_scaling.dir/bench_classifier_scaling.cpp.o"
+  "CMakeFiles/bench_classifier_scaling.dir/bench_classifier_scaling.cpp.o.d"
+  "bench_classifier_scaling"
+  "bench_classifier_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_classifier_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

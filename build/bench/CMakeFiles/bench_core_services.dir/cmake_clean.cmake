@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_core_services.dir/bench_core_services.cpp.o"
+  "CMakeFiles/bench_core_services.dir/bench_core_services.cpp.o.d"
+  "bench_core_services"
+  "bench_core_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_core_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_actions.dir/bench_fig11_actions.cpp.o"
+  "CMakeFiles/bench_fig11_actions.dir/bench_fig11_actions.cpp.o.d"
+  "bench_fig11_actions"
+  "bench_fig11_actions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_actions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_bathtub.dir/bench_fig7_bathtub.cpp.o"
+  "CMakeFiles/bench_fig7_bathtub.dir/bench_fig7_bathtub.cpp.o.d"
+  "bench_fig7_bathtub"
+  "bench_fig7_bathtub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_bathtub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

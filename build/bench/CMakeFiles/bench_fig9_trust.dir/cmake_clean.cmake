@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_trust.dir/bench_fig9_trust.cpp.o"
+  "CMakeFiles/bench_fig9_trust.dir/bench_fig9_trust.cpp.o.d"
+  "bench_fig9_trust"
+  "bench_fig9_trust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_trust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hypothesis_rates.dir/bench_hypothesis_rates.cpp.o"
+  "CMakeFiles/bench_hypothesis_rates.dir/bench_hypothesis_rates.cpp.o.d"
+  "bench_hypothesis_rates"
+  "bench_hypothesis_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hypothesis_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lifetime_policy.dir/bench_lifetime_policy.cpp.o"
+  "CMakeFiles/bench_lifetime_policy.dir/bench_lifetime_policy.cpp.o.d"
+  "bench_lifetime_policy"
+  "bench_lifetime_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lifetime_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

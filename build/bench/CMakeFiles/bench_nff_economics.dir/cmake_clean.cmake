@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nff_economics.dir/bench_nff_economics.cpp.o"
+  "CMakeFiles/bench_nff_economics.dir/bench_nff_economics.cpp.o.d"
+  "bench_nff_economics"
+  "bench_nff_economics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nff_economics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_nff_economics.
+# This may be replaced when dependencies are built.

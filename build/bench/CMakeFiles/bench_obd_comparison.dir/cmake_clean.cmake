@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_obd_comparison.dir/bench_obd_comparison.cpp.o"
+  "CMakeFiles/bench_obd_comparison.dir/bench_obd_comparison.cpp.o.d"
+  "bench_obd_comparison"
+  "bench_obd_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_obd_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_software_pareto.dir/bench_software_pareto.cpp.o"
+  "CMakeFiles/bench_software_pareto.dir/bench_software_pareto.cpp.o.d"
+  "bench_software_pareto"
+  "bench_software_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_software_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

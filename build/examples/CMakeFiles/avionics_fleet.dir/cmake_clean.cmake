@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avionics_fleet.dir/avionics_fleet.cpp.o"
+  "CMakeFiles/avionics_fleet.dir/avionics_fleet.cpp.o.d"
+  "avionics_fleet"
+  "avionics_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avionics_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

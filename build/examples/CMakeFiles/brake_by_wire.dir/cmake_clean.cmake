@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brake_by_wire.dir/brake_by_wire.cpp.o"
+  "CMakeFiles/brake_by_wire.dir/brake_by_wire.cpp.o.d"
+  "brake_by_wire"
+  "brake_by_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brake_by_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

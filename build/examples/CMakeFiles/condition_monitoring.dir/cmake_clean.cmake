@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/condition_monitoring.dir/condition_monitoring.cpp.o"
+  "CMakeFiles/condition_monitoring.dir/condition_monitoring.cpp.o.d"
+  "condition_monitoring"
+  "condition_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/condition_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

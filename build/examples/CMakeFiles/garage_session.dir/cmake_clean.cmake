@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/garage_session.dir/garage_session.cpp.o"
+  "CMakeFiles/garage_session.dir/garage_session.cpp.o.d"
+  "garage_session"
+  "garage_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/garage_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/cbm.cpp" "src/analysis/CMakeFiles/decos_analysis.dir/cbm.cpp.o" "gcc" "src/analysis/CMakeFiles/decos_analysis.dir/cbm.cpp.o.d"
+  "/root/repo/src/analysis/confusion.cpp" "src/analysis/CMakeFiles/decos_analysis.dir/confusion.cpp.o" "gcc" "src/analysis/CMakeFiles/decos_analysis.dir/confusion.cpp.o.d"
+  "/root/repo/src/analysis/fleet.cpp" "src/analysis/CMakeFiles/decos_analysis.dir/fleet.cpp.o" "gcc" "src/analysis/CMakeFiles/decos_analysis.dir/fleet.cpp.o.d"
+  "/root/repo/src/analysis/nff.cpp" "src/analysis/CMakeFiles/decos_analysis.dir/nff.cpp.o" "gcc" "src/analysis/CMakeFiles/decos_analysis.dir/nff.cpp.o.d"
+  "/root/repo/src/analysis/queueing.cpp" "src/analysis/CMakeFiles/decos_analysis.dir/queueing.cpp.o" "gcc" "src/analysis/CMakeFiles/decos_analysis.dir/queueing.cpp.o.d"
+  "/root/repo/src/analysis/table.cpp" "src/analysis/CMakeFiles/decos_analysis.dir/table.cpp.o" "gcc" "src/analysis/CMakeFiles/decos_analysis.dir/table.cpp.o.d"
+  "/root/repo/src/analysis/technician_report.cpp" "src/analysis/CMakeFiles/decos_analysis.dir/technician_report.cpp.o" "gcc" "src/analysis/CMakeFiles/decos_analysis.dir/technician_report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fault/CMakeFiles/decos_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/decos_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/diag/CMakeFiles/decos_diag.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/decos_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/vnet/CMakeFiles/decos_vnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/tta/CMakeFiles/decos_tta.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/decos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decos_analysis.dir/cbm.cpp.o"
+  "CMakeFiles/decos_analysis.dir/cbm.cpp.o.d"
+  "CMakeFiles/decos_analysis.dir/confusion.cpp.o"
+  "CMakeFiles/decos_analysis.dir/confusion.cpp.o.d"
+  "CMakeFiles/decos_analysis.dir/fleet.cpp.o"
+  "CMakeFiles/decos_analysis.dir/fleet.cpp.o.d"
+  "CMakeFiles/decos_analysis.dir/nff.cpp.o"
+  "CMakeFiles/decos_analysis.dir/nff.cpp.o.d"
+  "CMakeFiles/decos_analysis.dir/queueing.cpp.o"
+  "CMakeFiles/decos_analysis.dir/queueing.cpp.o.d"
+  "CMakeFiles/decos_analysis.dir/table.cpp.o"
+  "CMakeFiles/decos_analysis.dir/table.cpp.o.d"
+  "CMakeFiles/decos_analysis.dir/technician_report.cpp.o"
+  "CMakeFiles/decos_analysis.dir/technician_report.cpp.o.d"
+  "libdecos_analysis.a"
+  "libdecos_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decos_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

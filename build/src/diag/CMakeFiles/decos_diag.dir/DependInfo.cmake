@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/diag/agent.cpp" "src/diag/CMakeFiles/decos_diag.dir/agent.cpp.o" "gcc" "src/diag/CMakeFiles/decos_diag.dir/agent.cpp.o.d"
+  "/root/repo/src/diag/assessor.cpp" "src/diag/CMakeFiles/decos_diag.dir/assessor.cpp.o" "gcc" "src/diag/CMakeFiles/decos_diag.dir/assessor.cpp.o.d"
+  "/root/repo/src/diag/classifier.cpp" "src/diag/CMakeFiles/decos_diag.dir/classifier.cpp.o" "gcc" "src/diag/CMakeFiles/decos_diag.dir/classifier.cpp.o.d"
+  "/root/repo/src/diag/evidence.cpp" "src/diag/CMakeFiles/decos_diag.dir/evidence.cpp.o" "gcc" "src/diag/CMakeFiles/decos_diag.dir/evidence.cpp.o.d"
+  "/root/repo/src/diag/features.cpp" "src/diag/CMakeFiles/decos_diag.dir/features.cpp.o" "gcc" "src/diag/CMakeFiles/decos_diag.dir/features.cpp.o.d"
+  "/root/repo/src/diag/log.cpp" "src/diag/CMakeFiles/decos_diag.dir/log.cpp.o" "gcc" "src/diag/CMakeFiles/decos_diag.dir/log.cpp.o.d"
+  "/root/repo/src/diag/ona.cpp" "src/diag/CMakeFiles/decos_diag.dir/ona.cpp.o" "gcc" "src/diag/CMakeFiles/decos_diag.dir/ona.cpp.o.d"
+  "/root/repo/src/diag/service.cpp" "src/diag/CMakeFiles/decos_diag.dir/service.cpp.o" "gcc" "src/diag/CMakeFiles/decos_diag.dir/service.cpp.o.d"
+  "/root/repo/src/diag/symptom.cpp" "src/diag/CMakeFiles/decos_diag.dir/symptom.cpp.o" "gcc" "src/diag/CMakeFiles/decos_diag.dir/symptom.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/decos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tta/CMakeFiles/decos_tta.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/decos_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/vnet/CMakeFiles/decos_vnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/decos_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/decos_reliability.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

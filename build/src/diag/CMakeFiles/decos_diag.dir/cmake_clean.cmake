@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decos_diag.dir/agent.cpp.o"
+  "CMakeFiles/decos_diag.dir/agent.cpp.o.d"
+  "CMakeFiles/decos_diag.dir/assessor.cpp.o"
+  "CMakeFiles/decos_diag.dir/assessor.cpp.o.d"
+  "CMakeFiles/decos_diag.dir/classifier.cpp.o"
+  "CMakeFiles/decos_diag.dir/classifier.cpp.o.d"
+  "CMakeFiles/decos_diag.dir/evidence.cpp.o"
+  "CMakeFiles/decos_diag.dir/evidence.cpp.o.d"
+  "CMakeFiles/decos_diag.dir/features.cpp.o"
+  "CMakeFiles/decos_diag.dir/features.cpp.o.d"
+  "CMakeFiles/decos_diag.dir/log.cpp.o"
+  "CMakeFiles/decos_diag.dir/log.cpp.o.d"
+  "CMakeFiles/decos_diag.dir/ona.cpp.o"
+  "CMakeFiles/decos_diag.dir/ona.cpp.o.d"
+  "CMakeFiles/decos_diag.dir/service.cpp.o"
+  "CMakeFiles/decos_diag.dir/service.cpp.o.d"
+  "CMakeFiles/decos_diag.dir/symptom.cpp.o"
+  "CMakeFiles/decos_diag.dir/symptom.cpp.o.d"
+  "libdecos_diag.a"
+  "libdecos_diag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decos_diag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

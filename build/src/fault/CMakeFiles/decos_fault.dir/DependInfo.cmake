@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/injector.cpp" "src/fault/CMakeFiles/decos_fault.dir/injector.cpp.o" "gcc" "src/fault/CMakeFiles/decos_fault.dir/injector.cpp.o.d"
+  "/root/repo/src/fault/lifetime.cpp" "src/fault/CMakeFiles/decos_fault.dir/lifetime.cpp.o" "gcc" "src/fault/CMakeFiles/decos_fault.dir/lifetime.cpp.o.d"
+  "/root/repo/src/fault/taxonomy.cpp" "src/fault/CMakeFiles/decos_fault.dir/taxonomy.cpp.o" "gcc" "src/fault/CMakeFiles/decos_fault.dir/taxonomy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/decos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tta/CMakeFiles/decos_tta.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/decos_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/vnet/CMakeFiles/decos_vnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decos_fault.dir/injector.cpp.o"
+  "CMakeFiles/decos_fault.dir/injector.cpp.o.d"
+  "CMakeFiles/decos_fault.dir/lifetime.cpp.o"
+  "CMakeFiles/decos_fault.dir/lifetime.cpp.o.d"
+  "CMakeFiles/decos_fault.dir/taxonomy.cpp.o"
+  "CMakeFiles/decos_fault.dir/taxonomy.cpp.o.d"
+  "libdecos_fault.a"
+  "libdecos_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decos_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

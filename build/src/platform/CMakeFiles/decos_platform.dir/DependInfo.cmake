@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/component.cpp" "src/platform/CMakeFiles/decos_platform.dir/component.cpp.o" "gcc" "src/platform/CMakeFiles/decos_platform.dir/component.cpp.o.d"
+  "/root/repo/src/platform/job.cpp" "src/platform/CMakeFiles/decos_platform.dir/job.cpp.o" "gcc" "src/platform/CMakeFiles/decos_platform.dir/job.cpp.o.d"
+  "/root/repo/src/platform/system.cpp" "src/platform/CMakeFiles/decos_platform.dir/system.cpp.o" "gcc" "src/platform/CMakeFiles/decos_platform.dir/system.cpp.o.d"
+  "/root/repo/src/platform/transducer.cpp" "src/platform/CMakeFiles/decos_platform.dir/transducer.cpp.o" "gcc" "src/platform/CMakeFiles/decos_platform.dir/transducer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/decos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tta/CMakeFiles/decos_tta.dir/DependInfo.cmake"
+  "/root/repo/build/src/vnet/CMakeFiles/decos_vnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

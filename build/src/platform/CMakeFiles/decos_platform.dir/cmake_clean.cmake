@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decos_platform.dir/component.cpp.o"
+  "CMakeFiles/decos_platform.dir/component.cpp.o.d"
+  "CMakeFiles/decos_platform.dir/job.cpp.o"
+  "CMakeFiles/decos_platform.dir/job.cpp.o.d"
+  "CMakeFiles/decos_platform.dir/system.cpp.o"
+  "CMakeFiles/decos_platform.dir/system.cpp.o.d"
+  "CMakeFiles/decos_platform.dir/transducer.cpp.o"
+  "CMakeFiles/decos_platform.dir/transducer.cpp.o.d"
+  "libdecos_platform.a"
+  "libdecos_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decos_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdecos_platform.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reliability/alpha_count.cpp" "src/reliability/CMakeFiles/decos_reliability.dir/alpha_count.cpp.o" "gcc" "src/reliability/CMakeFiles/decos_reliability.dir/alpha_count.cpp.o.d"
+  "/root/repo/src/reliability/hazard.cpp" "src/reliability/CMakeFiles/decos_reliability.dir/hazard.cpp.o" "gcc" "src/reliability/CMakeFiles/decos_reliability.dir/hazard.cpp.o.d"
+  "/root/repo/src/reliability/pareto.cpp" "src/reliability/CMakeFiles/decos_reliability.dir/pareto.cpp.o" "gcc" "src/reliability/CMakeFiles/decos_reliability.dir/pareto.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/decos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decos_reliability.dir/alpha_count.cpp.o"
+  "CMakeFiles/decos_reliability.dir/alpha_count.cpp.o.d"
+  "CMakeFiles/decos_reliability.dir/hazard.cpp.o"
+  "CMakeFiles/decos_reliability.dir/hazard.cpp.o.d"
+  "CMakeFiles/decos_reliability.dir/pareto.cpp.o"
+  "CMakeFiles/decos_reliability.dir/pareto.cpp.o.d"
+  "libdecos_reliability.a"
+  "libdecos_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decos_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

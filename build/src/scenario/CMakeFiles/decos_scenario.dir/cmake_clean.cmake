@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decos_scenario.dir/campaign.cpp.o"
+  "CMakeFiles/decos_scenario.dir/campaign.cpp.o.d"
+  "CMakeFiles/decos_scenario.dir/fig10.cpp.o"
+  "CMakeFiles/decos_scenario.dir/fig10.cpp.o.d"
+  "libdecos_scenario.a"
+  "libdecos_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decos_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

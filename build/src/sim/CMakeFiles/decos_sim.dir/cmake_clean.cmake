@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decos_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/decos_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/decos_sim.dir/rng.cpp.o"
+  "CMakeFiles/decos_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/decos_sim.dir/simulator.cpp.o"
+  "CMakeFiles/decos_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/decos_sim.dir/time.cpp.o"
+  "CMakeFiles/decos_sim.dir/time.cpp.o.d"
+  "CMakeFiles/decos_sim.dir/trace.cpp.o"
+  "CMakeFiles/decos_sim.dir/trace.cpp.o.d"
+  "libdecos_sim.a"
+  "libdecos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tta/bus.cpp" "src/tta/CMakeFiles/decos_tta.dir/bus.cpp.o" "gcc" "src/tta/CMakeFiles/decos_tta.dir/bus.cpp.o.d"
+  "/root/repo/src/tta/clock_sync.cpp" "src/tta/CMakeFiles/decos_tta.dir/clock_sync.cpp.o" "gcc" "src/tta/CMakeFiles/decos_tta.dir/clock_sync.cpp.o.d"
+  "/root/repo/src/tta/cluster.cpp" "src/tta/CMakeFiles/decos_tta.dir/cluster.cpp.o" "gcc" "src/tta/CMakeFiles/decos_tta.dir/cluster.cpp.o.d"
+  "/root/repo/src/tta/frame.cpp" "src/tta/CMakeFiles/decos_tta.dir/frame.cpp.o" "gcc" "src/tta/CMakeFiles/decos_tta.dir/frame.cpp.o.d"
+  "/root/repo/src/tta/node.cpp" "src/tta/CMakeFiles/decos_tta.dir/node.cpp.o" "gcc" "src/tta/CMakeFiles/decos_tta.dir/node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/decos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

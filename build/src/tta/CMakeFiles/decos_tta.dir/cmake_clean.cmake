@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decos_tta.dir/bus.cpp.o"
+  "CMakeFiles/decos_tta.dir/bus.cpp.o.d"
+  "CMakeFiles/decos_tta.dir/clock_sync.cpp.o"
+  "CMakeFiles/decos_tta.dir/clock_sync.cpp.o.d"
+  "CMakeFiles/decos_tta.dir/cluster.cpp.o"
+  "CMakeFiles/decos_tta.dir/cluster.cpp.o.d"
+  "CMakeFiles/decos_tta.dir/frame.cpp.o"
+  "CMakeFiles/decos_tta.dir/frame.cpp.o.d"
+  "CMakeFiles/decos_tta.dir/node.cpp.o"
+  "CMakeFiles/decos_tta.dir/node.cpp.o.d"
+  "libdecos_tta.a"
+  "libdecos_tta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decos_tta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vnet/message.cpp" "src/vnet/CMakeFiles/decos_vnet.dir/message.cpp.o" "gcc" "src/vnet/CMakeFiles/decos_vnet.dir/message.cpp.o.d"
+  "/root/repo/src/vnet/multiplexer.cpp" "src/vnet/CMakeFiles/decos_vnet.dir/multiplexer.cpp.o" "gcc" "src/vnet/CMakeFiles/decos_vnet.dir/multiplexer.cpp.o.d"
+  "/root/repo/src/vnet/network_plan.cpp" "src/vnet/CMakeFiles/decos_vnet.dir/network_plan.cpp.o" "gcc" "src/vnet/CMakeFiles/decos_vnet.dir/network_plan.cpp.o.d"
+  "/root/repo/src/vnet/tmr.cpp" "src/vnet/CMakeFiles/decos_vnet.dir/tmr.cpp.o" "gcc" "src/vnet/CMakeFiles/decos_vnet.dir/tmr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/decos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tta/CMakeFiles/decos_tta.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decos_vnet.dir/message.cpp.o"
+  "CMakeFiles/decos_vnet.dir/message.cpp.o.d"
+  "CMakeFiles/decos_vnet.dir/multiplexer.cpp.o"
+  "CMakeFiles/decos_vnet.dir/multiplexer.cpp.o.d"
+  "CMakeFiles/decos_vnet.dir/network_plan.cpp.o"
+  "CMakeFiles/decos_vnet.dir/network_plan.cpp.o.d"
+  "CMakeFiles/decos_vnet.dir/tmr.cpp.o"
+  "CMakeFiles/decos_vnet.dir/tmr.cpp.o.d"
+  "libdecos_vnet.a"
+  "libdecos_vnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decos_vnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbm_test.dir/cbm_test.cpp.o"
+  "CMakeFiles/cbm_test.dir/cbm_test.cpp.o.d"
+  "cbm_test"
+  "cbm_test.pdb"
+  "cbm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

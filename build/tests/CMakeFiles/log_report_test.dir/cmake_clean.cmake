@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_report_test.dir/log_report_test.cpp.o"
+  "CMakeFiles/log_report_test.dir/log_report_test.cpp.o.d"
+  "log_report_test"
+  "log_report_test.pdb"
+  "log_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

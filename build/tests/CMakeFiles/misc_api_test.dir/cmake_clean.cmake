@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misc_api_test.dir/misc_api_test.cpp.o"
+  "CMakeFiles/misc_api_test.dir/misc_api_test.cpp.o.d"
+  "misc_api_test"
+  "misc_api_test.pdb"
+  "misc_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misc_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

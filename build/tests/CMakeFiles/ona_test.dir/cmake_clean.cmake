@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ona_test.dir/ona_test.cpp.o"
+  "CMakeFiles/ona_test.dir/ona_test.cpp.o.d"
+  "ona_test"
+  "ona_test.pdb"
+  "ona_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ona_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmr_gateway_test.dir/tmr_gateway_test.cpp.o"
+  "CMakeFiles/tmr_gateway_test.dir/tmr_gateway_test.cpp.o.d"
+  "tmr_gateway_test"
+  "tmr_gateway_test.pdb"
+  "tmr_gateway_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmr_gateway_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

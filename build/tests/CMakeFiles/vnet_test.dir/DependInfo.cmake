@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vnet_test.cpp" "tests/CMakeFiles/vnet_test.dir/vnet_test.cpp.o" "gcc" "tests/CMakeFiles/vnet_test.dir/vnet_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenario/CMakeFiles/decos_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/decos_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/diag/CMakeFiles/decos_diag.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/decos_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/decos_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/decos_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/vnet/CMakeFiles/decos_vnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/tta/CMakeFiles/decos_tta.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/decos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
