@@ -1,4 +1,4 @@
-// E13 — ablations of the diagnostic design choices (DESIGN.md §7).
+// E13 — ablations of the diagnostic design choices (DESIGN.md §8).
 //
 // (a) Observer-credibility bar: the auto-scaled bar (3/4 of peers) vs a
 //     fixed bar of 2 under *two concurrent* sender faults — the fixed bar
@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "analysis/table.hpp"
+#include "obs/bench_io.hpp"
 #include "scenario/fig10.hpp"
 
 using namespace decos;
@@ -20,7 +21,8 @@ sim::SimTime ms(std::int64_t v) { return sim::SimTime{0} + sim::milliseconds(v);
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::BenchReporter reporter("bench_ablation_diag", argc, argv);
   std::printf("== E13 / ablations of the diagnostic design choices ==\n\n");
 
   // --- (a) credibility bar under concurrent faults ---------------------------
@@ -41,6 +43,8 @@ int main() {
     std::printf("  bar=%-4s -> comp3: %-22s comp1: %-22s\n",
                 bar == 0 ? "auto" : "2", fault::to_string(d3.cls),
                 fault::to_string(d1.cls));
+    rig.diag().record_detection_latency(rig.injector());
+    reporter.absorb(rig.sim().metrics());
   }
   std::printf("  expected: auto bar diagnoses both internal; the fixed bar "
               "of 2 discredits every observer and misses both\n\n");
@@ -64,6 +68,7 @@ int main() {
                 budget, fault::to_string(d.cls),
                 static_cast<unsigned long long>(
                     rig.diag().assessor().symptoms_processed()));
+    reporter.absorb(rig.sim().metrics());
   }
   std::printf("  expected: classification robust down to small budgets "
               "(symptoms queue and arrive late), degrading only when the "
@@ -97,10 +102,12 @@ int main() {
                crossed ? std::to_string(crossed) : "never",
                analysis::Table::num(
                    rig.diag().assessor().component_trust(0), 2)});
+    rig.diag().record_detection_latency(rig.injector());
+    reporter.absorb(rig.sim().metrics());
   }
   std::printf("%s", t.render().c_str());
   std::printf("  expected: larger drops cross the report threshold sooner; "
               "ambient transients must not push the healthy component's "
               "trust to the floor\n");
-  return 0;
+  return reporter.finish();
 }

@@ -13,6 +13,7 @@
 #include "analysis/cbm.hpp"
 #include "analysis/table.hpp"
 #include "diag/features.hpp"
+#include "obs/bench_io.hpp"
 #include "scenario/fig10.hpp"
 
 using namespace decos;
@@ -60,7 +61,10 @@ Outcome run_one(std::uint64_t seed, double shrink) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::BenchReporter reporter("bench_cbm_prognosis", argc, argv);
+  obs::Registry metrics;
+  obs::Histogram abs_err_pct = metrics.histogram("cbm.eol_abs_error_pct");
   std::printf("== E11 / CBM: remaining-useful-life prognosis from the "
               "wearout indicator ==\n\n");
 
@@ -83,6 +87,7 @@ int main() {
           (static_cast<double>(o.predicted_eol) -
            static_cast<double>(o.actual_eol)) /
           static_cast<double>(o.actual_eol);
+      abs_err_pct.record(static_cast<std::int64_t>(err < 0 ? -err : err));
       t.add_row({analysis::Table::num(shrink, 2), std::to_string(seed),
                  analysis::Table::num(o.fitted_shrink, 3),
                  std::to_string(o.predicted_eol), std::to_string(o.actual_eol),
@@ -95,5 +100,9 @@ int main() {
               "EOL predictions from only five observed episodes land within "
               "tens of percent of the actual failure time — enough to "
               "schedule the replacement before the FRU dies in the field\n");
-  return 0;
+  metrics.counter("cbm.prognoses").inc(static_cast<std::uint64_t>(predicted));
+  metrics.counter("cbm.runs").inc(static_cast<std::uint64_t>(total));
+  reporter.absorb(metrics);
+  reporter.set_info("prognoses_produced", static_cast<double>(predicted));
+  return reporter.finish();
 }

@@ -11,6 +11,7 @@
 #include "diag/classifier.hpp"
 #include "diag/evidence.hpp"
 #include "diag/symptom.hpp"
+#include "obs/bench_io.hpp"
 #include "scenario/fig10.hpp"
 
 using namespace decos;
@@ -94,4 +95,14 @@ BENCHMARK(BM_FullSystemSimulation)->Arg(5)->Arg(8)->Arg(16)->Arg(32)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: peel off --json/--csv for the metrics reporter, forward the
+// rest of argv to google-benchmark untouched.
+int main(int argc, char** argv) {
+  obs::BenchReporter reporter("bench_classifier_scaling", argc, argv);
+  int fargc = reporter.argc();
+  benchmark::Initialize(&fargc, reporter.argv());
+  if (benchmark::ReportUnrecognizedArguments(fargc, reporter.argv())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return reporter.finish();
+}

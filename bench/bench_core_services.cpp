@@ -9,12 +9,14 @@
 #include <cstdio>
 
 #include "analysis/table.hpp"
+#include "obs/bench_io.hpp"
 #include "scenario/fig10.hpp"
 #include "tta/cluster.hpp"
 
 using namespace decos;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::BenchReporter reporter("bench_core_services", argc, argv);
   std::printf("== E9 / core services of the time-triggered architecture ==\n\n");
 
   // --- C2: precision vs drift bound -------------------------------------------
@@ -32,6 +34,7 @@ int main() {
     prec.add_row({analysis::Table::num(ppm, 0),
                   analysis::Table::num(cluster.precision().us(), 2),
                   analysis::Table::num(2.0 * ppm * 2.0, 0)});
+    reporter.absorb(simulator.metrics());
   }
   std::printf("%s\n", prec.render().c_str());
 
@@ -54,6 +57,9 @@ int main() {
     std::printf("C4 membership: fail-silent node detected after %llu round(s) "
                 "(paper: consistent diagnosis within one TDMA round)\n",
                 static_cast<unsigned long long>(detected_round - kill_round));
+    reporter.set_info("c4_membership_detection_rounds",
+                      static_cast<double>(detected_round - kill_round));
+    reporter.absorb(simulator.metrics());
   }
 
   // --- C3: guardian containment --------------------------------------------------
@@ -83,6 +89,10 @@ int main() {
                 attempts, in_slot,
                 static_cast<unsigned long long>(cluster.bus().frames_blocked() -
                                                 blocked_before));
+    reporter.set_info("c3_guardian_blocked",
+                      static_cast<double>(cluster.bus().frames_blocked() -
+                                          blocked_before));
+    reporter.absorb(simulator.metrics());
   }
 
   // --- C1: transport throughput (wall clock) -----------------------------------
@@ -104,10 +114,15 @@ int main() {
                 frames,
                 static_cast<double>(simulator.events_executed()) / wall / 1e6,
                 wall * 1e3);
+    reporter.set_info("c1_frames", frames);
+    reporter.set_info(
+        "c1_mevents_per_sec",
+        static_cast<double>(simulator.events_executed()) / wall / 1e6);
+    reporter.absorb(simulator.metrics());
   }
 
   std::printf("\nexpected shape: precision orders of magnitude below raw "
               "drift; membership detects within ~1 round; guardian blocks "
               "every out-of-slot babble\n");
-  return 0;
+  return reporter.finish();
 }

@@ -14,11 +14,13 @@
 #include <cstdio>
 
 #include "analysis/table.hpp"
+#include "obs/bench_io.hpp"
 #include "scenario/fig10.hpp"
 
 using namespace decos;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::BenchReporter reporter("bench_fig10_space", argc, argv);
   std::printf("== E4 / Fig. 10: spatial judgement & error containment ==\n\n");
 
   analysis::Table t({"scenario", "FRU judged", "diagnosis", "action",
@@ -47,6 +49,9 @@ int main() {
     t.add_row({"(a) Heisenbug in job A1", "job A1", fault::to_string(dj.cls),
                fault::to_string(dj.action()),
                contained ? "other DASs clean: yes" : "CONTAINMENT VIOLATED"});
+    rig.diag().record_detection_latency(rig.injector());
+    reporter.absorb(rig.sim().metrics());
+    reporter.set_info("a_contained", contained ? 1.0 : 0.0);
   }
 
   // (b) component-internal fault on the shared component 1.
@@ -83,6 +88,10 @@ int main() {
                 static_cast<unsigned long long>(rig.tmr().disagreements),
                 static_cast<unsigned long long>(rig.tmr().vote_failures),
                 rig.tmr().vote_failures == 0 ? "yes" : "NO");
+    rig.diag().record_detection_latency(rig.injector());
+    reporter.absorb(rig.sim().metrics());
+    reporter.set_info("b_vote_failures",
+                      static_cast<double>(rig.tmr().vote_failures));
   }
 
   std::printf("%s\n", t.render().c_str());
@@ -109,9 +118,10 @@ int main() {
     const auto d = rig.diag().assessor().diagnose_component(1);
     std::printf("  space %-3s -> component 1 judged %-22s (%s)\n",
                 spatial ? "ON" : "OFF", fault::to_string(d.cls), d.rationale.c_str());
+    reporter.absorb(rig.sim().metrics());
   }
   std::printf("expected: with space ON the repeated EMI stays external "
               "(no action); with space OFF it degrades toward a connector "
               "suspicion -> an unnecessary garage inspection\n");
-  return 0;
+  return reporter.finish();
 }

@@ -10,11 +10,13 @@
 #include <cstdio>
 
 #include "analysis/table.hpp"
+#include "obs/bench_io.hpp"
 #include "scenario/campaign.hpp"
 
 using namespace decos;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::BenchReporter reporter("bench_fig11_actions", argc, argv);
   std::printf("== E5 / Fig. 11: measured maintenance-action table ==\n\n");
 
   const auto archetypes = scenario::standard_archetypes();
@@ -23,17 +25,29 @@ int main() {
 
   analysis::Table t({"injected archetype", "true class", "Fig.11 action",
                      "diagnosed correctly"});
+  obs::Registry metrics;
+  std::size_t total_correct = 0, total_runs = 0;
   for (const auto& row : result.per_archetype) {
     char buf[32];
     std::snprintf(buf, sizeof buf, "%zu/%zu", row.correct, row.runs);
     t.add_row({row.name, fault::to_string(row.truth),
                fault::to_string(fault::action_for(row.truth)), buf});
+    const std::string label = "arch=" + row.name;
+    metrics.counter("campaign.runs", label).inc(row.runs);
+    metrics.counter("campaign.correct", label).inc(row.correct);
+    total_correct += row.correct;
+    total_runs += row.runs;
   }
+  reporter.absorb(metrics);
+  reporter.set_info("campaign_accuracy",
+                    total_runs == 0 ? 0.0
+                                    : static_cast<double>(total_correct) /
+                                          static_cast<double>(total_runs));
   std::printf("%s\n", t.render().c_str());
   std::printf("confusion matrix (all archetypes x %zu seeds):\n%s\n",
               seeds.size(), result.confusion.to_table().c_str());
   std::printf("expected shape: high recall on every class; residual "
               "confusion only between classes the paper itself calls "
               "indistinguishable from the interface alone\n");
-  return 0;
+  return reporter.finish();
 }

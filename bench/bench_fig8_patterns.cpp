@@ -10,6 +10,7 @@
 
 #include "analysis/table.hpp"
 #include "diag/classifier.hpp"
+#include "obs/bench_io.hpp"
 #include "scenario/fig10.hpp"
 
 using namespace decos;
@@ -73,7 +74,8 @@ Signature measure(const scenario::Fig10System& /*rig*/, diag::Assessor& assessor
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::BenchReporter reporter("bench_fig8_patterns", argc, argv);
   std::printf("== E2 / Fig. 8: fault patterns in time, space, value ==\n\n");
 
   analysis::Table t({"pattern", "paper: time", "measured: episodes(gap-trend)",
@@ -114,6 +116,9 @@ int main() {
     t.add_row({"wearout", "increasing frequency", buf, "one component only",
                "1", "increasing deviation", "bit corruption",
                fault::to_string(d.cls)});
+    rig.diag().record_detection_latency(rig.injector());
+    reporter.absorb(rig.sim().metrics());
+    reporter.set_info("wearout_episodes", static_cast<double>(eps.size()));
   }
 
   // --- massive transient: EMI over components 0..2 -----------------------------
@@ -131,6 +136,10 @@ int main() {
                "multiple comps, proximity",
                std::to_string(sig.components_affected), "multiple bit flips",
                sig.dominant_value, fault::to_string(d.cls)});
+    rig.diag().record_detection_latency(rig.injector());
+    reporter.absorb(rig.sim().metrics());
+    reporter.set_info("emi_components_affected",
+                      static_cast<double>(sig.components_affected));
   }
 
   // --- connector fault on component 3 -------------------------------------------
@@ -153,10 +162,13 @@ int main() {
     t.add_row({"connector fault", "arbitrary", buf, "one component only", "1",
                "message omissions", "message omission",
                fault::to_string(d.cls)});
+    rig.diag().record_detection_latency(rig.injector());
+    reporter.absorb(rig.sim().metrics());
+    reporter.set_info("connector_episodes", static_cast<double>(eps.size()));
   }
 
   std::printf("%s\n", t.render().c_str());
   std::printf("expected: wearout -> component-internal; massive transient -> "
               "component-external; connector -> component-borderline\n");
-  return 0;
+  return reporter.finish();
 }

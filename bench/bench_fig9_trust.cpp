@@ -7,11 +7,13 @@
 #include <cstdio>
 
 #include "analysis/table.hpp"
+#include "obs/bench_io.hpp"
 #include "scenario/fig10.hpp"
 
 using namespace decos;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::BenchReporter reporter("bench_fig9_trust", argc, argv);
   std::printf("== E3 / Fig. 9: LRU assessment trajectories ==\n\n");
 
   scenario::Fig10System rig({.seed = 301});
@@ -43,5 +45,10 @@ int main() {
               fault::to_string(assessor.diagnose_component(4).cls));
   std::printf("expected shape: A descends toward violation, B stays near "
               "1.0 (the two arrows of Fig. 9)\n");
-  return 0;
+
+  rig.diag().record_detection_latency(rig.injector());
+  reporter.absorb(rig.sim().metrics());
+  reporter.set_info("final_trust_wearing", faulty.back().trust);
+  reporter.set_info("final_trust_healthy", healthy.back().trust);
+  return reporter.finish();
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "analysis/table.hpp"
+#include "obs/bench_io.hpp"
 #include "reliability/alpha_count.hpp"
 #include "reliability/fit.hpp"
 #include "reliability/hazard.hpp"
@@ -22,7 +23,9 @@ using reliability::paper::kPermanentHardware;
 using reliability::paper::kTransientHardware;
 using reliability::paper::kTransientOutageMax;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::BenchReporter reporter("bench_hypothesis_rates", argc, argv);
+  obs::Registry metrics;
   std::printf("== E7 / Section III-E: fault-hypothesis rates & alpha-count ==\n\n");
 
   // --- rate verification -----------------------------------------------------
@@ -31,9 +34,13 @@ int main() {
                          "sampled mean (n=20000)"});
   {
     const reliability::ExponentialHazard h(kPermanentHardware);
+    obs::Histogram sampled =
+        metrics.histogram("reliability.sampled_ttf_hours", "rate=permanent");
     double sum = 0;
     for (int i = 0; i < 20000; ++i) {
-      sum += h.sample_ttf(rng, sim::Duration{}).hours();
+      const double hours = h.sample_ttf(rng, sim::Duration{}).hours();
+      sampled.record(static_cast<std::int64_t>(hours));
+      sum += hours;
     }
     rates.add_row({"permanent hw failure rate", "100 FIT (~1000 yr)",
                    analysis::Table::num(kPermanentHardware.mttf_hours() / 8760.0, 0) +
@@ -42,9 +49,13 @@ int main() {
   }
   {
     const reliability::ExponentialHazard h(kTransientHardware);
+    obs::Histogram sampled =
+        metrics.histogram("reliability.sampled_ttf_hours", "rate=transient");
     double sum = 0;
     for (int i = 0; i < 20000; ++i) {
-      sum += h.sample_ttf(rng, sim::Duration{}).hours();
+      const double hours = h.sample_ttf(rng, sim::Duration{}).hours();
+      sampled.record(static_cast<std::int64_t>(hours));
+      sum += hours;
     }
     rates.add_row({"transient hw failure rate", "100000 FIT (~1 yr)",
                    analysis::Table::num(kTransientHardware.mttf_hours() / 8760.0, 2) +
@@ -103,11 +114,23 @@ int main() {
     };
     sweep.add_row({analysis::Table::num(threshold, 0), pct(alpha_fa),
                    pct(alpha_miss), pct(win_fa), pct(win_miss)});
+    const std::string label =
+        "thr=" + analysis::Table::num(threshold, 0);
+    metrics.counter("alpha.false_alarms", label).inc(
+        static_cast<std::uint64_t>(alpha_fa));
+    metrics.counter("alpha.misses", label).inc(
+        static_cast<std::uint64_t>(alpha_miss));
+    metrics.counter("window.false_alarms", label).inc(
+        static_cast<std::uint64_t>(win_fa));
+    metrics.counter("window.misses", label).inc(
+        static_cast<std::uint64_t>(win_miss));
   }
   std::printf("%s\n", sweep.render().c_str());
   std::printf("expected shape: a mid threshold gives alpha-count ~0%% miss "
               "with low false alarms; the memoryless window counter needs a "
               "higher threshold to control false alarms and then starts "
               "missing — the decay memory is what buys the discrimination\n");
-  return 0;
+  reporter.absorb(metrics);
+  reporter.set_info("population", static_cast<double>(population));
+  return reporter.finish();
 }

@@ -17,11 +17,13 @@
 #include "analysis/nff.hpp"
 #include "analysis/table.hpp"
 #include "fault/lifetime.hpp"
+#include "obs/bench_io.hpp"
 #include "scenario/fig10.hpp"
 
 using namespace decos;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::BenchReporter reporter("bench_lifetime_policy", argc, argv);
   std::printf("== E14 / maintenance policies over sampled vehicle "
               "lifetimes ==\n\n");
 
@@ -75,6 +77,8 @@ int main() {
       naive.record(truth, decide(analysis::Strategy::kNaiveReplace, d.cls));
       guided.record(truth, decide(analysis::Strategy::kModelGuided, d.cls));
     }
+    rig.diag().record_detection_latency(rig.injector());
+    reporter.absorb(rig.sim().metrics());
   }
 
   std::printf("fleet: %zu vehicles, %llu sampled faults, %llu garage "
@@ -88,5 +92,9 @@ int main() {
   std::printf("\nexpected shape: the model-guided policy eliminates most "
               "faults with a fraction of the removals; naive NFF is "
               "dominated by EMI/SEU and connector classes\n");
-  return 0;
+  reporter.set_info("fleet_size", static_cast<double>(fleet_size));
+  reporter.set_info("sampled_faults", static_cast<double>(total_faults));
+  reporter.set_info("naive_nff_ratio", naive.nff_ratio());
+  reporter.set_info("guided_nff_ratio", guided.nff_ratio());
+  return reporter.finish();
 }

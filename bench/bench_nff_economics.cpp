@@ -18,6 +18,7 @@
 #include "analysis/confusion.hpp"
 #include "analysis/nff.hpp"
 #include "analysis/table.hpp"
+#include "obs/bench_io.hpp"
 #include "reliability/fit.hpp"
 #include "scenario/fig10.hpp"
 #include "sim/rng.hpp"
@@ -86,7 +87,8 @@ std::map<fault::FaultClass, std::vector<fault::FaultClass>> calibrate() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::BenchReporter reporter("bench_nff_economics", argc, argv);
   std::printf("== E6 / Section I: NFF economics, naive vs model-guided ==\n\n");
 
   std::printf("calibrating classifier behaviour on the simulated cluster...\n");
@@ -152,5 +154,19 @@ int main() {
   std::printf("expected shape: model-guided NFF ratio a small fraction of "
               "the naive ratio; savings dominated by external + connector "
               "classes the naive strategy pulls boxes for\n");
-  return 0;
+
+  obs::Registry metrics;
+  for (const auto* acct : {&naive, &guided}) {
+    const std::string label = acct == &naive ? "strategy=naive"
+                                             : "strategy=model_guided";
+    metrics.counter("nff.visits", label).inc(acct->visits());
+    metrics.counter("nff.removals", label).inc(acct->removals());
+    metrics.counter("nff.nff_removals", label).inc(acct->nff_removals());
+    metrics.counter("nff.faults_eliminated", label).inc(acct->faults_eliminated());
+  }
+  reporter.absorb(metrics);
+  reporter.set_info("naive_nff_ratio", naive.nff_ratio());
+  reporter.set_info("guided_nff_ratio", guided.nff_ratio());
+  reporter.set_info("saving_per_visit_usd", saving_per_visit);
+  return reporter.finish();
 }

@@ -13,11 +13,14 @@
 
 #include "analysis/obd.hpp"
 #include "analysis/table.hpp"
+#include "obs/bench_io.hpp"
 #include "scenario/fig10.hpp"
 
 using namespace decos;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::BenchReporter reporter("bench_obd_comparison", argc, argv);
+  obs::Registry metrics;
   std::printf("== E12 / detection coverage: DECOS vs 500 ms OBD ==\n\n");
 
   analysis::Table t({"outage [ms]", "vs TDMA round (2.5 ms)",
@@ -51,12 +54,20 @@ int main() {
     std::snprintf(b, sizeof b, "%d/%d", obd_hits, trials);
     t.add_row({std::to_string(outage_ms),
                outage_ms < 3 ? "below round" : "above round", a, b});
+    const std::string label = "outage_ms=" + std::to_string(outage_ms);
+    metrics.counter("coverage.decos_detected", label)
+        .inc(static_cast<std::uint64_t>(decos_hits));
+    metrics.counter("coverage.obd_detected", label)
+        .inc(static_cast<std::uint64_t>(obd_hits));
+    metrics.counter("coverage.trials", label)
+        .inc(static_cast<std::uint64_t>(trials));
   }
+  reporter.absorb(metrics);
 
   std::printf("%s\n", t.render().c_str());
   std::printf("expected shape: DECOS detects every outage longer than about "
               "one TDMA round (2.5 ms here) — including the paper's < 50 ms "
               "transients, which are the wearout indicator; the OBD baseline "
               "is blind below 500 ms and misses all of them\n");
-  return 0;
+  return reporter.finish();
 }

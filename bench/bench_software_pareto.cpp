@@ -12,12 +12,14 @@
 
 #include "analysis/fleet.hpp"
 #include "analysis/table.hpp"
+#include "obs/bench_io.hpp"
 #include "reliability/pareto.hpp"
 #include "sim/rng.hpp"
 
 using namespace decos;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::BenchReporter reporter("bench_software_pareto", argc, argv);
   std::printf("== E8 / Section IV-B.1: software 20-80 rule via fleet "
               "analysis ==\n\n");
 
@@ -68,5 +70,17 @@ int main() {
               candidates.size(), in_head);
   std::printf("expected shape: measured head share ~80%%; candidate list is "
               "dominated by the seeded high-density modules\n");
-  return 0;
+
+  obs::Registry metrics;
+  metrics.counter("fleet.total_failures").inc(fleet.total_failures());
+  metrics.counter("fleet.vehicles_reporting").inc(fleet.vehicles_reporting());
+  obs::Histogram per_module = metrics.histogram("fleet.failures_per_module");
+  for (const auto& r : ranked) {
+    per_module.record(static_cast<std::int64_t>(r.failures));
+  }
+  reporter.absorb(metrics);
+  reporter.set_info("head_share_top20", fleet.head_share(0.20));
+  reporter.set_info("design_fault_candidates",
+                    static_cast<double>(candidates.size()));
+  return reporter.finish();
 }

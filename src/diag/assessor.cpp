@@ -26,12 +26,50 @@ void Assessor::register_subject_job(platform::JobId job,
   job_trust_.emplace(job, p_.trust.initial);
 }
 
+void Assessor::bind_metrics(obs::Registry& registry) {
+  metrics_ = &registry;
+  symptoms_metric_ = registry.counter("diag.symptoms_ingested");
+  violations_metric_ = registry.counter("diag.trust_violations");
+}
+
+void Assessor::note_component_trust(platform::ComponentId c) {
+  if (component_trust_[c] < p_.trust.violation_threshold &&
+      !component_violation_round_.contains(c)) {
+    component_violation_round_[c] = round_;
+    violations_metric_.inc();
+  }
+}
+
+void Assessor::note_job_trust(platform::JobId j) {
+  if (job_trust_.at(j) < p_.trust.violation_threshold &&
+      !job_violation_round_.contains(j)) {
+    job_violation_round_[j] = round_;
+    violations_metric_.inc();
+  }
+}
+
+std::optional<tta::RoundId> Assessor::first_component_violation(
+    platform::ComponentId c) const {
+  auto it = component_violation_round_.find(c);
+  if (it == component_violation_round_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<tta::RoundId> Assessor::first_job_violation(
+    platform::JobId j) const {
+  auto it = job_violation_round_.find(j);
+  if (it == job_violation_round_.end()) return std::nullopt;
+  return it->second;
+}
+
 void Assessor::ingest_external(const Symptom& s) {
   if (recorder_) recorder_->record(s);
   store_.ingest(s);
+  symptoms_metric_.inc();
   if (s.subject_component < component_trust_.size()) {
     component_trust_[s.subject_component] = std::max(
         0.0, component_trust_[s.subject_component] - p_.trust.drop);
+    note_component_trust(s.subject_component);
   }
 }
 
@@ -53,6 +91,7 @@ void Assessor::process(platform::JobContext& ctx) {
     if (!symptom) continue;
     if (recorder_) recorder_->record(*symptom);
     store_.ingest(*symptom);
+    symptoms_metric_.inc();
     // Trust is kept per FRU: job-level symptoms (value, gap, overflow)
     // charge the software FRU — a misconfigured job must not erode
     // confidence in the healthy board it runs on. Transport symptoms are
@@ -95,6 +134,7 @@ void Assessor::process(platform::JobContext& ctx) {
       const double scale = static_cast<double>(std::min(it->second, 4u));
       component_trust_[c] =
           std::max(0.0, component_trust_[c] - p_.trust.drop * scale);
+      note_component_trust(c);
     }
   }
   for (auto& [j, trust] : job_trust_) {
@@ -104,6 +144,7 @@ void Assessor::process(platform::JobContext& ctx) {
     } else {
       const double scale = static_cast<double>(std::min(it->second, 4u));
       trust = std::max(0.0, trust - p_.trust.drop * scale);
+      note_job_trust(j);
     }
   }
 
@@ -119,7 +160,14 @@ void Assessor::process(platform::JobContext& ctx) {
 }
 
 Diagnosis Assessor::diagnose_component(platform::ComponentId c) const {
-  return classifier_.classify_component(store_, c, round_, component_count_);
+  Diagnosis d = classifier_.classify_component(store_, c, round_, component_count_);
+  if (metrics_) {
+    metrics_
+        ->counter("diag.classifications",
+                  std::string("cls=") + fault::to_string(d.cls))
+        .inc();
+  }
+  return d;
 }
 
 Diagnosis Assessor::diagnose_job(platform::JobId j) const {
@@ -131,7 +179,14 @@ Diagnosis Assessor::diagnose_job(platform::JobId j) const {
   const auto sib_it = jobs_by_host_.find(host);
   const auto& siblings =
       sib_it == jobs_by_host_.end() ? kNoSiblings : sib_it->second;
-  return classifier_.classify_job(store_, j, host_diag, siblings, round_);
+  Diagnosis d = classifier_.classify_job(store_, j, host_diag, siblings, round_);
+  if (metrics_) {
+    metrics_
+        ->counter("diag.classifications",
+                  std::string("cls=") + fault::to_string(d.cls))
+        .inc();
+  }
+  return d;
 }
 
 }  // namespace decos::diag

@@ -15,9 +15,11 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <set>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "diag/classifier.hpp"
 #include "diag/evidence.hpp"
 #include "diag/log.hpp"
@@ -35,6 +37,11 @@ struct TrustParams {
   double drop = 0.02;
   /// Trust below which the FRU is reported to the maintenance engineer.
   double report_threshold = 0.5;
+  /// Trust below which the FRU counts as *suspected* — the detection
+  /// instant of the detection-latency metric (injection -> first trust
+  /// violation). Above report_threshold on purpose: suspicion is the
+  /// early signal, the report threshold drives maintenance decisions.
+  double violation_threshold = 0.9;
 };
 
 struct TrustSample {
@@ -75,6 +82,12 @@ class Assessor {
   /// later be replayed off-board (see diag/log.hpp).
   void set_flight_recorder(DiagnosticLog* log) { recorder_ = log; }
 
+  /// Binds the assessor's instrumentation (symptoms ingested, trust
+  /// violations, classifications per fault class) to `registry`, which
+  /// must outlive the assessor. DiagnosticService binds to the
+  /// simulator's registry automatically.
+  void bind_metrics(obs::Registry& registry);
+
   // --- results -----------------------------------------------------------
   [[nodiscard]] Diagnosis diagnose_component(platform::ComponentId c) const;
   [[nodiscard]] Diagnosis diagnose_job(platform::JobId j) const;
@@ -90,6 +103,13 @@ class Assessor {
       platform::ComponentId c) const {
     return component_trajectories_.at(c);
   }
+
+  /// Round at which the FRU's trust first fell below the violation
+  /// threshold (the "detection instant"); nullopt while unsuspected.
+  [[nodiscard]] std::optional<tta::RoundId> first_component_violation(
+      platform::ComponentId c) const;
+  [[nodiscard]] std::optional<tta::RoundId> first_job_violation(
+      platform::JobId j) const;
 
   [[nodiscard]] const EvidenceStore& evidence() const { return store_; }
   [[nodiscard]] const Classifier& classifier() const { return classifier_; }
@@ -114,6 +134,15 @@ class Assessor {
   tta::RoundId round_ = 0;
   tta::RoundId last_sample_ = 0;
   DiagnosticLog* recorder_ = nullptr;
+
+  void note_component_trust(platform::ComponentId c);
+  void note_job_trust(platform::JobId j);
+
+  obs::Registry* metrics_ = nullptr;  // for label-keyed lazy registration
+  obs::Counter symptoms_metric_;
+  obs::Counter violations_metric_;
+  std::map<platform::ComponentId, tta::RoundId> component_violation_round_;
+  std::map<platform::JobId, tta::RoundId> job_violation_round_;
 };
 
 }  // namespace decos::diag

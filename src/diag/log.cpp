@@ -8,7 +8,9 @@ namespace decos::diag {
 
 std::string DiagnosticLog::serialize() const {
   std::string out;
-  out.reserve(symptoms_.size() * 40);
+  // Worst-case line: 20 (round) + 2 + 4 + 4 + 12 (job) + 17 (%.9g) +
+  // 5 separators + newline ~= 64 bytes; typical lines are under 32.
+  out.reserve(symptoms_.size() * 48);
   char buf[128];
   for (const Symptom& s : symptoms_) {
     std::snprintf(buf, sizeof buf, "%llu %u %u %u %d %.9g\n",
@@ -32,11 +34,20 @@ std::optional<DiagnosticLog> DiagnosticLog::parse(const std::string& text) {
     unsigned type, observer, subject;
     int job;
     double magnitude;
-    if (std::sscanf(line.c_str(), "%llu %u %u %u %d %lg", &round, &type,
-                    &observer, &subject, &job, &magnitude) != 6) {
+    int consumed = 0;
+    if (std::sscanf(line.c_str(), "%llu %u %u %u %d %lg %n", &round, &type,
+                    &observer, &subject, &job, &magnitude, &consumed) != 6) {
+      return std::nullopt;
+    }
+    // Trailing garbage means the line is not ours — reject rather than
+    // silently truncate (the log is legal evidence in the garage loop).
+    if (line.find_first_not_of(" \t\r",
+                               static_cast<std::size_t>(consumed)) !=
+        std::string::npos) {
       return std::nullopt;
     }
     if (type < 1 || type > 8) return std::nullopt;
+    if (job < -1) return std::nullopt;
     Symptom s;
     s.round = round;
     s.type = static_cast<SymptomType>(type);

@@ -25,6 +25,9 @@ DiagnosticService::DiagnosticService(platform::System& system, SpecTable specs,
         params.assessor, layout, system_.component_count(),
         static_cast<std::uint32_t>(system_.job_count())));
     Assessor* assessor = assessors_.back().get();
+    // Only the primary feeds the metrics registry: replicas ingest the
+    // same multicast symptom stream and would double-count it.
+    if (i == 0) assessor->bind_metrics(system_.simulator().metrics());
     platform::Job& job = system_.add_job(
         das_, i == 0 ? "diag.assessor" : "diag.assessor.r" + std::to_string(i),
         hosts[i],
@@ -68,6 +71,36 @@ bool DiagnosticService::is_diagnostic_job(platform::JobId j) const {
                      [j](const auto& a) { return a->job_id() == j; });
 }
 
+std::size_t DiagnosticService::record_detection_latency(
+    const fault::FaultInjector& injector) {
+  obs::Registry& metrics = system_.simulator().metrics();
+  obs::Histogram aggregate = metrics.histogram("diag.detection_latency_us");
+  const sim::Duration round_len = system_.cluster().schedule().round_length();
+  const Assessor& primary = *assessors_.front();
+
+  std::size_t recorded = 0;
+  for (const fault::InjectedFault& f : injector.ledger()) {
+    // A job-level fault is detected when its software FRU is suspected; a
+    // component-level fault when the hardware FRU is.
+    std::optional<tta::RoundId> violation =
+        f.job ? primary.first_job_violation(*f.job)
+              : primary.first_component_violation(f.component);
+    std::string fru_label = f.job ? "fru=job." + std::to_string(*f.job)
+                                  : "fru=component." + std::to_string(f.component);
+    if (!violation) continue;
+    // Rounds open at round * round_length on the reference base; the
+    // violation instant is the end of the assessment round that tripped.
+    const sim::SimTime detected = sim::SimTime::zero() +
+                                  round_len * static_cast<std::int64_t>(*violation + 1);
+    if (detected < f.start) continue;  // suspected before this injection
+    const std::int64_t latency_us = (detected - f.start).ns() / 1000;
+    aggregate.record(latency_us);
+    metrics.histogram("diag.detection_latency_us", fru_label).record(latency_us);
+    ++recorded;
+  }
+  return recorded;
+}
+
 std::vector<FruReport> DiagnosticService::report() const {
   static const OnaEngine kOnaRules = OnaEngine::standard_rules();
   const fault::SpatialLayout& layout =
@@ -84,6 +117,10 @@ std::vector<FruReport> DiagnosticService::report() const {
                          system_.component_count(), layout, FeatureParams{}};
     for (const auto* hit : kOnaRules.evaluate(ctx)) {
       row.asserted_onas.push_back(hit->name());
+      system_.simulator()
+          .metrics()
+          .counter("diag.ona_assertions", "ona=" + std::string(hit->name()))
+          .inc();
     }
     rows.push_back(std::move(row));
   }

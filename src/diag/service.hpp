@@ -68,6 +68,17 @@ class DiagnosticService {
   /// non-kNone diagnosis request, but every FRU is listed.
   [[nodiscard]] std::vector<FruReport> report() const;
 
+  /// Correlates the injector's ground-truth ledger with the primary
+  /// assessor's first trust violations and records, for every injected
+  /// fault whose FRU became suspected after the injection instant, the
+  /// detection latency (injection -> first trust violation) into the
+  /// simulator's metrics registry: histogram `diag.detection_latency_us`,
+  /// both aggregate and labelled per FRU (`fru=component.N` /
+  /// `fru=job.N`). Returns how many faults got a latency sample. Call
+  /// after the run; idempotent only in the sense that calling twice
+  /// records the samples twice.
+  std::size_t record_detection_latency(const fault::FaultInjector& injector);
+
  private:
   platform::System& system_;
   SpecTable specs_;

@@ -37,8 +37,18 @@ FaultId FaultInjector::record(InjectedFault f) {
   sim_.log(sim::TraceCategory::kFault,
            "component." + std::to_string(f.component),
            std::string(to_string(f.cls)) + ": " + f.description);
+  // Injections are rare; the registration lookup off the hot path is fine.
+  sim_.metrics()
+      .counter("fault.injections", std::string("cls=") + to_string(f.cls))
+      .inc();
   ledger_.push_back(std::move(f));
   return ledger_.back().id;
+}
+
+std::function<void()>* FaultInjector::own_chain(
+    std::shared_ptr<std::function<void()>> f) {
+  chains_.push_back(std::move(f));
+  return chains_.back().get();
 }
 
 FaultId FaultInjector::inject_emi_burst(double center, double radius,
@@ -120,7 +130,8 @@ FaultId FaultInjector::inject_connector_fault(platform::ComponentId component,
 
   // Self-rescheduling episode chain with exponential gaps (arbitrary in
   // time, Fig. 8) — only this component's receive path is disturbed.
-  auto episode = std::make_shared<std::function<void()>>();
+  std::function<void()>* episode =
+      own_chain(std::make_shared<std::function<void()>>());
   *episode = [this, component, mean_episode_gap, episode_len, drop_prob, rng,
               episode, active] {
     if (!*active) return;  // the connector was repaired
@@ -156,7 +167,8 @@ FaultId FaultInjector::inject_wearout(platform::ComponentId component,
                                       sim::Duration episode_len) {
   auto gap = std::make_shared<double>(static_cast<double>(initial_gap.ns()));
   auto active = std::make_shared<bool>(true);
-  auto episode = std::make_shared<std::function<void()>>();
+  std::function<void()>* episode =
+      own_chain(std::make_shared<std::function<void()>>());
   *episode = [this, component, gap, gap_shrink, episode_len, episode, active] {
     if (!*active) return;  // the cracked board was replaced
     auto& node = system_.cluster().node(component);
@@ -240,7 +252,8 @@ FaultId FaultInjector::inject_babbling(platform::ComponentId component,
   auto rng = std::make_shared<sim::Rng>(
       sim_.fork_rng("babble." + std::to_string(component)));
   const sim::SimTime end = start + duration;
-  auto attempt = std::make_shared<std::function<void()>>();
+  std::function<void()>* attempt =
+      own_chain(std::make_shared<std::function<void()>>());
   *attempt = [this, component, mean_attempt_gap, rng, end, attempt] {
     if (sim_.now() >= end) return;
     system_.cluster().node(component).attempt_transmit_now();
@@ -266,7 +279,8 @@ FaultId FaultInjector::inject_brownout(platform::ComponentId component,
                                        sim::Duration outage,
                                        sim::Duration uptime) {
   auto active = std::make_shared<bool>(true);
-  auto cycle = std::make_shared<std::function<void()>>();
+  std::function<void()>* cycle =
+      own_chain(std::make_shared<std::function<void()>>());
   *cycle = [this, component, outage, uptime, cycle, active] {
     if (!*active) return;  // the supply was repaired
     auto& node = system_.cluster().node(component);

@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -179,11 +181,17 @@ class FaultInjector {
 
  private:
   FaultId record(InjectedFault f);
+  /// Takes ownership of a self-rescheduling episode chain and returns the
+  /// stable address its events capture. Owning the chain here (instead of
+  /// the lambda capturing its own shared_ptr) avoids a reference cycle
+  /// that would leak the closure.
+  std::function<void()>* own_chain(std::shared_ptr<std::function<void()>> f);
 
   sim::Simulator& sim_;
   platform::System& system_;
   SpatialLayout layout_;
   std::vector<InjectedFault> ledger_;
+  std::vector<std::shared_ptr<std::function<void()>>> chains_;
 };
 
 }  // namespace decos::fault

@@ -1,0 +1,67 @@
+#include "obs/bench_io.hpp"
+
+#include <cstdio>
+#include <string_view>
+
+#include "obs/export.hpp"
+
+namespace decos::obs {
+
+BenchReporter::BenchReporter(std::string bench_name, int argc, char** argv)
+    : bench_(std::move(bench_name)) {
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json" || arg == "--csv") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %.*s requires a path\n",
+                     static_cast<int>(arg.size()), arg.data());
+        bad_args_ = true;
+        continue;
+      }
+      (arg == "--json" ? json_path_ : csv_path_) = argv[i + 1];
+      ++i;
+      continue;
+    }
+    args_.push_back(argv[i]);
+  }
+  args_.push_back(nullptr);
+}
+
+void BenchReporter::set_info(std::string key, double value) {
+  for (auto& [k, v] : info_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  info_.emplace_back(std::move(key), value);
+}
+
+int BenchReporter::finish() const {
+  bool ok = !bad_args_;
+  if (!json_path_.empty()) {
+    std::string json = "{\"bench\":\"" + json_escape(bench_) + "\",\"info\":{";
+    bool first = true;
+    for (const auto& [k, v] : info_) {
+      if (!first) json += ",";
+      first = false;
+      json += "\"" + json_escape(k) + "\":" + json_number(v);
+    }
+    json += "},\"metrics\":" + to_json(snapshot_) + "}\n";
+    if (!write_file(json_path_, json)) {
+      std::fprintf(stderr, "error: could not write %s\n", json_path_.c_str());
+      ok = false;
+    } else {
+      std::fprintf(stderr, "wrote metrics snapshot to %s\n", json_path_.c_str());
+    }
+  }
+  if (!csv_path_.empty()) {
+    if (!write_file(csv_path_, to_csv(snapshot_))) {
+      std::fprintf(stderr, "error: could not write %s\n", csv_path_.c_str());
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace decos::obs

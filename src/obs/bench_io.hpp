@@ -1,0 +1,59 @@
+// Shared bench harness I/O: --json snapshot export.
+//
+// Every bench constructs a BenchReporter from argv, absorbs the metrics
+// registries of the simulations it ran (snapshots merge: counters and
+// histograms add across runs), tags headline scalars with set_info(),
+// and returns finish() from main. When the user passed `--json <path>`
+// the merged snapshot is written as
+//
+//   {"bench": <name>, "info": {...}, "metrics": {counters/gauges/histograms}}
+//
+// giving the repo a machine-readable BENCH_*.json trajectory next to the
+// human-readable tables the benches keep printing.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace decos::obs {
+
+class BenchReporter {
+ public:
+  /// Parses and strips `--json <path>` (and `--csv <path>`) from argv.
+  /// The remaining arguments stay visible through argc()/argv() for
+  /// benches that forward them (google-benchmark).
+  BenchReporter(std::string bench_name, int argc, char** argv);
+
+  /// Folds a registry (or pre-built snapshot) into the bench snapshot.
+  void absorb(const Registry& registry) { snapshot_.merge(registry.snapshot()); }
+  void absorb(const Snapshot& snapshot) { snapshot_.merge(snapshot); }
+
+  /// Headline scalar result, exported under "info".
+  void set_info(std::string key, double value);
+
+  [[nodiscard]] bool json_requested() const { return !json_path_.empty(); }
+  [[nodiscard]] const Snapshot& snapshot() const { return snapshot_; }
+
+  /// argv with the reporter's own flags removed (argv()[argc()] == nullptr).
+  [[nodiscard]] int argc() const { return static_cast<int>(args_.size()) - 1; }
+  [[nodiscard]] char** argv() { return args_.data(); }
+
+  /// Writes the requested exports. Returns 0 on success (also when no
+  /// export was requested), 1 on write failure or a malformed --json/--csv
+  /// flag — i.e. main's exit code.
+  [[nodiscard]] int finish() const;
+
+ private:
+  std::string bench_;
+  std::string json_path_;
+  std::string csv_path_;
+  std::vector<char*> args_;  // non-owning views into the original argv
+  Snapshot snapshot_;
+  std::vector<std::pair<std::string, double>> info_;
+  bool bad_args_ = false;  // --json/--csv given without a path
+};
+
+}  // namespace decos::obs

@@ -1,0 +1,146 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace decos::obs {
+
+namespace {
+
+std::string key_of(const SnapshotEntry& e) {
+  return e.label.empty() ? e.name : e.name + "{" + e.label + "}";
+}
+
+void append_kv(std::string& out, std::string_view key, std::string_view value,
+               bool& first) {
+  if (!first) out += ",";
+  first = false;
+  out += "\"";
+  out += json_escape(key);
+  out += "\":";
+  out += value;
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (std::isnan(v)) v = 0.0;
+  if (std::isinf(v)) v = v > 0 ? 1e308 : -1e308;
+  char buf[40];
+  // %.17g round-trips doubles; integral values render without exponent
+  // noise for the common counter-ish cases.
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  return buf;
+}
+
+std::string to_json(const Snapshot& snap) {
+  std::string counters, gauges, histograms;
+  bool cf = true, gf = true, hf = true;
+  for (const SnapshotEntry& e : snap.entries) {
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        append_kv(counters, key_of(e), std::to_string(e.counter), cf);
+        break;
+      case MetricKind::kGauge: {
+        std::string obj = "{\"value\":" + json_number(e.gauge) +
+                          ",\"high_water\":" + json_number(e.gauge_high_water) +
+                          "}";
+        append_kv(gauges, key_of(e), obj, gf);
+        break;
+      }
+      case MetricKind::kHistogram: {
+        std::string obj = "{\"count\":" + std::to_string(e.hist_count) +
+                          ",\"sum\":" + json_number(e.hist_sum) +
+                          ",\"min\":" + std::to_string(e.hist_min) +
+                          ",\"max\":" + std::to_string(e.hist_max);
+        const double mean =
+            e.hist_count ? e.hist_sum / static_cast<double>(e.hist_count) : 0.0;
+        obj += ",\"mean\":" + json_number(mean);
+        obj += ",\"p50\":" + std::to_string(e.percentile(0.50));
+        obj += ",\"p90\":" + std::to_string(e.percentile(0.90));
+        obj += ",\"p99\":" + std::to_string(e.percentile(0.99));
+        obj += ",\"buckets\":[";
+        bool bf = true;
+        for (int b = 0; b < Histogram::kBuckets; ++b) {
+          const std::uint64_t n = e.buckets[static_cast<std::size_t>(b)];
+          if (n == 0) continue;
+          if (!bf) obj += ",";
+          bf = false;
+          obj += "{\"le\":" +
+                 std::to_string(Histogram::bucket_upper_bound(b)) +
+                 ",\"count\":" + std::to_string(n) + "}";
+        }
+        obj += "]}";
+        append_kv(histograms, key_of(e), obj, hf);
+        break;
+      }
+    }
+  }
+  return "{\"counters\":{" + counters + "},\"gauges\":{" + gauges +
+         "},\"histograms\":{" + histograms + "}}";
+}
+
+std::string to_csv(const Snapshot& snap) {
+  std::string out =
+      "kind,name,label,value,high_water,count,sum,min,max,p50,p99\n";
+  for (const SnapshotEntry& e : snap.entries) {
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        out += "counter," + e.name + "," + e.label + "," +
+               std::to_string(e.counter) + ",,,,,,,\n";
+        break;
+      case MetricKind::kGauge:
+        out += "gauge," + e.name + "," + e.label + "," + json_number(e.gauge) +
+               "," + json_number(e.gauge_high_water) + ",,,,,,\n";
+        break;
+      case MetricKind::kHistogram:
+        out += "histogram," + e.name + "," + e.label + ",,," +
+               std::to_string(e.hist_count) + "," + json_number(e.hist_sum) +
+               "," + std::to_string(e.hist_min) + "," +
+               std::to_string(e.hist_max) + "," +
+               std::to_string(e.percentile(0.50)) + "," +
+               std::to_string(e.percentile(0.99)) + "\n";
+        break;
+    }
+  }
+  return out;
+}
+
+bool write_file(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  if (!out) return false;
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  return static_cast<bool>(out);
+}
+
+}  // namespace decos::obs

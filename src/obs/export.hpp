@@ -1,0 +1,36 @@
+// Machine-readable exports of a metrics Snapshot.
+//
+// JSON is the trajectory format the benches emit (--json); CSV is the
+// flat form for spreadsheet/pandas post-processing. Both render every
+// metric, with labelled variants keyed "name{label}". The JSON writer is
+// hand-rolled (no third-party deps allowed) but emits strictly valid
+// JSON — the ctest smoke test parses it back with CMake's string(JSON).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace decos::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes
+/// added). Handles quote, backslash and control characters.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Renders a double as a JSON number token (never NaN/Inf, which JSON
+/// forbids — those clamp to 0 / +-1e308).
+[[nodiscard]] std::string json_number(double v);
+
+/// {"counters": {...}, "gauges": {...}, "histograms": {...}}
+/// Histograms carry count/sum/min/max/mean/p50/p90/p99 and the non-empty
+/// log2 buckets as [{"le": upper, "count": n}, ...].
+[[nodiscard]] std::string to_json(const Snapshot& snap);
+
+/// One row per metric: kind,name,label,value,high_water,count,sum,min,max,p50,p99
+[[nodiscard]] std::string to_csv(const Snapshot& snap);
+
+/// Writes `content` to `path` (truncating). Returns success.
+bool write_file(const std::string& path, std::string_view content);
+
+}  // namespace decos::obs

@@ -1,0 +1,211 @@
+// Low-overhead metrics registry.
+//
+// Instrumented code obtains Counter/Gauge/Histogram *handles* from a
+// Registry once, at setup; the hot path then touches a pre-registered
+// cell through the handle — a single integer operation, no lookup, no
+// allocation, no branch on "is metrics enabled". A default-constructed
+// handle points at a shared sink cell, so instrumentation that was never
+// bound to a registry stays valid (and free) instead of needing null
+// checks.
+//
+// Histograms use fixed log2 buckets (bucket 0 holds the value 0, bucket
+// b >= 1 holds [2^(b-1), 2^b - 1]): recording is a bit_width plus a few
+// scalar updates, and two histograms always merge bucket-by-bucket — the
+// property the bench snapshot merging relies on.
+//
+// The registry is owned by sim::Simulator, so every metric a simulation
+// run produces can be snapshotted, merged across runs and exported
+// (JSON/CSV; see obs/export.hpp) without any global state.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace decos::obs {
+
+namespace detail {
+
+struct CounterCell {
+  std::uint64_t value = 0;
+};
+
+struct GaugeCell {
+  double value = 0.0;
+  double high_water = std::numeric_limits<double>::lowest();
+  bool touched = false;
+};
+
+inline constexpr int kHistogramBuckets = 65;
+
+struct HistogramCell {
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  std::int64_t min = std::numeric_limits<std::int64_t>::max();
+  std::int64_t max = std::numeric_limits<std::int64_t>::min();
+
+  void record(std::int64_t v) {
+    const std::uint64_t u = v <= 0 ? 0u : static_cast<std::uint64_t>(v);
+    buckets[static_cast<std::size_t>(u == 0 ? 0 : std::bit_width(u))]++;
+    ++count;
+    sum += static_cast<double>(v);
+    if (v < min) min = v;
+    if (v > max) max = v;
+  }
+};
+
+// Shared sinks for unbound handles.
+CounterCell& counter_sink();
+GaugeCell& gauge_sink();
+HistogramCell& histogram_sink();
+
+}  // namespace detail
+
+/// Monotonic event count. inc() is one add through a pointer.
+class Counter {
+ public:
+  Counter() : cell_(&detail::counter_sink()) {}
+
+  void inc(std::uint64_t n = 1) { cell_->value += n; }
+  [[nodiscard]] std::uint64_t value() const { return cell_->value; }
+
+ private:
+  friend class Registry;
+  explicit Counter(detail::CounterCell* cell) : cell_(cell) {}
+  detail::CounterCell* cell_;
+};
+
+/// Last-written value plus its high-water mark.
+class Gauge {
+ public:
+  Gauge() : cell_(&detail::gauge_sink()) {}
+
+  void set(double v) {
+    cell_->value = v;
+    cell_->touched = true;
+    if (v > cell_->high_water) cell_->high_water = v;
+  }
+  void add(double d) { set(cell_->value + d); }
+  [[nodiscard]] double value() const { return cell_->value; }
+  [[nodiscard]] double high_water() const {
+    return cell_->touched ? cell_->high_water : 0.0;
+  }
+
+ private:
+  friend class Registry;
+  explicit Gauge(detail::GaugeCell* cell) : cell_(cell) {}
+  detail::GaugeCell* cell_;
+};
+
+/// Log2-bucketed distribution of non-negative integers (negative values
+/// clamp to 0). Suited to nanosecond latencies and queue depths: 65
+/// buckets cover the whole int64 range at ~2x resolution.
+class Histogram {
+ public:
+  static constexpr int kBuckets = detail::kHistogramBuckets;
+
+  Histogram() : cell_(&detail::histogram_sink()) {}
+
+  void record(std::int64_t v) { cell_->record(v); }
+
+  [[nodiscard]] std::uint64_t count() const { return cell_->count; }
+  [[nodiscard]] double sum() const { return cell_->sum; }
+  [[nodiscard]] std::int64_t min() const { return cell_->count ? cell_->min : 0; }
+  [[nodiscard]] std::int64_t max() const { return cell_->count ? cell_->max : 0; }
+  [[nodiscard]] double mean() const {
+    return cell_->count ? cell_->sum / static_cast<double>(cell_->count) : 0.0;
+  }
+
+  /// Inclusive upper bound of bucket `b` (0, 1, 3, 7, ... 2^b - 1).
+  [[nodiscard]] static std::int64_t bucket_upper_bound(int b);
+
+  /// Bucket-resolution percentile estimate (upper bound of the bucket
+  /// holding the p-quantile), p in [0, 1]. 0 when empty.
+  [[nodiscard]] std::int64_t percentile(double p) const;
+
+ private:
+  friend class Registry;
+  explicit Histogram(detail::HistogramCell* cell) : cell_(cell) {}
+  detail::HistogramCell* cell_;
+};
+
+/// Wall-clock scope timer: records the elapsed nanoseconds into a
+/// histogram on destruction. For profiling kernel hot paths.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram h);
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { h_.record(elapsed_ns()); }
+
+  [[nodiscard]] std::int64_t elapsed_ns() const;
+
+ private:
+  Histogram h_;
+  std::int64_t start_ns_;
+};
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// Point-in-time copy of one metric (cheap value type; see Snapshot).
+struct SnapshotEntry {
+  MetricKind kind = MetricKind::kCounter;
+  std::string name;
+  std::string label;  // "" or "key=value" refinement, e.g. "cls=wearout"
+  std::uint64_t counter = 0;
+  double gauge = 0.0;
+  double gauge_high_water = 0.0;
+  std::uint64_t hist_count = 0;
+  double hist_sum = 0.0;
+  std::int64_t hist_min = 0;
+  std::int64_t hist_max = 0;
+  std::array<std::uint64_t, detail::kHistogramBuckets> buckets{};
+
+  [[nodiscard]] std::int64_t percentile(double p) const;
+};
+
+/// Registry snapshot: every metric, sorted by (name, label). Snapshots
+/// from independent registries (one per Simulator) merge: counters and
+/// histograms add, gauges keep the latest value and the max high-water.
+struct Snapshot {
+  std::vector<SnapshotEntry> entries;
+
+  void merge(const Snapshot& other);
+  [[nodiscard]] const SnapshotEntry* find(std::string_view name,
+                                          std::string_view label = "") const;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Registration: looks up or creates the (name, label) cell. Do this at
+  /// setup, not on the hot path. The same pair always yields a handle to
+  /// the same cell.
+  Counter counter(std::string_view name, std::string_view label = "");
+  Gauge gauge(std::string_view name, std::string_view label = "");
+  Histogram histogram(std::string_view name, std::string_view label = "");
+
+  [[nodiscard]] Snapshot snapshot() const;
+  [[nodiscard]] std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+ private:
+  using Key = std::pair<std::string, std::string>;
+  // std::map never moves nodes, so cell addresses stay valid for the
+  // lifetime of the registry — the guarantee the handles rely on.
+  std::map<Key, detail::CounterCell> counters_;
+  std::map<Key, detail::GaugeCell> gauges_;
+  std::map<Key, detail::HistogramCell> histograms_;
+};
+
+}  // namespace decos::obs

@@ -6,7 +6,9 @@ namespace decos::platform {
 
 Component::Component(sim::Simulator& sim, tta::TtaNode& node,
                      const vnet::NetworkPlan& plan)
-    : sim_(sim), node_(node), plan_(plan), mux_(plan, node.node_id()) {}
+    : sim_(sim), node_(node), plan_(plan), mux_(plan, node.node_id()) {
+  mux_.bind_metrics(sim_.metrics());
+}
 
 void Component::host(Job& job) {
   assert(job.host() == id() && "job host mismatch");

@@ -1,12 +1,18 @@
 #include "sim/simulator.hpp"
 
 #include <cassert>
+#include <chrono>
 #include <memory>
 #include <stdexcept>
 
 namespace decos::sim {
 
-Simulator::Simulator(std::uint64_t seed) : master_rng_(seed), seed_(seed) {}
+Simulator::Simulator(std::uint64_t seed)
+    : master_rng_(seed),
+      seed_(seed),
+      events_counter_(metrics_.counter("sim.events_executed")),
+      queue_depth_hwm_(metrics_.gauge("sim.queue_depth_hwm")),
+      events_per_sec_(metrics_.gauge("sim.events_per_sec")) {}
 
 EventId Simulator::schedule_at(SimTime when, EventFn fn, EventPriority prio) {
   assert(when >= now_ && "cannot schedule into the past");
@@ -19,10 +25,16 @@ EventId Simulator::schedule_after(Duration delay, EventFn fn, EventPriority prio
 }
 
 void Simulator::execute_one() {
+  const std::size_t depth = queue_.size();
+  if (depth > queue_hwm_) {
+    queue_hwm_ = depth;
+    queue_depth_hwm_.set(static_cast<double>(depth));
+  }
   auto fired = queue_.pop();
   assert(fired.time >= now_);
   now_ = fired.time;
   ++events_executed_;
+  events_counter_.inc();
   if (events_executed_ > event_limit_) {
     throw std::runtime_error("simulator event limit exceeded (runaway schedule?)");
   }
@@ -30,22 +42,39 @@ void Simulator::execute_one() {
 }
 
 std::uint64_t Simulator::run_until(SimTime until) {
+  const auto wall_start = std::chrono::steady_clock::now();
   std::uint64_t n = 0;
   while (!queue_.empty() && queue_.next_time() <= until) {
     execute_one();
     ++n;
   }
   if (now_ < until) now_ = until;
+  record_run_rate(n, wall_start);
   return n;
 }
 
 std::uint64_t Simulator::run_all() {
+  const auto wall_start = std::chrono::steady_clock::now();
   std::uint64_t n = 0;
   while (!queue_.empty()) {
     execute_one();
     ++n;
   }
+  record_run_rate(n, wall_start);
   return n;
+}
+
+void Simulator::record_run_rate(
+    std::uint64_t events, std::chrono::steady_clock::time_point wall_start) {
+  if (events == 0) return;
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  // Sub-millisecond bursts give a noisy rate; skip them so the gauge
+  // reflects sustained execution.
+  if (wall < 1e-3) return;
+  events_per_sec_.set(static_cast<double>(events) / wall);
 }
 
 bool Simulator::step() {
@@ -54,16 +83,30 @@ bool Simulator::step() {
   return true;
 }
 
+namespace {
+
+// Each queued tick holds a share of `fn`; the last tick to run (or to be
+// discarded with the queue) frees it. Never let the closure own a
+// shared_ptr to itself — that cycle leaks the closure.
+void periodic_tick(Simulator& sim, Duration period,
+                   const std::shared_ptr<std::function<bool()>>& fn,
+                   EventPriority prio) {
+  if (!(*fn)()) return;
+  sim.schedule_after(
+      period, [&sim, period, fn, prio] { periodic_tick(sim, period, fn, prio); },
+      prio);
+}
+
+}  // namespace
+
 void schedule_periodic(Simulator& sim, SimTime first, Duration period,
                        std::function<bool()> fn, EventPriority prio) {
   assert(period.ns() > 0);
-  // The closure reschedules itself until fn() returns false.
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [&sim, period, fn = std::move(fn), tick, prio]() {
-    if (!fn()) return;
-    sim.schedule_after(period, *tick, prio);
-  };
-  sim.schedule_at(first, *tick, prio);
+  auto shared = std::make_shared<std::function<bool()>>(std::move(fn));
+  sim.schedule_at(
+      first,
+      [&sim, period, shared, prio] { periodic_tick(sim, period, shared, prio); },
+      prio);
 }
 
 }  // namespace decos::sim

@@ -9,10 +9,12 @@
 // exactly.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
@@ -65,6 +67,12 @@ class Simulator {
   TraceLog& trace() { return trace_; }
   [[nodiscard]] const TraceLog& trace() const { return trace_; }
 
+  /// Metrics registry shared by every layer of this simulation: each
+  /// subsystem registers its counters/histograms here at setup, so one
+  /// snapshot captures the whole run (see obs/metrics.hpp).
+  [[nodiscard]] obs::Registry& metrics() { return metrics_; }
+  [[nodiscard]] const obs::Registry& metrics() const { return metrics_; }
+
   /// Convenience wrapper for trace appends stamped with now().
   void log(TraceCategory c, std::string entity, std::string message) {
     trace_.append(now_, c, std::move(entity), std::move(message));
@@ -72,6 +80,8 @@ class Simulator {
 
  private:
   void execute_one();
+  void record_run_rate(std::uint64_t events,
+                       std::chrono::steady_clock::time_point wall_start);
 
   SimTime now_ = SimTime::zero();
   EventQueue queue_;
@@ -80,6 +90,11 @@ class Simulator {
   TraceLog trace_;
   std::uint64_t events_executed_ = 0;
   std::uint64_t event_limit_ = 500'000'000;
+  obs::Registry metrics_;
+  obs::Counter events_counter_;
+  obs::Gauge queue_depth_hwm_;
+  obs::Gauge events_per_sec_;
+  std::size_t queue_hwm_ = 0;  // cached so the hot path is one compare
 };
 
 /// Repeating helper: schedules `fn` every `period`, starting at `first`,

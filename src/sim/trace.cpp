@@ -1,5 +1,6 @@
 #include "sim/trace.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace decos::sim {
@@ -25,7 +26,24 @@ void TraceLog::append(SimTime t, TraceCategory c, std::string entity,
     std::fprintf(stderr, "[%12s] %-10s %-18s %s\n", to_string(t).c_str(),
                  to_string(c), entity.c_str(), message.c_str());
   }
+  if (capacity_ != 0 && records_.size() >= capacity_) {
+    evict_oldest(std::max<std::size_t>(1, capacity_ / 8));
+  }
   records_.push_back(TraceRecord{t, c, std::move(entity), std::move(message)});
+}
+
+void TraceLog::set_capacity(std::size_t cap) {
+  capacity_ = cap;
+  if (capacity_ != 0 && records_.size() > capacity_) {
+    evict_oldest(records_.size() - capacity_);
+  }
+}
+
+void TraceLog::evict_oldest(std::size_t n) {
+  n = std::min(n, records_.size());
+  records_.erase(records_.begin(),
+                 records_.begin() + static_cast<std::ptrdiff_t>(n));
+  dropped_ += n;
 }
 
 std::vector<TraceRecord> TraceLog::by_category(TraceCategory c) const {

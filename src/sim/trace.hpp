@@ -50,11 +50,24 @@ class TraceLog {
 
   void clear() { records_.clear(); }
 
+  /// Bounds the log to at most `cap` records, dropping the *oldest* when
+  /// full (0 = unbounded, the default). Month-long campaign runs set a
+  /// cap so trace memory stays constant; dropped() counts the casualties.
+  /// Eviction removes a chunk (cap/8) at a time so the amortised append
+  /// cost stays O(1) while records() can remain a contiguous vector.
+  void set_capacity(std::size_t cap);
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
   /// When set, records are also echoed to stderr as they are appended.
   void set_echo(bool on) { echo_ = on; }
 
  private:
+  void evict_oldest(std::size_t n);
+
   std::vector<TraceRecord> records_;
+  std::size_t capacity_ = 0;
+  std::uint64_t dropped_ = 0;
   bool echo_ = false;
 };
 

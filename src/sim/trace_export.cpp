@@ -1,0 +1,45 @@
+#include "sim/trace_export.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "obs/export.hpp"
+
+namespace decos::sim {
+
+std::string chrome_trace_json(const TraceLog& log) {
+  std::string out;
+  out.reserve(64 + log.records().size() * 96);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+
+  // Metadata: name the per-category "threads" so the tracks read as
+  // kernel / bus / diag / ... instead of tid numbers.
+  bool first = true;
+  for (int c = 0; c <= static_cast<int>(TraceCategory::kMaintenance); ++c) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(c) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+           obs::json_escape(to_string(static_cast<TraceCategory>(c))) +
+           "\"}}";
+  }
+
+  char ts[40];
+  for (const TraceRecord& r : log.records()) {
+    // ts is in microseconds; keep nanosecond resolution as a fraction.
+    std::snprintf(ts, sizeof ts, "%.3f", static_cast<double>(r.time.ns()) / 1e3);
+    out += ",{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" +
+           std::to_string(static_cast<int>(r.category)) + ",\"ts\":" + ts +
+           ",\"cat\":\"" + obs::json_escape(to_string(r.category)) +
+           "\",\"name\":\"" + obs::json_escape(r.message) +
+           "\",\"args\":{\"entity\":\"" + obs::json_escape(r.entity) + "\"}}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool write_chrome_trace(const TraceLog& log, const std::string& path) {
+  return obs::write_file(path, chrome_trace_json(log));
+}
+
+}  // namespace decos::sim

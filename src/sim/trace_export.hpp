@@ -1,0 +1,24 @@
+// Chrome trace_event export of a TraceLog.
+//
+// Renders the structured trace as the Trace Event Format consumed by
+// chrome://tracing and Perfetto (ui.perfetto.dev): one process, one
+// "thread" per trace category, one global instant event per record, with
+// the entity carried in args. Simulated nanoseconds map to trace
+// microseconds, so the timeline reads in simulated time. Drop the file
+// onto either UI to scrub through a full simulation — fault injections,
+// guardian blocks, membership changes and diagnosis side by side.
+#pragma once
+
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace decos::sim {
+
+/// The full trace as a Trace Event Format JSON document.
+[[nodiscard]] std::string chrome_trace_json(const TraceLog& log);
+
+/// Writes chrome_trace_json() to `path`. Returns success.
+bool write_chrome_trace(const TraceLog& log, const std::string& path);
+
+}  // namespace decos::sim

@@ -6,7 +6,13 @@
 namespace decos::tta {
 
 Bus::Bus(sim::Simulator& sim, TdmaSchedule schedule, Params params)
-    : sim_(sim), schedule_(std::move(schedule)), params_(params) {}
+    : sim_(sim),
+      schedule_(std::move(schedule)),
+      params_(params),
+      frames_sent_metric_(sim.metrics().counter("tta.bus.frames_sent")),
+      frames_blocked_metric_(sim.metrics().counter("tta.bus.frames_blocked")),
+      copies_dropped_metric_(
+          sim.metrics().counter("tta.bus.copies_dropped_by_channel_fault")) {}
 
 void Bus::attach(BusReceiver& receiver) { receivers_.push_back(&receiver); }
 
@@ -46,6 +52,7 @@ bool Bus::transmit(NodeId sender, Frame frame) {
     }
     if (!inside) {
       ++frames_blocked_;
+      frames_blocked_metric_.inc();
       sim_.log(sim::TraceCategory::kBus, "guardian",
                "blocked out-of-window transmission from node " +
                    std::to_string(sender));
@@ -64,6 +71,7 @@ bool Bus::transmit(NodeId sender, Frame frame) {
   }
 
   ++frames_sent_;
+  frames_sent_metric_.inc();
   last_accepted_ = now;
   const sim::SimTime arrival = now + params_.propagation_delay;
   for (BusReceiver* rx : receivers_) {
@@ -78,7 +86,10 @@ bool Bus::transmit(NodeId sender, Frame frame) {
         break;
       }
     }
-    if (!deliver) continue;
+    if (!deliver) {
+      copies_dropped_metric_.inc();
+      continue;
+    }
     sim_.schedule_at(
         arrival, [rx, copy = std::move(copy), arrival]() { rx->on_frame(copy, arrival); },
         sim::EventPriority::kTransport);

@@ -87,6 +87,9 @@ class Bus {
   std::uint64_t next_hook_id_ = 1;
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_blocked_ = 0;
+  obs::Counter frames_sent_metric_;
+  obs::Counter frames_blocked_metric_;
+  obs::Counter copies_dropped_metric_;  // channel-fault hook drops
   /// The guardian's estimate of the cluster's common-mode clock offset
   /// from the reference time base. FTA synchronisation keeps the nodes
   /// mutually aligned but lets the ensemble average walk at the mean

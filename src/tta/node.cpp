@@ -11,7 +11,17 @@ TtaNode::TtaNode(sim::Simulator& sim, Bus& bus, Params params)
       params_(params),
       clock_(params.drift_ppm),
       sync_(params.sync),
-      rng_(sim.fork_rng("tta.node." + std::to_string(params.id))) {
+      rng_(sim.fork_rng("tta.node." + std::to_string(params.id))),
+      slots_correct_metric_(
+          sim.metrics().counter("tta.slot_verdicts", "verdict=correct")),
+      slots_crc_metric_(
+          sim.metrics().counter("tta.slot_verdicts", "verdict=crc_error")),
+      slots_timing_metric_(
+          sim.metrics().counter("tta.slot_verdicts", "verdict=timing_error")),
+      slots_omission_metric_(
+          sim.metrics().counter("tta.slot_verdicts", "verdict=omission")),
+      sync_correction_metric_(
+          sim.metrics().histogram("tta.sync_correction_ns")) {
   bus_.attach(*this);
 }
 
@@ -197,6 +207,7 @@ void TtaNode::close_slot(RoundId round, SlotId slot) {
 
     if (!pending_) {
       obs.verdict = SlotVerdict::kOmission;
+      slots_omission_metric_.inc();
     } else {
       const Pending& p = *pending_;
       obs.arrival_offset = p.arrival_offset;
@@ -204,10 +215,13 @@ void TtaNode::close_slot(RoundId round, SlotId slot) {
                                 p.frame.round == round;
       if (!p.timely || !slot_matches) {
         obs.verdict = SlotVerdict::kTimingError;
+        slots_timing_metric_.inc();
       } else if (!p.frame.crc_ok()) {
         obs.verdict = SlotVerdict::kCrcError;
+        slots_crc_metric_.inc();
       } else {
         obs.verdict = SlotVerdict::kCorrect;
+        slots_correct_metric_.inc();
         sync_.record(owner, p.arrival_offset);
         next_membership_ |= std::uint64_t{1} << owner;
         if (delivery_handler) delivery_handler(owner, p.frame.payload, round);
@@ -235,6 +249,8 @@ void TtaNode::finish_round(RoundId round) {
   sync_.record(params_.id, sim::Duration{0});
   const std::size_t measurements = sync_.measurements_this_round();
   const sim::Duration correction = sync_.finish_round();
+  sync_correction_metric_.record(
+      correction.ns() < 0 ? -correction.ns() : correction.ns());
   clock_.adjust(sim::Duration{-correction.ns()});
 
   // Sync loss needs positive evidence of being out of step: frames were

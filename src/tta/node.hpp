@@ -133,6 +133,15 @@ class TtaNode final : public BusReceiver {
   FaultControls faults_{};
   sim::Rng rng_;
 
+  // Cluster-wide aggregates (all nodes of one simulator share the cells).
+  obs::Counter slots_correct_metric_;
+  obs::Counter slots_crc_metric_;
+  obs::Counter slots_timing_metric_;
+  obs::Counter slots_omission_metric_;
+  /// Absolute per-round FTA correction in ns — the achieved-sync-offset
+  /// distribution (core service C2, quantified).
+  obs::Histogram sync_correction_metric_;
+
   RoundId round_ = 0;
   bool started_ = false;
   bool in_sync_ = true;

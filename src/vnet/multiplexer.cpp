@@ -7,6 +7,12 @@ namespace decos::vnet {
 Multiplexer::Multiplexer(const NetworkPlan& plan, platform::ComponentId component)
     : plan_(plan), component_(component) {}
 
+void Multiplexer::bind_metrics(obs::Registry& registry) {
+  relayed_metric_ = registry.counter("vnet.mux.messages_relayed");
+  overflow_metric_ = registry.counter("vnet.mux.overflows");
+  queue_occupancy_metric_ = registry.gauge("vnet.mux.queue_occupancy_hwm");
+}
+
 void Multiplexer::host_port(platform::PortId port) {
   const PortConfig& cfg = plan_.port(port);
   assert(!hosted_.contains(port));
@@ -39,11 +45,15 @@ bool Multiplexer::send(Message msg, tta::RoundId round) {
   if (pq.queue.size() >= vn.queue_depth) {
     ++pq.overflows;
     ++total_overflows_;
+    overflow_metric_.inc();
     if (on_overflow) on_overflow(msg.port, round);
     return false;
   }
   msg.seq = pq.next_seq++;
   pq.queue.push_back(msg);
+  if (static_cast<double>(pq.queue.size()) > queue_occupancy_metric_.value()) {
+    queue_occupancy_metric_.set(static_cast<double>(pq.queue.size()));
+  }
   return true;
 }
 
@@ -69,6 +79,7 @@ std::vector<Message> Multiplexer::drain_messages(tta::RoundId round) {
     }
   }
   (void)round;
+  relayed_metric_.inc(out.size());
   return out;
 }
 

@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "vnet/message.hpp"
 #include "vnet/network_plan.hpp"
 
@@ -46,6 +47,12 @@ class Multiplexer {
   [[nodiscard]] std::uint64_t total_overflows() const { return total_overflows_; }
   [[nodiscard]] std::size_t queue_length(platform::PortId port) const;
 
+  /// Binds the mux to a metrics registry (messages relayed/overflowed and
+  /// the queue-occupancy high-water mark, aggregated cluster-wide).
+  /// Unbound instrumentation writes to the obs sink cells, so this is
+  /// optional; platform::Component binds to its simulator's registry.
+  void bind_metrics(obs::Registry& registry);
+
   /// Called on every overflow drop: (port, round).
   std::function<void(platform::PortId, tta::RoundId)> on_overflow;
 
@@ -62,6 +69,9 @@ class Multiplexer {
   /// Hosted ports grouped by vnet, in hosting order (drain fairness).
   std::map<platform::VnetId, std::vector<platform::PortId>> by_vnet_;  // ordered: deterministic drain order
   std::uint64_t total_overflows_ = 0;
+  obs::Counter relayed_metric_;
+  obs::Counter overflow_metric_;
+  obs::Gauge queue_occupancy_metric_;
 };
 
 }  // namespace decos::vnet

@@ -1,0 +1,43 @@
+# Smoke test: run a bench with --json and validate that the snapshot it
+# writes is well-formed JSON with the expected top-level shape. Invoked by
+# ctest as
+#   cmake -DBENCH=<bench binary> -DOUT=<scratch path> -P bench_json_smoke.cmake
+# string(JSON) needs CMake >= 3.19 (the project already requires it).
+if(NOT DEFINED BENCH OR NOT DEFINED OUT)
+  message(FATAL_ERROR "usage: cmake -DBENCH=<bin> -DOUT=<path> -P bench_json_smoke.cmake")
+endif()
+
+execute_process(
+  COMMAND "${BENCH}" --json "${OUT}"
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH} --json exited with ${rc}")
+endif()
+
+file(READ "${OUT}" snapshot)
+
+# Parse errors in string(JSON ... ERROR_VARIABLE) surface here.
+string(JSON bench_name ERROR_VARIABLE err GET "${snapshot}" bench)
+if(err)
+  message(FATAL_ERROR "snapshot is not valid JSON or lacks 'bench': ${err}")
+endif()
+
+foreach(section counters gauges histograms)
+  string(JSON t ERROR_VARIABLE err TYPE "${snapshot}" metrics ${section})
+  if(err OR NOT t STREQUAL "OBJECT")
+    message(FATAL_ERROR "metrics.${section} missing or not an object (${t}): ${err}")
+  endif()
+endforeach()
+
+# The instrumented simulator must have counted something.
+string(JSON events ERROR_VARIABLE err GET "${snapshot}" metrics counters sim.events_executed)
+if(err)
+  message(FATAL_ERROR "sim.events_executed missing from counters: ${err}")
+endif()
+if(events LESS_EQUAL 0)
+  message(FATAL_ERROR "sim.events_executed is ${events}, expected > 0")
+endif()
+
+message(STATUS "ok: ${bench_name} wrote a valid snapshot (${events} events)")
+file(REMOVE "${OUT}")

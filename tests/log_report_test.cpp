@@ -8,6 +8,7 @@
 #include "analysis/technician_report.hpp"
 #include "diag/log.hpp"
 #include "scenario/fig10.hpp"
+#include "sim/rng.hpp"
 
 namespace decos::diag {
 namespace {
@@ -45,10 +46,53 @@ TEST(DiagnosticLog, SerialiseParseRoundTrip) {
 TEST(DiagnosticLog, ParseRejectsGarbage) {
   EXPECT_FALSE(DiagnosticLog::parse("not a log line\n").has_value());
   EXPECT_FALSE(DiagnosticLog::parse("10 99 0 0 -1 1.0\n").has_value());  // bad type
+  EXPECT_FALSE(DiagnosticLog::parse("10 1 0 0 -1\n").has_value());   // truncated
+  EXPECT_FALSE(DiagnosticLog::parse("10 1 0 0 -2 1.0\n").has_value());  // bad job
+  EXPECT_FALSE(
+      DiagnosticLog::parse("10 1 0 0 -1 1.0 surprise\n").has_value());  // trailing
   // Empty text is a valid empty log.
   const auto empty = DiagnosticLog::parse("");
   ASSERT_TRUE(empty.has_value());
   EXPECT_EQ(empty->size(), 0u);
+}
+
+// Property: parse(serialize(log)) reproduces the log field-for-field, for
+// randomly generated symptom streams (the flight recorder must be a
+// lossless wire format, not just "close enough").
+TEST(DiagnosticLog, SerialiseParseRoundTripProperty) {
+  sim::Rng rng(4242);
+  for (int iteration = 0; iteration < 50; ++iteration) {
+    DiagnosticLog log;
+    const int n = static_cast<int>(rng.uniform_int(0, 40));
+    for (int i = 0; i < n; ++i) {
+      Symptom s;
+      s.round = static_cast<tta::RoundId>(rng.uniform_int(0, 1'000'000'000));
+      s.type = static_cast<SymptomType>(rng.uniform_int(1, 8));
+      s.observer = static_cast<platform::ComponentId>(rng.uniform_int(0, 31));
+      s.subject_component =
+          static_cast<platform::ComponentId>(rng.uniform_int(0, 31));
+      if (rng.bernoulli(0.5)) {
+        s.subject_job = static_cast<platform::JobId>(rng.uniform_int(0, 255));
+      }
+      // Magnitudes include awkward doubles; %.9g must round-trip them.
+      s.magnitude = rng.uniform() * 1e6 - 500.0;
+      log.record(s);
+    }
+    const auto back = DiagnosticLog::parse(log.serialize());
+    ASSERT_TRUE(back.has_value());
+    ASSERT_EQ(back->size(), log.size());
+    for (std::size_t i = 0; i < log.size(); ++i) {
+      const Symptom& a = log.symptoms()[i];
+      const Symptom& b = back->symptoms()[i];
+      EXPECT_EQ(a.round, b.round);
+      EXPECT_EQ(a.type, b.type);
+      EXPECT_EQ(a.observer, b.observer);
+      EXPECT_EQ(a.subject_component, b.subject_component);
+      EXPECT_EQ(a.subject_job, b.subject_job);
+      EXPECT_FLOAT_EQ(static_cast<float>(a.magnitude),
+                      static_cast<float>(b.magnitude));
+    }
+  }
 }
 
 TEST(DiagnosticLog, FileRoundTrip) {

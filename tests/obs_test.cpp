@@ -1,0 +1,421 @@
+// Unit tests for the observability layer: registry/handle semantics,
+// log2 histogram bucket boundaries, snapshot merge algebra, JSON/CSV
+// export well-formedness (checked with a tiny strict JSON parser),
+// Chrome trace export, and end-to-end detection latency measured under
+// a scripted fault injection.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "diag/service.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "scenario/fig10.hpp"
+#include "sim/trace.hpp"
+#include "sim/trace_export.hpp"
+
+namespace decos::obs {
+namespace {
+
+// --- a minimal strict JSON parser (validation only) ------------------------
+//
+// The exporters hand-roll their JSON; this recursive-descent checker
+// rejects trailing commas, bare NaN/Inf, unterminated strings, etc., so
+// a malformed emitter fails here rather than in a downstream consumer.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view s) : s_(s) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(s_[pos_]))) return false;
+          }
+        } else if (std::string_view("\"\\/bfnrt").find(e) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!digit()) return false;
+    while (digit()) {}
+    if (peek() == '.') {
+      ++pos_;
+      if (!digit()) return false;
+      while (digit()) {}
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!digit()) return false;
+      while (digit()) {}
+    }
+    return pos_ > start;
+  }
+
+  bool digit() {
+    if (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  [[nodiscard]] char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+// --- registry / handle semantics -------------------------------------------
+
+TEST(Registry, SameNameAndLabelYieldsSameCell) {
+  Registry r;
+  Counter a = r.counter("events");
+  Counter b = r.counter("events");
+  a.inc(3);
+  b.inc(4);
+  EXPECT_EQ(a.value(), 7u);
+  EXPECT_EQ(b.value(), 7u);
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(Registry, LabelsAreDistinctCells) {
+  Registry r;
+  r.counter("cls", "cls=a").inc(1);
+  r.counter("cls", "cls=b").inc(2);
+  EXPECT_EQ(r.counter("cls", "cls=a").value(), 1u);
+  EXPECT_EQ(r.counter("cls", "cls=b").value(), 2u);
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(Registry, KindsShareNamespaceWithoutColliding) {
+  Registry r;
+  r.counter("x").inc();
+  r.gauge("x").set(5.0);
+  r.histogram("x").record(9);
+  EXPECT_EQ(r.size(), 3u);
+}
+
+TEST(Registry, UnboundHandlesAreSafeSinks) {
+  Counter c;
+  Gauge g;
+  Histogram h;
+  c.inc(10);
+  g.set(1.0);
+  h.record(42);  // must not crash; writes go to the shared sink
+}
+
+TEST(Gauge, TracksLatestAndHighWater) {
+  Registry r;
+  Gauge g = r.gauge("depth");
+  EXPECT_EQ(g.high_water(), 0.0);  // untouched
+  g.set(3.0);
+  g.set(9.0);
+  g.set(2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  EXPECT_DOUBLE_EQ(g.high_water(), 9.0);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+}
+
+// --- histogram bucket boundaries --------------------------------------------
+
+TEST(Histogram, BucketBoundaries) {
+  // Bucket 0 holds exactly 0; bucket b >= 1 holds [2^(b-1), 2^b - 1].
+  EXPECT_EQ(Histogram::bucket_upper_bound(0), 0);
+  EXPECT_EQ(Histogram::bucket_upper_bound(1), 1);
+  EXPECT_EQ(Histogram::bucket_upper_bound(2), 3);
+  EXPECT_EQ(Histogram::bucket_upper_bound(11), 2047);
+  EXPECT_EQ(Histogram::bucket_upper_bound(64),
+            std::numeric_limits<std::int64_t>::max());
+
+  Registry r;
+  Histogram h = r.histogram("lat");
+  h.record(0);     // bucket 0
+  h.record(-5);    // clamps to bucket 0
+  h.record(1);     // bucket 1
+  h.record(2);     // bucket 2
+  h.record(3);     // bucket 2
+  h.record(4);     // bucket 3
+  h.record(1024);  // bucket 11 [1024, 2047]
+  h.record(2047);  // bucket 11
+  h.record(2048);  // bucket 12
+
+  const Snapshot snap = r.snapshot();
+  const SnapshotEntry* e = snap.find("lat");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->buckets[0], 2u);
+  EXPECT_EQ(e->buckets[1], 1u);
+  EXPECT_EQ(e->buckets[2], 2u);
+  EXPECT_EQ(e->buckets[3], 1u);
+  EXPECT_EQ(e->buckets[11], 2u);
+  EXPECT_EQ(e->buckets[12], 1u);
+  EXPECT_EQ(h.count(), 9u);
+  EXPECT_EQ(h.min(), -5);
+  EXPECT_EQ(h.max(), 2048);
+}
+
+TEST(Histogram, PercentileReturnsBucketUpperBound) {
+  Registry r;
+  Histogram h = r.histogram("p");
+  EXPECT_EQ(h.percentile(0.5), 0);  // empty
+  for (int i = 0; i < 90; ++i) h.record(10);    // bucket 4, le 15
+  for (int i = 0; i < 10; ++i) h.record(1000);  // bucket 10, le 1023
+  EXPECT_EQ(h.percentile(0.50), 15);
+  EXPECT_EQ(h.percentile(0.99), 1023);
+}
+
+TEST(Histogram, MeanMinMax) {
+  Registry r;
+  Histogram h = r.histogram("m");
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  h.record(10);
+  h.record(20);
+  EXPECT_EQ(h.min(), 10);
+  EXPECT_EQ(h.max(), 20);
+  EXPECT_DOUBLE_EQ(h.mean(), 15.0);
+}
+
+// --- snapshot merge ----------------------------------------------------------
+
+TEST(Snapshot, MergeAddsCountersAndHistograms) {
+  Registry a, b;
+  a.counter("n").inc(5);
+  b.counter("n").inc(7);
+  b.counter("only_b").inc(1);
+  a.histogram("h").record(4);
+  b.histogram("h").record(1024);
+
+  Snapshot sa = a.snapshot();
+  sa.merge(b.snapshot());
+
+  EXPECT_EQ(sa.find("n")->counter, 12u);
+  EXPECT_EQ(sa.find("only_b")->counter, 1u);
+  const SnapshotEntry* h = sa.find("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->hist_count, 2u);
+  EXPECT_EQ(h->hist_min, 4);
+  EXPECT_EQ(h->hist_max, 1024);
+  EXPECT_EQ(h->buckets[3], 1u);
+  EXPECT_EQ(h->buckets[11], 1u);
+}
+
+TEST(Snapshot, MergeGaugeKeepsLatestValueAndMaxHighWater) {
+  Registry a, b;
+  Gauge ga = a.gauge("g");
+  ga.set(100.0);  // high water 100
+  ga.set(10.0);
+  b.gauge("g").set(50.0);
+
+  Snapshot sa = a.snapshot();
+  sa.merge(b.snapshot());
+  const SnapshotEntry* g = sa.find("g");
+  ASSERT_NE(g, nullptr);
+  EXPECT_DOUBLE_EQ(g->gauge, 50.0);             // latest (from the merged-in run)
+  EXPECT_DOUBLE_EQ(g->gauge_high_water, 100.0); // max across runs
+}
+
+TEST(Snapshot, FindDistinguishesLabels) {
+  Registry r;
+  r.counter("c", "k=1").inc(1);
+  const Snapshot s = r.snapshot();
+  EXPECT_EQ(s.find("c"), nullptr);
+  ASSERT_NE(s.find("c", "k=1"), nullptr);
+  EXPECT_EQ(s.find("c", "k=1")->counter, 1u);
+}
+
+// --- exporters ---------------------------------------------------------------
+
+TEST(Export, JsonIsWellFormedAndEscaped) {
+  Registry r;
+  r.counter("events").inc(3);
+  r.counter("cls", "cls=\"quoted\"\\back").inc(1);  // hostile label
+  Gauge g = r.gauge("g");
+  g.set(1.5);
+  Histogram h = r.histogram("lat");
+  h.record(0);
+  h.record(300);
+
+  const std::string json = to_json(r.snapshot());
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"events\":3"), std::string::npos);
+  EXPECT_NE(json.find("histograms"), std::string::npos);
+}
+
+TEST(Export, JsonNumberNeverEmitsNanOrInf) {
+  EXPECT_TRUE(JsonChecker(json_number(std::nan(""))).valid());
+  EXPECT_TRUE(
+      JsonChecker(json_number(std::numeric_limits<double>::infinity())).valid());
+  EXPECT_EQ(json_number(2.0), "2");
+}
+
+TEST(Export, CsvHasHeaderAndOneRowPerMetric) {
+  Registry r;
+  r.counter("a").inc(1);
+  r.gauge("b").set(2.0);
+  const std::string csv = to_csv(r.snapshot());
+  // header + 2 rows = 3 newline-terminated lines
+  std::size_t lines = 0;
+  for (char c : csv) lines += c == '\n';
+  EXPECT_EQ(lines, 3u);
+  EXPECT_EQ(csv.rfind("kind,name,label", 0), 0u);
+}
+
+// --- Chrome trace export -----------------------------------------------------
+
+TEST(TraceExport, ChromeTraceJsonIsWellFormed) {
+  sim::TraceLog log;
+  log.append(sim::SimTime{1500}, sim::TraceCategory::kBus, "bus",
+             "frame \"7\" sent\\ok");  // hostile message
+  log.append(sim::SimTime{2500}, sim::TraceCategory::kDiagnosis,
+             "component.1", "trust dropped");
+
+  const std::string json = sim::chrome_trace_json(log);
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  // ts is microseconds: 1500 ns = 1.5 us.
+  EXPECT_NE(json.find("1.500"), std::string::npos);
+}
+
+TEST(TraceExport, EmptyLogStillValid) {
+  sim::TraceLog log;
+  EXPECT_TRUE(JsonChecker(sim::chrome_trace_json(log)).valid());
+}
+
+// --- detection latency under scripted injection ------------------------------
+
+TEST(DetectionLatency, ScriptedWearoutProducesLatencySamples) {
+  scenario::Fig10System rig({.seed = 77});
+  const sim::SimTime start = sim::SimTime::zero() + sim::milliseconds(400);
+  rig.injector().inject_wearout(1, start, sim::milliseconds(500), 0.7,
+                                sim::milliseconds(10));
+  rig.run(sim::seconds(6));
+
+  const std::size_t recorded =
+      rig.diag().record_detection_latency(rig.injector());
+  EXPECT_GE(recorded, 1u);
+
+  const Snapshot snap = rig.sim().metrics().snapshot();
+  const SnapshotEntry* agg = snap.find("diag.detection_latency_us");
+  ASSERT_NE(agg, nullptr);
+  EXPECT_GE(agg->hist_count, 1u);
+  EXPECT_GT(agg->hist_min, 0);  // detection strictly after injection
+
+  // The per-FRU labelled histogram exists for the faulty component.
+  const SnapshotEntry* fru =
+      snap.find("diag.detection_latency_us", "fru=component.1");
+  ASSERT_NE(fru, nullptr);
+  EXPECT_EQ(fru->hist_count, 1u);
+
+  // And the instrumented stack saw traffic.
+  EXPECT_GT(snap.find("sim.events_executed")->counter, 0u);
+  EXPECT_GT(snap.find("tta.bus.frames_sent")->counter, 0u);
+  EXPECT_GT(snap.find("diag.symptoms_ingested")->counter, 0u);
+}
+
+TEST(DetectionLatency, HealthyRunRecordsNothing) {
+  scenario::Fig10System rig({.seed = 78});
+  rig.run(sim::seconds(1));
+  EXPECT_EQ(rig.diag().record_detection_latency(rig.injector()), 0u);
+  const obs::Snapshot snap = rig.sim().metrics().snapshot();
+  const SnapshotEntry* agg = snap.find("diag.detection_latency_us");
+  ASSERT_NE(agg, nullptr);  // registered (empty) by the call above
+  EXPECT_EQ(agg->hist_count, 0u);
+}
+
+}  // namespace
+}  // namespace decos::obs
