@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   std::printf("== E5 / Fig. 11: measured maintenance-action table ==\n\n");
 
   const auto archetypes = scenario::standard_archetypes();
-  const std::vector<std::uint64_t> seeds{501, 502, 503, 504, 505};
+  const auto seeds = reporter.seeds_or({501, 502, 503, 504, 505});
   const auto result = scenario::run_campaign(archetypes, seeds);
 
   analysis::Table t({"injected archetype", "true class", "Fig.11 action",

@@ -7,7 +7,21 @@ namespace decos::diag {
 Agent::Agent(platform::System& system, platform::DasId diag_das,
              platform::ComponentId component, const SpecTable& specs,
              const std::vector<platform::JobId>& assessors)
-    : system_(system), component_(component), specs_(specs) {
+    : Agent(system, diag_das, component, specs, assessors, Params{}) {}
+
+Agent::Agent(platform::System& system, platform::DasId diag_das,
+             platform::ComponentId component, const SpecTable& specs,
+             const std::vector<platform::JobId>& assessors, Params params)
+    : system_(system),
+      component_(component),
+      specs_(specs),
+      p_(params),
+      heartbeats_metric_(
+          system.simulator().metrics().counter("diag.agent.heartbeats")),
+      retransmissions_metric_(
+          system.simulator().metrics().counter("diag.agent.retransmissions")),
+      dropped_metric_(
+          system.simulator().metrics().counter("diag.agent.symptoms_dropped")) {
   platform::Job& job = system_.add_job(
       diag_das, "diag.agent." + std::to_string(component), component,
       [this](platform::JobContext& ctx) { flush(ctx); });
@@ -18,7 +32,10 @@ Agent::Agent(platform::System& system, platform::DasId diag_das,
   system_.cluster().node(component).observation_sink =
       [this](const tta::SlotObservation& obs) { on_observation(obs); };
   system_.component(component).mux().on_overflow =
-      [this](platform::PortId p, tta::RoundId r) { on_overflow(p, r); };
+      [this](platform::PortId p, platform::VnetId vn, tta::RoundId r) {
+        if (vn == platform::kDiagnosticVnet) return;  // see on_overflow()
+        on_overflow(p, r);
+      };
   system_.component(component).on_message_sent =
       [this](const vnet::Message& m, tta::RoundId r) { on_sent(m, r); };
   system_.component(component).on_transducer_anomaly =
@@ -42,10 +59,14 @@ void Agent::note(Symptom s) {
   }
   // Bound the backlog: when the component cannot flush (e.g. its node is
   // re-integrating), keep the most recent window and drop the oldest —
-  // fresh evidence is worth more to the assessor than stale repeats.
+  // fresh evidence is worth more to the assessor than stale repeats. The
+  // drop is counted and confessed in the next heartbeat, so the loss is
+  // visible to the assessor instead of silent.
   if (pending_.size() > 4096) {
     pending_.erase(pending_.begin(),
                    pending_.begin() + static_cast<std::ptrdiff_t>(1024));
+    dropped_ += 1024;
+    dropped_metric_.inc(1024);
   }
   ++detected_;
   const Key key{s.type, s.subject_component,
@@ -151,14 +172,56 @@ void Agent::flush(platform::JobContext& ctx) {
     this_round_.clear();
   }
 
-  // Flush under the diagnostic vnet's real bandwidth: excess stays pending.
   std::size_t sent = 0;
+
+  // Heartbeat first: the assessor's staleness watchdog must keep being
+  // fed even when the component is perfectly healthy — its absence is the
+  // one signal that survives every agent-death mode.
+  if (p_.hardening && (last_heartbeat_ == 0 || round >= last_heartbeat_ + p_.heartbeat_period)) {
+    Heartbeat hb;
+    hb.symptoms_detected = detected_;
+    hb.symptoms_dropped = static_cast<std::uint32_t>(
+        dropped_ > 0xFFFFFFFFu ? 0xFFFFFFFFu : dropped_);
+    const vnet::Message m = encode_heartbeat(hb, round);
+    if (ctx.send(port_, m.value, m.kind, m.aux)) {
+      last_heartbeat_ = round;
+      ++heartbeats_;
+      heartbeats_metric_.inc();
+      ++sent;
+    }
+  }
+
+  // Flush under the diagnostic vnet's real bandwidth: excess stays pending.
   while (!pending_.empty() && sent < 16) {
     const Symptom& s = pending_.front();
     const vnet::Message m = encode(s, round);
     if (!ctx.send(port_, m.value, m.kind, m.aux)) break;  // queue full
+    if (p_.hardening && p_.max_resends > 0) {
+      resend_.push_back(Resend{s, round + p_.resend_backoff, 1});
+      while (resend_.size() > p_.resend_buffer) resend_.pop_front();
+    }
     pending_.erase(pending_.begin());
     ++sent;
+  }
+
+  // Retransmissions with exponential backoff: a lost original becomes a
+  // duplicate at the assessor (deduplicated there by observation key)
+  // instead of a hole in the evidence. Spare bandwidth only.
+  if (p_.hardening) {
+    for (auto& r : resend_) {
+      if (sent >= 16) break;
+      if (r.sends > p_.max_resends || round < r.due) continue;
+      const vnet::Message m = encode(r.s, round);
+      if (!ctx.send(port_, m.value, m.kind, m.aux)) break;
+      ++sent;
+      ++resent_;
+      retransmissions_metric_.inc();
+      r.due = round + (p_.resend_backoff << r.sends);
+      ++r.sends;
+    }
+    while (!resend_.empty() && resend_.front().sends > p_.max_resends) {
+      resend_.pop_front();
+    }
   }
 }
 

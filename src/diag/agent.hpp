@@ -12,22 +12,49 @@
 // virtual diagnostic network by the agent's own job, so dissemination
 // competes for real bandwidth and arrives with real latency — no probe
 // effect on the application vnets, exactly as the paper requires.
+//
+// The symptom stream itself runs over the same fallible cluster it
+// monitors, so the agent hardens its own channel: a periodic heartbeat
+// keeps the assessor's staleness watchdog fed even when nothing is wrong,
+// and a small bounded resend buffer retransmits recent symptoms with
+// exponential backoff — loss on the diagnostic vnet becomes duplicates
+// (deduplicated at the assessor) instead of silently missing evidence.
 #pragma once
 
+#include <deque>
 #include <map>
 #include <vector>
 
 #include "diag/port_spec.hpp"
 #include "diag/symptom.hpp"
+#include "obs/metrics.hpp"
 #include "platform/system.hpp"
 
 namespace decos::diag {
 
 class Agent {
  public:
+  struct Params {
+    /// Master switch for the channel hardening (heartbeats + resends).
+    /// Off reproduces the pre-hardening agent, for ablation runs.
+    bool hardening = true;
+    /// Rounds between heartbeats on the symptom port.
+    tta::RoundId heartbeat_period = 8;
+    /// Recently sent symptoms retained for retransmission.
+    std::size_t resend_buffer = 32;
+    /// Retransmissions per symptom beyond the first send.
+    std::uint32_t max_resends = 2;
+    /// Rounds until the first retransmission; doubles per resend.
+    tta::RoundId resend_backoff = 8;
+  };
+
   /// Creates the agent job on `component` inside `diag_das` and installs
   /// all hooks. `assessors` are the jobs subscribed to this agent's
   /// symptom port.
+  Agent(platform::System& system, platform::DasId diag_das,
+        platform::ComponentId component, const SpecTable& specs,
+        const std::vector<platform::JobId>& assessors, Params params);
+  /// Default-parameter convenience (hardening on).
   Agent(platform::System& system, platform::DasId diag_das,
         platform::ComponentId component, const SpecTable& specs,
         const std::vector<platform::JobId>& assessors);
@@ -39,6 +66,11 @@ class Agent {
   /// Symptoms detected but not yet flushed (inspection/testing).
   [[nodiscard]] std::size_t backlog() const { return pending_.size(); }
   [[nodiscard]] std::uint64_t symptoms_detected() const { return detected_; }
+  /// Symptoms dropped from the bounded backlog (evidence loss at source).
+  [[nodiscard]] std::uint64_t symptoms_dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t heartbeats_sent() const { return heartbeats_; }
+  [[nodiscard]] std::uint64_t retransmissions() const { return resent_; }
+  [[nodiscard]] const Params& params() const { return p_; }
 
  private:
   void on_observation(const tta::SlotObservation& obs);
@@ -50,6 +82,7 @@ class Agent {
   platform::System& system_;
   platform::ComponentId component_;
   const SpecTable& specs_;
+  Params p_;
   platform::JobId job_id_ = platform::kInvalidJob;
   platform::PortId port_ = 0;
 
@@ -66,10 +99,28 @@ class Agent {
   tta::RoundId coalesce_round_ = 0;
   std::vector<Symptom> pending_;
   std::uint64_t detected_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t heartbeats_ = 0;
+  std::uint64_t resent_ = 0;
+
+  /// Resend buffer: symptoms already sent once, awaiting their backoff
+  /// retransmissions. Bounded; oldest entries fall off first.
+  struct Resend {
+    Symptom s;
+    tta::RoundId due = 0;
+    std::uint32_t sends = 1;  // transmissions so far (1 = original)
+  };
+  std::deque<Resend> resend_;
+  tta::RoundId last_heartbeat_ = 0;
 
   /// LIF temporal monitor: last round each local port was seen sending.
   std::map<platform::PortId, tta::RoundId> last_sent_;
   std::map<platform::PortId, tta::RoundId> last_gap_report_;
+
+  // Cluster-wide aggregates (all agents of one simulator share the cells).
+  obs::Counter heartbeats_metric_;
+  obs::Counter retransmissions_metric_;
+  obs::Counter dropped_metric_;
 };
 
 }  // namespace decos::diag

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <string>
 
 namespace decos::diag {
 
@@ -12,7 +13,8 @@ Assessor::Assessor(Params p, fault::SpatialLayout layout,
       store_(p.evidence),
       component_count_(component_count),
       component_trust_(component_count, p.trust.initial),
-      component_trajectories_(component_count) {}
+      component_trajectories_(component_count),
+      channels_(component_count) {}
 
 void Assessor::register_agent(platform::JobId agent_job,
                               platform::ComponentId component) {
@@ -30,6 +32,9 @@ void Assessor::bind_metrics(obs::Registry& registry) {
   metrics_ = &registry;
   symptoms_metric_ = registry.counter("diag.symptoms_ingested");
   violations_metric_ = registry.counter("diag.trust_violations");
+  gaps_metric_ = registry.counter("diag.assessor.symptom_gaps");
+  duplicates_metric_ = registry.counter("diag.assessor.duplicates_dropped");
+  agent_drops_metric_ = registry.counter("diag.assessor.agent_drops_reported");
 }
 
 void Assessor::note_component_trust(platform::ComponentId c) {
@@ -62,6 +67,61 @@ std::optional<tta::RoundId> Assessor::first_job_violation(
   return it->second;
 }
 
+tta::RoundId Assessor::evidence_age(platform::ComponentId c) const {
+  const AgentChannel& ch = channels_.at(c);
+  return round_ > ch.last_heard ? round_ - ch.last_heard : 0;
+}
+
+double Assessor::evidence_quality(platform::ComponentId c) const {
+  if (!p_.hardening) return 1.0;
+  const tta::RoundId age = evidence_age(c);
+  if (age <= p_.stale_after) return 1.0;
+  // Linear decay after the staleness threshold; floor at 0 once silence
+  // reaches five thresholds.
+  const double excess = static_cast<double>(age - p_.stale_after);
+  return std::max(0.0, 1.0 - excess / static_cast<double>(4 * p_.stale_after));
+}
+
+double Assessor::job_evidence_quality(platform::JobId j) const {
+  auto it = job_host_.find(j);
+  if (it == job_host_.end()) return evidence_quality(0);
+  return evidence_quality(it->second);
+}
+
+std::vector<platform::ComponentId> Assessor::stale_components() const {
+  std::vector<platform::ComponentId> out;
+  for (platform::ComponentId c = 0; c < component_count_; ++c) {
+    if (channel_degraded(c)) out.push_back(c);
+  }
+  return out;
+}
+
+void Assessor::track_channel(platform::ComponentId agent,
+                             const vnet::Message& m) {
+  AgentChannel& ch = channels_[agent];
+  ch.last_heard = std::max(ch.last_heard, round_);
+  // The multiplexer assigns contiguous per-port sequence numbers to every
+  // accepted message, so a jump on the symptom port is exactly the number
+  // of diagnostic messages the channel lost in flight.
+  if (!ch.seq_seen) {
+    ch.seq_seen = true;
+    ch.next_seq = m.seq + 1;
+    return;
+  }
+  if (m.seq > ch.next_seq) {
+    const std::uint32_t lost = m.seq - ch.next_seq;
+    gaps_ += lost;
+    gaps_metric_.inc(lost);
+  }
+  if (m.seq + 1 > ch.next_seq) ch.next_seq = m.seq + 1;
+}
+
+bool Assessor::dedupe_accept(const Symptom& s) {
+  const DedupKey key{s.observer, s.type, s.subject_component,
+                     s.subject_job.value_or(platform::kInvalidJob), s.round};
+  return seen_.insert(key).second;
+}
+
 void Assessor::ingest_external(const Symptom& s) {
   if (recorder_) recorder_->record(s);
   store_.ingest(s);
@@ -87,8 +147,31 @@ void Assessor::process(platform::JobContext& ctx) {
   for (const vnet::Message& m : ctx.inbox()) {
     auto agent_it = agent_component_.find(m.sender);
     if (agent_it == agent_component_.end()) continue;  // not a known agent
-    const auto symptom = decode(m, agent_it->second);
+    const platform::ComponentId agent = agent_it->second;
+    if (p_.hardening) track_channel(agent, m);
+    if (const auto hb = decode_heartbeat(m)) {
+      ++heartbeats_;
+      AgentChannel& ch = channels_[agent];
+      ch.reported_detected = hb->symptoms_detected;
+      ++ch.heartbeats;
+      if (hb->symptoms_dropped > ch.reported_dropped) {
+        const std::uint32_t delta = hb->symptoms_dropped - ch.reported_dropped;
+        agent_drops_ += delta;
+        agent_drops_metric_.inc(delta);
+        ch.reported_dropped = hb->symptoms_dropped;
+      }
+      continue;
+    }
+    const auto symptom = decode(m, agent);
     if (!symptom) continue;
+    // Retransmissions arrive as duplicates of an already-ingested
+    // observation key; charging them again would let the resend machinery
+    // itself erode trust.
+    if (p_.hardening && !dedupe_accept(*symptom)) {
+      ++duplicates_;
+      duplicates_metric_.inc();
+      continue;
+    }
     if (recorder_) recorder_->record(*symptom);
     store_.ingest(*symptom);
     symptoms_metric_.inc();
@@ -125,11 +208,16 @@ void Assessor::process(platform::JobContext& ctx) {
   }
 
   // Trust update: recovery for quiet FRUs, drop scaled by symptom volume.
+  // "Quiet" only earns recovery while the FRU's agent channel is fresh: a
+  // silent agent means *absence of evidence*, and absence of evidence must
+  // freeze trust, not launder it back toward 1.0.
   for (platform::ComponentId c = 0; c < component_count_; ++c) {
     auto it = component_hits.find(c);
     if (it == component_hits.end()) {
-      component_trust_[c] =
-          std::min(1.0, component_trust_[c] + p_.trust.recovery);
+      if (!channel_degraded(c)) {
+        component_trust_[c] =
+            std::min(1.0, component_trust_[c] + p_.trust.recovery);
+      }
     } else {
       const double scale = static_cast<double>(std::min(it->second, 4u));
       component_trust_[c] =
@@ -140,7 +228,10 @@ void Assessor::process(platform::JobContext& ctx) {
   for (auto& [j, trust] : job_trust_) {
     auto it = job_hits.find(j);
     if (it == job_hits.end()) {
-      trust = std::min(1.0, trust + p_.trust.recovery);
+      auto host_it = job_host_.find(j);
+      if (host_it == job_host_.end() || !channel_degraded(host_it->second)) {
+        trust = std::min(1.0, trust + p_.trust.recovery);
+      }
     } else {
       const double scale = static_cast<double>(std::min(it->second, 4u));
       trust = std::max(0.0, trust - p_.trust.drop * scale);
@@ -154,9 +245,72 @@ void Assessor::process(platform::JobContext& ctx) {
     for (platform::ComponentId c = 0; c < component_count_; ++c) {
       component_trajectories_[c].push_back(TrustSample{round_, component_trust_[c]});
     }
+    export_staleness();
+  }
+
+  // Dedupe keys older than the window can never be duplicated again (the
+  // resend buffer is far shorter); drop them to stay bounded.
+  if (p_.hardening && round_ >= last_dedupe_prune_ + p_.dedupe_window) {
+    last_dedupe_prune_ = round_;
+    const tta::RoundId horizon =
+        round_ > p_.dedupe_window ? round_ - p_.dedupe_window : 0;
+    std::erase_if(seen_,
+                  [horizon](const DedupKey& k) { return k.round < horizon; });
   }
 
   store_.prune(round_);
+}
+
+void Assessor::export_staleness() {
+  if (!metrics_ || !p_.hardening) return;
+  for (platform::ComponentId c = 0; c < component_count_; ++c) {
+    metrics_
+        ->gauge("diag.evidence_staleness",
+                std::string("fru=c") + std::to_string(c))
+        .set(static_cast<double>(evidence_age(c)));
+  }
+}
+
+void Assessor::reconcile_from(const Assessor& fresher) {
+  // Per-FRU max-staleness merge: the side that heard the FRU's agent more
+  // recently contributes trust and channel state.
+  for (platform::ComponentId c = 0; c < component_count_; ++c) {
+    if (fresher.channels_[c].last_heard >= channels_[c].last_heard) {
+      channels_[c] = fresher.channels_[c];
+      component_trust_[c] = fresher.component_trust_[c];
+    }
+    auto vit = fresher.component_violation_round_.find(c);
+    if (vit != fresher.component_violation_round_.end()) {
+      auto [mine, inserted] = component_violation_round_.emplace(c, vit->second);
+      if (!inserted) mine->second = std::min(mine->second, vit->second);
+    }
+  }
+  for (auto& [j, trust] : job_trust_) {
+    auto host_it = job_host_.find(j);
+    const platform::ComponentId host =
+        host_it == job_host_.end() ? 0 : host_it->second;
+    auto theirs = fresher.job_trust_.find(j);
+    if (theirs != fresher.job_trust_.end() &&
+        fresher.channels_[host].last_heard >= channels_[host].last_heard) {
+      trust = theirs->second;
+    }
+  }
+  for (const auto& [j, r] : fresher.job_violation_round_) {
+    auto [mine, inserted] = job_violation_round_.emplace(j, r);
+    if (!inserted) mine->second = std::min(mine->second, r);
+  }
+  // Both assessors subscribe to the same symptom multicast, so the side
+  // that stayed alive holds (essentially) a superset of the other's
+  // evidence: adopt its store wholesale when it is ahead in rounds or in
+  // ingested volume. The dedupe sets are unioned so that neither side's
+  // already-charged observations can be double-ingested afterwards.
+  if (fresher.round_ >= round_ ||
+      fresher.store_.symptoms_ingested() > store_.symptoms_ingested()) {
+    store_ = fresher.store_;
+    component_trajectories_ = fresher.component_trajectories_;
+    last_sample_ = fresher.last_sample_;
+  }
+  seen_.insert(fresher.seen_.begin(), fresher.seen_.end());
 }
 
 Diagnosis Assessor::diagnose_component(platform::ComponentId c) const {

@@ -11,6 +11,14 @@
 // healthy rounds and drops with each symptomatic round, so a healthy FRU's
 // trajectory hugs 1.0 while a degrading FRU's trajectory descends — the
 // two arrows of Fig. 9.
+//
+// The assessor also polices its own evidence channel. Each agent's symptom
+// port carries a contiguous wire sequence number and a periodic heartbeat;
+// the assessor tracks per-channel staleness and sequence gaps, so agent
+// silence degrades the FRU's *evidence quality* instead of letting trust
+// quietly recover toward 1.0 — silence of the monitor is not health of
+// the monitored. Retransmitted symptoms are deduplicated on their
+// observation key so resends never double-charge trust.
 #pragma once
 
 #include <cstdint>
@@ -49,6 +57,18 @@ struct TrustSample {
   double trust;
 };
 
+/// Per-agent diagnostic-channel state: when the assessor last heard the
+/// agent (symptom *or* heartbeat), the next expected wire sequence number
+/// on its symptom port, and the agent's self-confessed drop count.
+struct AgentChannel {
+  tta::RoundId last_heard = 0;
+  std::uint32_t next_seq = 0;
+  bool seq_seen = false;
+  std::uint64_t reported_detected = 0;
+  std::uint32_t reported_dropped = 0;
+  std::uint64_t heartbeats = 0;
+};
+
 class Assessor {
  public:
   struct Params {
@@ -57,6 +77,16 @@ class Assessor {
     TrustParams trust{};
     /// Trajectory sampling period in rounds (Fig. 9 resolution).
     tta::RoundId sample_period = 50;
+    /// Master switch for channel hardening (staleness watchdog, dedupe,
+    /// gap tracking, recovery gating). Off reproduces the pre-hardening
+    /// assessor, for ablation runs.
+    bool hardening = true;
+    /// Rounds of agent silence before the FRU's evidence counts stale
+    /// (should cover several agent heartbeat periods).
+    tta::RoundId stale_after = 32;
+    /// Observation-key dedupe horizon in rounds (must exceed the agents'
+    /// largest resend backoff).
+    tta::RoundId dedupe_window = 512;
   };
 
   Assessor(Params p, fault::SpatialLayout layout, std::uint32_t component_count,
@@ -88,6 +118,16 @@ class Assessor {
   /// simulator's registry automatically.
   void bind_metrics(obs::Registry& registry);
 
+  /// Max-staleness state merge from a fresher replica, used on failback:
+  /// per FRU, whichever side heard that FRU's agent later contributes the
+  /// trust level and channel state; violation instants take the earlier of
+  /// the two sides. Both assessors subscribe to the same symptom
+  /// multicast, so when `fresher` is ahead in rounds its evidence store
+  /// and dedupe set are supersets of ours and are adopted wholesale — the
+  /// adopted dedupe set then filters any backlog the revived assessor
+  /// still re-ingests.
+  void reconcile_from(const Assessor& fresher);
+
   // --- results -----------------------------------------------------------
   [[nodiscard]] Diagnosis diagnose_component(platform::ComponentId c) const;
   [[nodiscard]] Diagnosis diagnose_job(platform::JobId j) const;
@@ -110,6 +150,39 @@ class Assessor {
       platform::ComponentId c) const;
   [[nodiscard]] std::optional<tta::RoundId> first_job_violation(
       platform::JobId j) const;
+
+  // --- diagnostic-channel health ----------------------------------------
+  /// Rounds since the assessor last heard anything (symptom or heartbeat)
+  /// from component `c`'s agent.
+  [[nodiscard]] tta::RoundId evidence_age(platform::ComponentId c) const;
+  /// Evidence quality in [0,1]: 1.0 while the agent is fresh, decaying
+  /// linearly once its silence exceeds `stale_after`. Always 1.0 with
+  /// hardening off (the pre-hardening blind spot, by construction).
+  [[nodiscard]] double evidence_quality(platform::ComponentId c) const;
+  /// Quality of the evidence about job `j` = quality of its host
+  /// component's agent channel (job-level symptoms originate there).
+  [[nodiscard]] double job_evidence_quality(platform::JobId j) const;
+  [[nodiscard]] bool channel_degraded(platform::ComponentId c) const {
+    return evidence_quality(c) < 1.0;
+  }
+  /// Components whose agent channel is currently degraded.
+  [[nodiscard]] std::vector<platform::ComponentId> stale_components() const;
+  [[nodiscard]] const AgentChannel& channel(platform::ComponentId c) const {
+    return channels_.at(c);
+  }
+
+  /// Wire-sequence gaps observed across all agent channels (messages lost
+  /// between an agent's multiplexer and this assessor's inbox).
+  [[nodiscard]] std::uint64_t symptom_gaps() const { return gaps_; }
+  /// Retransmitted symptoms filtered by the observation-key dedupe.
+  [[nodiscard]] std::uint64_t duplicates_dropped() const { return duplicates_; }
+  /// Source-side drops confessed by agents via their heartbeats.
+  [[nodiscard]] std::uint64_t agent_drops_reported() const {
+    return agent_drops_;
+  }
+  [[nodiscard]] std::uint64_t heartbeats_received() const {
+    return heartbeats_;
+  }
 
   [[nodiscard]] const EvidenceStore& evidence() const { return store_; }
   [[nodiscard]] const Classifier& classifier() const { return classifier_; }
@@ -138,9 +211,39 @@ class Assessor {
   void note_component_trust(platform::ComponentId c);
   void note_job_trust(platform::JobId j);
 
+  /// Updates the agent's channel state (liveness + wire-seq gap check)
+  /// for one inbox message.
+  void track_channel(platform::ComponentId agent, const vnet::Message& m);
+  /// True if the symptom's observation key has not been seen within the
+  /// dedupe window (and records it).
+  bool dedupe_accept(const Symptom& s);
+  void export_staleness();
+
+  /// Observation key: unique per symptom because agents coalesce to at
+  /// most one symptom per (type, subject) per observation round.
+  struct DedupKey {
+    platform::ComponentId observer;
+    SymptomType type;
+    platform::ComponentId subj_c;
+    platform::JobId subj_j;
+    tta::RoundId round;
+    auto operator<=>(const DedupKey&) const = default;
+  };
+  std::set<DedupKey> seen_;
+  tta::RoundId last_dedupe_prune_ = 0;
+
+  std::vector<AgentChannel> channels_;
+  std::uint64_t gaps_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t agent_drops_ = 0;
+  std::uint64_t heartbeats_ = 0;
+
   obs::Registry* metrics_ = nullptr;  // for label-keyed lazy registration
   obs::Counter symptoms_metric_;
   obs::Counter violations_metric_;
+  obs::Counter gaps_metric_;
+  obs::Counter duplicates_metric_;
+  obs::Counter agent_drops_metric_;
   std::map<platform::ComponentId, tta::RoundId> component_violation_round_;
   std::map<platform::JobId, tta::RoundId> job_violation_round_;
 };

@@ -6,7 +6,9 @@ namespace decos::diag {
 
 DiagnosticService::DiagnosticService(platform::System& system, SpecTable specs,
                                      fault::SpatialLayout layout, Params params)
-    : system_(system), specs_(std::move(specs)) {
+    : system_(system), specs_(std::move(specs)),
+      hardening_(params.assessor.hardening),
+      failback_hold_(params.failback_hold) {
   // Application jobs existing now are the diagnosis subjects; everything
   // created below belongs to the diagnostic DAS.
   for (platform::JobId j = 0; j < static_cast<platform::JobId>(system_.job_count());
@@ -16,11 +18,11 @@ DiagnosticService::DiagnosticService(platform::System& system, SpecTable specs,
 
   das_ = system_.add_das("diagnostic", platform::Criticality::kSafetyCritical);
 
-  std::vector<platform::ComponentId> hosts{params.assessor_host};
-  hosts.insert(hosts.end(), params.replica_hosts.begin(),
-               params.replica_hosts.end());
+  hosts_.push_back(params.assessor_host);
+  hosts_.insert(hosts_.end(), params.replica_hosts.begin(),
+                params.replica_hosts.end());
 
-  for (std::size_t i = 0; i < hosts.size(); ++i) {
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
     assessors_.push_back(std::make_unique<Assessor>(
         params.assessor, layout, system_.component_count(),
         static_cast<std::uint32_t>(system_.job_count())));
@@ -30,8 +32,15 @@ DiagnosticService::DiagnosticService(platform::System& system, SpecTable specs,
     if (i == 0) assessor->bind_metrics(system_.simulator().metrics());
     platform::Job& job = system_.add_job(
         das_, i == 0 ? "diag.assessor" : "diag.assessor.r" + std::to_string(i),
-        hosts[i],
-        [assessor](platform::JobContext& ctx) { assessor->process(ctx); });
+        hosts_[i],
+        [this, assessor](platform::JobContext& ctx) {
+          assessor->process(ctx);
+          // Re-evaluate failover in-band every assessment round, not only
+          // when a client queries: an outage that begins AND ends between
+          // two report() calls must still promote the replica, reconcile
+          // on revival, and show up in the failover counters.
+          check_failover();
+        });
     assessor_jobs_.push_back(job.id());
     for (platform::JobId j : subject_jobs_) {
       assessor->register_subject_job(j, system_.job(j).host());
@@ -39,9 +48,13 @@ DiagnosticService::DiagnosticService(platform::System& system, SpecTable specs,
   }
   assessor_job_ = assessor_jobs_.front();
 
+  // Agents mirror the assessor's hardening switch so one Params flag
+  // ablates the whole diagnostic-path hardening end to end.
+  Agent::Params agent_params;
+  agent_params.hardening = params.assessor.hardening;
   for (platform::ComponentId c = 0; c < system_.component_count(); ++c) {
-    agents_.push_back(
-        std::make_unique<Agent>(system_, das_, c, specs_, assessor_jobs_));
+    agents_.push_back(std::make_unique<Agent>(system_, das_, c, specs_,
+                                              assessor_jobs_, agent_params));
     for (auto& assessor : assessors_) {
       assessor->register_agent(agents_.back()->job_id(), c);
     }
@@ -71,20 +84,90 @@ bool DiagnosticService::is_diagnostic_job(platform::JobId j) const {
                      [j](const auto& a) { return a->job_id() == j; });
 }
 
+bool DiagnosticService::host_alive(platform::ComponentId c) const {
+  // A fail-silent node drops its own bit from its membership vector, so
+  // the node's self-view is a clean liveness test that needs no quorum.
+  const auto& node = system_.cluster().node(c);
+  return ((node.membership() >> c) & 1u) != 0;
+}
+
+void DiagnosticService::check_failover() const {
+  // Failover is part of the hardening package: the ablated architecture
+  // stays pinned to the primary even when its host is dead.
+  if (!hardening_ || assessors_.size() <= 1) return;
+  std::size_t chosen = active_;
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    if (host_alive(hosts_[i])) {
+      chosen = i;
+      break;
+    }
+    // All hosts dead: keep the current assessor — its frozen state is the
+    // best maintenance view that exists.
+  }
+  if (chosen == active_) {
+    failback_candidate_ = SIZE_MAX;
+    return;
+  }
+  if (host_alive(hosts_[active_])) {
+    // The active assessor is healthy and a higher-priority host came back:
+    // debounce the hand-back. A restarted node can drop out of sync again
+    // for a few rounds while its clock reintegrates, and flapping between
+    // assessors would churn reconciliations for nothing.
+    const sim::SimTime now = system_.simulator().now();
+    if (failback_candidate_ != chosen) {
+      failback_candidate_ = chosen;
+      failback_candidate_since_ = now;
+      return;
+    }
+    if ((now - failback_candidate_since_).ns() < failback_hold_.ns()) return;
+  }
+  // A dead active assessor serves nobody: promote immediately.
+  failback_candidate_ = SIZE_MAX;
+  // The newly active assessor adopts whatever fresher state the outgoing
+  // one holds. On failover the outgoing (dead) side is per-FRU staler so
+  // the merge is a no-op; on failback it is exactly the reconciliation of
+  // the revived host with the replica that stayed alive.
+  assessors_[chosen]->reconcile_from(*assessors_[active_]);
+  obs::Registry& metrics = system_.simulator().metrics();
+  if (chosen < active_) {
+    ++failbacks_;
+    metrics.counter("diag.assessor.failbacks").inc();
+  } else {
+    ++failovers_;
+    metrics.counter("diag.assessor.failovers").inc();
+  }
+  active_ = chosen;
+}
+
+void DiagnosticService::assert_external_ona(platform::ComponentId c,
+                                            const std::string& name) {
+  auto& names = external_onas_[c];
+  if (std::find(names.begin(), names.end(), name) == names.end()) {
+    names.push_back(name);
+  }
+}
+
+void DiagnosticService::retract_external_ona(platform::ComponentId c,
+                                             const std::string& name) {
+  auto it = external_onas_.find(c);
+  if (it == external_onas_.end()) return;
+  std::erase(it->second, name);
+}
+
 std::size_t DiagnosticService::record_detection_latency(
     const fault::FaultInjector& injector) {
   obs::Registry& metrics = system_.simulator().metrics();
   obs::Histogram aggregate = metrics.histogram("diag.detection_latency_us");
   const sim::Duration round_len = system_.cluster().schedule().round_length();
-  const Assessor& primary = *assessors_.front();
+  const Assessor& active = assessor();
 
   std::size_t recorded = 0;
   for (const fault::InjectedFault& f : injector.ledger()) {
     // A job-level fault is detected when its software FRU is suspected; a
     // component-level fault when the hardware FRU is.
     std::optional<tta::RoundId> violation =
-        f.job ? primary.first_job_violation(*f.job)
-              : primary.first_component_violation(f.component);
+        f.job ? active.first_job_violation(*f.job)
+              : active.first_component_violation(f.component);
     std::string fru_label = f.job ? "fru=job." + std::to_string(*f.job)
                                   : "fru=component." + std::to_string(f.component);
     if (!violation) continue;
@@ -103,25 +186,46 @@ std::size_t DiagnosticService::record_detection_latency(
 
 std::vector<FruReport> DiagnosticService::report() const {
   static const OnaEngine kOnaRules = OnaEngine::standard_rules();
-  const fault::SpatialLayout& layout =
-      assessors_.front()->classifier().layout();
+  const Assessor& active = assessor();
+  obs::Registry& metrics = system_.simulator().metrics();
+  const fault::SpatialLayout& layout = active.classifier().layout();
   std::vector<FruReport> rows;
   for (platform::ComponentId c = 0; c < system_.component_count(); ++c) {
     FruReport row;
     row.fru = "component " + std::to_string(c);
-    row.trust = assessors_.front()->component_trust(c);
-    row.diagnosis = assessors_.front()->diagnose_component(c);
+    row.trust = active.component_trust(c);
+    row.diagnosis = active.diagnose_component(c);
     row.action = row.diagnosis.action();
-    const OnaContext ctx{assessors_.front()->evidence(), c,
-                         assessors_.front()->current_round(),
+    row.evidence_quality = active.evidence_quality(c);
+    row.evidence_age = active.evidence_age(c);
+    const OnaContext ctx{active.evidence(), c, active.current_round(),
                          system_.component_count(), layout, FeatureParams{}};
     for (const auto* hit : kOnaRules.evaluate(ctx)) {
       row.asserted_onas.push_back(hit->name());
-      system_.simulator()
-          .metrics()
+      metrics
           .counter("diag.ona_assertions", "ona=" + std::string(hit->name()))
           .inc();
     }
+    // Meta-ONA: the diagnostic channel itself is out of norm — the FRU's
+    // agent has gone silent and this row's verdict rests on stale data.
+    if (active.channel_degraded(c)) {
+      row.asserted_onas.emplace_back("diagnostic-channel-degraded");
+      metrics
+          .counter("diag.ona_assertions", "ona=diagnostic-channel-degraded")
+          .inc();
+    }
+    auto ext = external_onas_.find(c);
+    if (ext != external_onas_.end()) {
+      for (const std::string& name : ext->second) {
+        row.asserted_onas.push_back(name);
+        metrics.counter("diag.ona_assertions", "ona=" + name).inc();
+      }
+    }
+    // Keep the staleness gauges tracking the *active* assessor's view, so
+    // the exported metrics survive a primary death.
+    metrics
+        .gauge("diag.evidence_staleness", "fru=c" + std::to_string(c))
+        .set(static_cast<double>(row.evidence_age));
     rows.push_back(std::move(row));
   }
   for (platform::JobId j : subject_jobs_) {
@@ -129,9 +233,11 @@ std::vector<FruReport> DiagnosticService::report() const {
     FruReport row;
     row.fru = "job " + job.name() + " (j" + std::to_string(j) +
               ") on component " + std::to_string(job.host());
-    row.trust = assessors_.front()->job_trust(j);
-    row.diagnosis = assessors_.front()->diagnose_job(j);
+    row.trust = active.job_trust(j);
+    row.diagnosis = active.diagnose_job(j);
     row.action = row.diagnosis.action();
+    row.evidence_quality = active.job_evidence_quality(j);
+    row.evidence_age = active.evidence_age(job.host());
     rows.push_back(std::move(row));
   }
   return rows;

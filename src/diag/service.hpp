@@ -8,8 +8,17 @@
 // System::finalize(). The maintenance report it produces per FRU — trust
 // level, fault class, recommended action — is what the paper hands to the
 // service technician (Fig. 11).
+//
+// The diagnostic DAS is itself safety-relevant, so the service survives
+// faults in its own path: when the primary assessor's host component dies
+// the lowest-indexed replica on a live host is promoted deterministically,
+// and when a higher-priority host reintegrates its assessor reconciles
+// state from the one that stayed alive (max-staleness merge) before
+// taking back over. Every report row carries an evidence-quality field so
+// "verified healthy" and "no recent evidence" are never conflated.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -33,6 +42,17 @@ struct FruReport {
   /// this FRU (component rows only; the declarative cross-check of the
   /// rule classifier's verdict).
   std::vector<std::string> asserted_onas;
+  /// Confidence in this row's evidence, in [0,1]: 1.0 means the FRU's
+  /// diagnostic agent is fresh; lower values mean the assessor has not
+  /// heard the agent recently and the verdict rests on stale evidence.
+  double evidence_quality = 1.0;
+  /// Rounds since the FRU's agent was last heard by the active assessor.
+  tta::RoundId evidence_age = 0;
+  /// Distinguishes "verified healthy" from "no recent evidence": a row
+  /// with kNoAction and degraded evidence is NOT a clean bill of health.
+  [[nodiscard]] const char* evidence_state() const {
+    return evidence_quality >= 1.0 ? "verified" : "no-recent-evidence";
+  }
 };
 
 class DiagnosticService {
@@ -45,17 +65,39 @@ class DiagnosticService {
     /// maintenance view alive when the primary's component dies. Agents
     /// multicast their symptom stream to every assessor.
     std::vector<platform::ComponentId> replica_hosts;
+    /// How long a revived higher-priority host must stay continuously
+    /// alive before the service hands back to it. A restarted node can
+    /// briefly drop out of sync again while its clock reintegrates; the
+    /// hold keeps that flap from causing failover churn.
+    sim::Duration failback_hold = sim::milliseconds(50);
     Assessor::Params assessor{};
   };
 
   DiagnosticService(platform::System& system, SpecTable specs,
                     fault::SpatialLayout layout, Params params);
 
-  [[nodiscard]] Assessor& assessor() { return *assessors_.front(); }
-  [[nodiscard]] const Assessor& assessor() const { return *assessors_.front(); }
-  /// Replica access (0 = primary).
+  /// The ACTIVE assessor: the primary while its host lives, otherwise the
+  /// promoted replica (failover is evaluated lazily on access).
+  [[nodiscard]] Assessor& assessor() {
+    check_failover();
+    return *assessors_[active_];
+  }
+  [[nodiscard]] const Assessor& assessor() const {
+    check_failover();
+    return *assessors_[active_];
+  }
+  /// Replica access by fixed index (0 = primary), failover-independent.
   [[nodiscard]] Assessor& assessor(std::size_t i) { return *assessors_.at(i); }
   [[nodiscard]] std::size_t assessor_count() const { return assessors_.size(); }
+  /// Index of the currently active assessor (0 = primary).
+  [[nodiscard]] std::size_t active_assessor() const {
+    check_failover();
+    return active_;
+  }
+  /// Promotions of a replica after the active assessor's host died.
+  [[nodiscard]] std::uint64_t failovers() const { return failovers_; }
+  /// Reconciled hand-backs to a revived higher-priority host.
+  [[nodiscard]] std::uint64_t failbacks() const { return failbacks_; }
   [[nodiscard]] const SpecTable& specs() const { return specs_; }
   [[nodiscard]] platform::DasId das() const { return das_; }
   [[nodiscard]] platform::JobId assessor_job() const { return assessor_job_; }
@@ -63,12 +105,30 @@ class DiagnosticService {
   /// Is this job part of the diagnostic DAS (agents + assessor)?
   [[nodiscard]] bool is_diagnostic_job(platform::JobId j) const;
 
+  /// The detection agent of component `c` and its job id (agents are
+  /// created one per component, in component order).
+  [[nodiscard]] const Agent& agent(platform::ComponentId c) const {
+    return *agents_.at(c);
+  }
+  [[nodiscard]] platform::JobId agent_job(platform::ComponentId c) const {
+    return agents_.at(c)->job_id();
+  }
+
+  /// Asserts an ONA on a component from outside the evidence-store rule
+  /// base (e.g. the TMR gateway's redundancy-loss transition). The name
+  /// appears in the component's report row and in the
+  /// `diag.ona_assertions` counter; `retract_external_ona` clears it.
+  void assert_external_ona(platform::ComponentId c, const std::string& name);
+  void retract_external_ona(platform::ComponentId c, const std::string& name);
+
   /// Maintenance report over all FRUs: components first, then application
   /// jobs. Only FRUs whose trust fell below the report threshold carry a
-  /// non-kNone diagnosis request, but every FRU is listed.
+  /// non-kNone diagnosis request, but every FRU is listed. Rows whose
+  /// agent channel is degraded carry the "diagnostic-channel-degraded"
+  /// meta-ONA and a reduced evidence quality.
   [[nodiscard]] std::vector<FruReport> report() const;
 
-  /// Correlates the injector's ground-truth ledger with the primary
+  /// Correlates the injector's ground-truth ledger with the active
   /// assessor's first trust violations and records, for every injected
   /// fault whose FRU became suspected after the injection instant, the
   /// detection latency (injection -> first trust violation) into the
@@ -80,14 +140,31 @@ class DiagnosticService {
   std::size_t record_detection_latency(const fault::FaultInjector& injector);
 
  private:
+  /// Lazily re-evaluates which assessor is active: the lowest-indexed one
+  /// whose host component is alive (deterministic promotion order). On a
+  /// transition the newly active assessor reconciles from the previously
+  /// active one — a no-op on failover (the dead side is staler), the
+  /// state-merge mechanism on failback.
+  void check_failover() const;
+  [[nodiscard]] bool host_alive(platform::ComponentId c) const;
+
   platform::System& system_;
   SpecTable specs_;
   platform::DasId das_ = 0;
   platform::JobId assessor_job_ = platform::kInvalidJob;
+  std::vector<platform::ComponentId> hosts_;
   std::vector<platform::JobId> assessor_jobs_;
   std::vector<std::unique_ptr<Assessor>> assessors_;
   std::vector<std::unique_ptr<Agent>> agents_;
   std::vector<platform::JobId> subject_jobs_;
+  std::map<platform::ComponentId, std::vector<std::string>> external_onas_;
+  bool hardening_ = true;
+  sim::Duration failback_hold_ = sim::milliseconds(50);
+  mutable std::size_t active_ = 0;
+  mutable std::size_t failback_candidate_ = SIZE_MAX;
+  mutable sim::SimTime failback_candidate_since_{};
+  mutable std::uint64_t failovers_ = 0;
+  mutable std::uint64_t failbacks_ = 0;
 };
 
 }  // namespace decos::diag

@@ -47,6 +47,24 @@ vnet::Message encode(const Symptom& s, tta::RoundId send_round) {
   return m;
 }
 
+vnet::Message encode_heartbeat(const Heartbeat& hb, tta::RoundId round) {
+  vnet::Message m;
+  m.kind = kHeartbeatMsgKind;
+  m.value = static_cast<double>(hb.symptoms_detected);
+  m.aux = hb.symptoms_dropped;
+  m.sent_round = round;
+  return m;
+}
+
+std::optional<Heartbeat> decode_heartbeat(const vnet::Message& m) {
+  if (m.kind != kHeartbeatMsgKind) return std::nullopt;
+  Heartbeat hb;
+  hb.symptoms_detected =
+      m.value < 0.0 ? 0 : static_cast<std::uint64_t>(m.value);
+  hb.symptoms_dropped = m.aux;
+  return hb;
+}
+
 std::optional<Symptom> decode(const vnet::Message& m,
                               platform::ComponentId observer) {
   if (m.kind < 1 || m.kind > 8) return std::nullopt;

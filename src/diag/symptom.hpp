@@ -83,4 +83,26 @@ struct Symptom {
 [[nodiscard]] std::optional<Symptom> decode(const vnet::Message& m,
                                             platform::ComponentId observer);
 
+/// Message kind of agent heartbeats on the symptom port. Heartbeats are
+/// not symptoms: they are the diagnostic channel's own liveness evidence.
+/// An assessor that stops hearing an agent (no symptoms *and* no
+/// heartbeats) must degrade the FRU's evidence quality instead of letting
+/// trust recover — silence of the monitor is not health of the monitored.
+inline constexpr std::uint8_t kHeartbeatMsgKind = 9;
+
+/// Agent liveness beacon, sent every heartbeat period on the symptom port.
+struct Heartbeat {
+  /// Total symptoms the agent has detected so far (monotonic).
+  std::uint64_t symptoms_detected = 0;
+  /// Symptoms the agent had to drop from its bounded backlog (monotonic):
+  /// the agent's own confession of evidence loss.
+  std::uint32_t symptoms_dropped = 0;
+};
+
+[[nodiscard]] vnet::Message encode_heartbeat(const Heartbeat& hb,
+                                             tta::RoundId round);
+
+/// Returns nullopt unless `m.kind == kHeartbeatMsgKind`.
+[[nodiscard]] std::optional<Heartbeat> decode_heartbeat(const vnet::Message& m);
+
 }  // namespace decos::diag

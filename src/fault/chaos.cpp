@@ -1,0 +1,57 @@
+#include "fault/chaos.hpp"
+
+namespace decos::fault {
+
+ChaosInjector::ChaosInjector(sim::Simulator& sim, platform::System& system)
+    : sim_(sim), system_(system), rng_(sim.fork_rng("fault.chaos")) {}
+
+void ChaosInjector::kill_host(platform::ComponentId c, sim::SimTime start) {
+  sim_.schedule_at(start, [this, c] {
+    auto& faults = system_.cluster().node(c).faults();
+    faults.fail_silent = true;
+    faults.rx_drop_prob = 1.0;
+  }, sim::EventPriority::kFault);
+}
+
+void ChaosInjector::revive_host(platform::ComponentId c, sim::SimTime when) {
+  sim_.schedule_at(when, [this, c] {
+    auto& node = system_.cluster().node(c);
+    node.faults().fail_silent = false;
+    node.faults().rx_drop_prob = 0.0;
+    node.restart();
+  }, sim::EventPriority::kFault);
+}
+
+void ChaosInjector::silence_job(platform::JobId job, sim::SimTime start) {
+  sim_.schedule_at(start, [this, job] {
+    system_.job(job).sw_faults().crashed = true;
+  }, sim::EventPriority::kFault);
+}
+
+void ChaosInjector::degrade_diagnostic_channel(double drop_prob,
+                                               double corrupt_prob,
+                                               sim::SimTime start) {
+  drop_prob_ = drop_prob;
+  corrupt_prob_ = corrupt_prob;
+  sim_.schedule_at(start, [this] { channel_degraded_ = true; },
+                   sim::EventPriority::kFault);
+  for (platform::ComponentId c = 0; c < system_.component_count(); ++c) {
+    system_.component(c).mux().drain_filter = [this](vnet::Message& m,
+                                                     tta::RoundId) {
+      if (!channel_degraded_ || m.vnet != platform::kDiagnosticVnet) {
+        return true;
+      }
+      if (drop_prob_ > 0.0 && rng_.bernoulli(drop_prob_)) {
+        ++dropped_;
+        return false;
+      }
+      if (corrupt_prob_ > 0.0 && rng_.bernoulli(corrupt_prob_)) {
+        ++corrupted_;
+        m.kind ^= 0x40;  // receiver decode rejects the unknown kind
+      }
+      return true;
+    };
+  }
+}
+
+}  // namespace decos::fault

@@ -1,0 +1,68 @@
+// Chaos injection aimed at the diagnostic path itself.
+//
+// The FaultInjector attacks the *monitored* system; this module attacks
+// the *monitor*: the assessor's host component, individual detection
+// agents, and the virtual diagnostic network's message stream. The paper
+// assumes the detect -> disseminate -> analyse path is dependable, but in
+// the integrated architecture it runs over the same fallible cluster it
+// observes — these operations create exactly the failure modes (dead
+// assessor, silent agent, lossy/corrupting diagnostic channel) that the
+// hardening of PR "diagnostic-path fault tolerance" must survive.
+//
+// Unlike FaultInjector operations, chaos operations are deliberately kept
+// OUT of the ground-truth ledger: the campaign scores the diagnosis of
+// application faults while the diagnostic path is under attack, so the
+// attack itself must not appear as a scorable truth.
+#pragma once
+
+#include <cstdint>
+
+#include "platform/system.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace decos::fault {
+
+class ChaosInjector {
+ public:
+  ChaosInjector(sim::Simulator& sim, platform::System& system);
+
+  /// Kills a component outright at `start`: fail-silent AND deaf
+  /// (rx_drop_prob = 1). A merely mute node would keep hearing the
+  /// symptom stream and fill its assessor's inbox; a dead host does not.
+  void kill_host(platform::ComponentId c, sim::SimTime start);
+
+  /// Revives a previously killed host at `when`: clears the fault
+  /// controls and re-integrates the node via tta restart (clock snap +
+  /// fresh slot chain).
+  void revive_host(platform::ComponentId c, sim::SimTime when);
+
+  /// Crashes one job at `start` — used to silence a diagnostic agent
+  /// while its component and application jobs keep running (the
+  /// false-healthy trap: no symptoms, no heartbeats, nothing wrong
+  /// visible).
+  void silence_job(platform::JobId job, sim::SimTime start);
+
+  /// From `start` on, every message of the virtual diagnostic network
+  /// (vnet 0) leaving any component's multiplexer is dropped with
+  /// `drop_prob` or corrupted with `corrupt_prob` (its kind byte is
+  /// flipped, so the receiver's decode rejects it). Both consume the
+  /// port's wire sequence number, so assessors observe honest gaps.
+  void degrade_diagnostic_channel(double drop_prob, double corrupt_prob,
+                                  sim::SimTime start);
+
+  [[nodiscard]] std::uint64_t messages_dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t messages_corrupted() const { return corrupted_; }
+
+ private:
+  sim::Simulator& sim_;
+  platform::System& system_;
+  sim::Rng rng_;
+  bool channel_degraded_ = false;
+  double drop_prob_ = 0.0;
+  double corrupt_prob_ = 0.0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t corrupted_ = 0;
+};
+
+}  // namespace decos::fault

@@ -1,11 +1,31 @@
 #include "obs/bench_io.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <string_view>
 
 #include "obs/export.hpp"
 
 namespace decos::obs {
+namespace {
+
+/// Parses "1,2,3" into seeds; returns false on any malformed entry.
+bool parse_seed_list(std::string_view text, std::vector<std::uint64_t>& out) {
+  while (!text.empty()) {
+    const std::size_t comma = text.find(',');
+    const std::string token(text.substr(0, comma));
+    text = comma == std::string_view::npos ? std::string_view{}
+                                           : text.substr(comma + 1);
+    if (token.empty()) return false;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0') return false;
+    out.push_back(v);
+  }
+  return !out.empty();
+}
+
+}  // namespace
 
 BenchReporter::BenchReporter(std::string bench_name, int argc, char** argv)
     : bench_(std::move(bench_name)) {
@@ -22,9 +42,31 @@ BenchReporter::BenchReporter(std::string bench_name, int argc, char** argv)
       ++i;
       continue;
     }
+    if (arg == "--seed" || arg == "--seeds") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %.*s requires a value\n",
+                     static_cast<int>(arg.size()), arg.data());
+        bad_args_ = true;
+        continue;
+      }
+      seeds_.clear();
+      if (!parse_seed_list(argv[i + 1], seeds_)) {
+        std::fprintf(stderr, "error: %.*s wants N or N,N,... got '%s'\n",
+                     static_cast<int>(arg.size()), arg.data(), argv[i + 1]);
+        bad_args_ = true;
+      }
+      ++i;
+      continue;
+    }
     args_.push_back(argv[i]);
   }
   args_.push_back(nullptr);
+}
+
+std::vector<std::uint64_t> BenchReporter::seeds_or(
+    std::vector<std::uint64_t> fallback) {
+  if (seeds_.empty()) seeds_ = std::move(fallback);
+  return seeds_;
 }
 
 void BenchReporter::set_info(std::string key, double value) {
@@ -47,7 +89,12 @@ int BenchReporter::finish() const {
       first = false;
       json += "\"" + json_escape(k) + "\":" + json_number(v);
     }
-    json += "},\"metrics\":" + to_json(snapshot_) + "}\n";
+    json += "},\"seeds\":[";
+    for (std::size_t i = 0; i < seeds_.size(); ++i) {
+      if (i) json += ",";
+      json += std::to_string(seeds_[i]);
+    }
+    json += "],\"metrics\":" + to_json(snapshot_) + "}\n";
     if (!write_file(json_path_, json)) {
       std::fprintf(stderr, "error: could not write %s\n", json_path_.c_str());
       ok = false;

@@ -22,9 +22,10 @@ namespace decos::obs {
 
 class BenchReporter {
  public:
-  /// Parses and strips `--json <path>` (and `--csv <path>`) from argv.
-  /// The remaining arguments stay visible through argc()/argv() for
-  /// benches that forward them (google-benchmark).
+  /// Parses and strips `--json <path>`, `--csv <path>`, `--seed <n>` and
+  /// `--seeds <n,n,...>` from argv. The remaining arguments stay visible
+  /// through argc()/argv() for benches that forward them
+  /// (google-benchmark).
   BenchReporter(std::string bench_name, int argc, char** argv);
 
   /// Folds a registry (or pre-built snapshot) into the bench snapshot.
@@ -33,6 +34,13 @@ class BenchReporter {
 
   /// Headline scalar result, exported under "info".
   void set_info(std::string key, double value);
+
+  /// Seeds for the bench's campaign: the `--seed`/`--seeds` override if
+  /// given, else `fallback`. Whatever is returned is also echoed in the
+  /// --json export under "seeds", so every snapshot records the exact
+  /// seed list that produced it.
+  [[nodiscard]] std::vector<std::uint64_t> seeds_or(
+      std::vector<std::uint64_t> fallback);
 
   [[nodiscard]] bool json_requested() const { return !json_path_.empty(); }
   [[nodiscard]] const Snapshot& snapshot() const { return snapshot_; }
@@ -51,6 +59,7 @@ class BenchReporter {
   std::string json_path_;
   std::string csv_path_;
   std::vector<char*> args_;  // non-owning views into the original argv
+  std::vector<std::uint64_t> seeds_;  // resolved by seeds_or()
   Snapshot snapshot_;
   std::vector<std::pair<std::string, double>> info_;
   bool bad_args_ = false;  // --json/--csv given without a path

@@ -1,0 +1,109 @@
+#include "scenario/chaos.hpp"
+
+#include <string>
+
+namespace decos::scenario {
+namespace {
+
+sim::SimTime ms(std::int64_t v) { return sim::SimTime{0} + sim::milliseconds(v); }
+
+}  // namespace
+
+ChaosCampaignResult run_chaos_campaign(const std::vector<Archetype>& archetypes,
+                                       const std::vector<std::uint64_t>& seeds,
+                                       ChaosOptions chaos,
+                                       Fig10Options base_options) {
+  ChaosCampaignResult result;
+  for (const Archetype& arch : archetypes) {
+    CampaignResult::PerArchetype row;
+    row.name = arch.name;
+    row.truth = arch.truth;
+    for (const std::uint64_t seed : seeds) {
+      Fig10Options opts = base_options;
+      opts.seed = seed;
+      opts.components = chaos.components;
+      opts.assessor_host = chaos.assessor_host;
+      opts.assessor_replicas = {chaos.replica_host};
+      opts.assessor.hardening = chaos.hardening;
+      Fig10System rig(opts);
+      arch.inject(rig);
+
+      fault::ChaosInjector storm(rig.sim(), rig.system());
+      if (chaos.drop_prob > 0.0 || chaos.corrupt_prob > 0.0) {
+        storm.degrade_diagnostic_channel(chaos.drop_prob, chaos.corrupt_prob,
+                                         ms(0));
+      }
+      if (chaos.kill_primary) {
+        storm.kill_host(chaos.assessor_host, chaos.kill_at);
+        if (chaos.revive_primary) {
+          storm.revive_host(chaos.assessor_host, chaos.revive_at);
+        }
+      }
+
+      rig.run(arch.horizon);
+      // Diagnosing goes through DiagnosticService::assessor(), which
+      // re-evaluates failover lazily — by now the revived primary has
+      // reconciled from the replica that covered the outage.
+      const auto d = arch.diagnose(rig);
+      result.confusion.add(arch.truth, d.cls);
+      ++result.runs;
+      ++row.runs;
+      if (d.cls == arch.truth) {
+        ++result.correct;
+        ++row.correct;
+      }
+
+      auto& service = rig.diag();
+      result.failovers += service.failovers();
+      result.failbacks += service.failbacks();
+      for (std::size_t i = 0; i < service.assessor_count(); ++i) {
+        const auto& a = service.assessor(i);
+        result.symptom_gaps += a.symptom_gaps();
+        result.duplicates_dropped += a.duplicates_dropped();
+        result.agent_drops_reported += a.agent_drops_reported();
+        result.heartbeats_received += a.heartbeats_received();
+      }
+      for (platform::ComponentId c = 0; c < chaos.components; ++c) {
+        const auto& agent = service.agent(c);
+        result.retransmissions += agent.retransmissions();
+        result.heartbeats_sent += agent.heartbeats_sent();
+      }
+      result.chaos_dropped += storm.messages_dropped();
+      result.chaos_corrupted += storm.messages_corrupted();
+      result.metrics.merge(rig.sim().metrics().snapshot());
+    }
+    result.per_archetype.push_back(std::move(row));
+  }
+  return result;
+}
+
+SilentAgentOutcome run_silent_agent_scenario(bool hardening,
+                                             std::uint64_t seed,
+                                             platform::ComponentId victim,
+                                             sim::Duration horizon) {
+  Fig10Options opts;
+  opts.seed = seed;
+  opts.assessor.hardening = hardening;
+  Fig10System rig(opts);
+
+  fault::ChaosInjector storm(rig.sim(), rig.system());
+  storm.silence_job(rig.diag().agent_job(victim), ms(300));
+  rig.run(horizon);
+
+  SilentAgentOutcome out;
+  out.trust = rig.diag().assessor().component_trust(victim);
+  const std::string fru = "component " + std::to_string(victim);
+  for (const diag::FruReport& r : rig.diag().report()) {
+    if (r.fru != fru) continue;
+    out.evidence_quality = r.evidence_quality;
+    out.evidence_age = r.evidence_age;
+    out.action_is_none = r.action == fault::MaintenanceAction::kNoAction;
+    for (const std::string& ona : r.asserted_onas) {
+      if (ona == "diagnostic-channel-degraded") out.channel_degraded_ona = true;
+    }
+    break;
+  }
+  return out;
+}
+
+}  // namespace decos::scenario

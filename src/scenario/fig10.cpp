@@ -153,6 +153,23 @@ Fig10System::Fig10System(Fig10Options opts)
   diag_ = std::make_unique<diag::DiagnosticService>(
       sys, std::move(specs), fault::SpatialLayout::linear(opts_.components), dp);
 
+  // Redundancy attrition is maintenance-relevant before it is
+  // safety-relevant: losing S_i leaves the triple voting 2-of-2 with no
+  // spare. Surface the monitor's transitions as an external ONA on the
+  // replica's host (S1..S3 live on components 0..2) and as a counter.
+  tmr_.monitor.on_transition = [this](std::size_t replica, bool lost) {
+    sim_.metrics()
+        .counter("vnet.tmr.redundancy_transitions",
+                 lost ? "edge=lost" : "edge=recovered")
+        .inc();
+    const auto host = static_cast<platform::ComponentId>(replica);
+    if (lost) {
+      diag_->assert_external_ona(host, "tmr-redundancy-lost");
+    } else {
+      diag_->retract_external_ona(host, "tmr-redundancy-lost");
+    }
+  };
+
   injector_ = std::make_unique<fault::FaultInjector>(
       sim_, sys, fault::SpatialLayout::linear(opts_.components));
 

@@ -68,9 +68,20 @@ void TtaNode::restart() {
   // Re-integration: snap the local clock onto the reference base (in a real
   // cluster: onto the global time observed from correct frames) and resume.
   clock_.adjust(sim::Duration{-clock_.offset(sim_.now()).ns()});
+  // Abandon whatever was in flight — a running slot chain, a cold-start
+  // listen timeout, a previous restart's chain — and open exactly one
+  // fresh chain at the next round boundary of the reference schedule.
+  // Without this, a restart during cold-start listening left the node
+  // wedged (in_sync_ set but no chain scheduled), and a double restart
+  // could race two chains.
+  ++chain_epoch_;
+  pending_.reset();
   in_sync_ = true;
   rounds_without_sync_ = 0;
-  pending_.reset();
+  listen_rounds_left_ = 0;
+  next_membership_ = 0;
+  round_ = bus_.schedule().round_at(sim_.now()) + 1;
+  schedule_slot(round_, 0);
   sim_.log(sim::TraceCategory::kMembership, "node." + std::to_string(params_.id),
            "restart with state synchronisation");
 }

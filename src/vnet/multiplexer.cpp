@@ -8,15 +8,26 @@ Multiplexer::Multiplexer(const NetworkPlan& plan, platform::ComponentId componen
     : plan_(plan), component_(component) {}
 
 void Multiplexer::bind_metrics(obs::Registry& registry) {
+  registry_ = &registry;
   relayed_metric_ = registry.counter("vnet.mux.messages_relayed");
   overflow_metric_ = registry.counter("vnet.mux.overflows");
   queue_occupancy_metric_ = registry.gauge("vnet.mux.queue_occupancy_hwm");
+  for (auto& [pid, pq] : hosted_) bind_port_metrics(pq);
+}
+
+void Multiplexer::bind_port_metrics(PortQueue& pq) {
+  if (!registry_) return;
+  const PortConfig& cfg = plan_.port(pq.id);
+  pq.overflow_labeled = registry_->counter(
+      "vnet.mux.overflows",
+      "port=" + plan_.vnet(cfg.vnet).name + "/" + cfg.name);
 }
 
 void Multiplexer::host_port(platform::PortId port) {
   const PortConfig& cfg = plan_.port(port);
   assert(!hosted_.contains(port));
-  hosted_.emplace(port, PortQueue{port, {}, 0, 0});
+  auto [it, inserted] = hosted_.emplace(port, PortQueue{port, {}, 0, 0, {}});
+  bind_port_metrics(it->second);
   by_vnet_[cfg.vnet].push_back(port);
 }
 
@@ -46,7 +57,8 @@ bool Multiplexer::send(Message msg, tta::RoundId round) {
     ++pq.overflows;
     ++total_overflows_;
     overflow_metric_.inc();
-    if (on_overflow) on_overflow(msg.port, round);
+    pq.overflow_labeled.inc();
+    if (on_overflow) on_overflow(msg.port, msg.vnet, round);
     return false;
   }
   msg.seq = pq.next_seq++;
@@ -71,10 +83,12 @@ std::vector<Message> Multiplexer::drain_messages(tta::RoundId round) {
         if (budget == 0) break;
         auto& pq = hosted_.at(pid);
         if (pq.queue.empty()) continue;
-        out.push_back(pq.queue.front());
+        Message msg = pq.queue.front();
         pq.queue.pop_front();
         --budget;
         progress = true;
+        if (drain_filter && !drain_filter(msg, round)) continue;  // injected loss
+        out.push_back(std::move(msg));
       }
     }
   }

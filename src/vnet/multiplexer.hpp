@@ -39,6 +39,13 @@ class Multiplexer {
   /// and performs local loopback delivery.
   [[nodiscard]] std::vector<Message> drain_messages(tta::RoundId round);
 
+  /// Fault-injection hook applied to each drained message before it is
+  /// handed to the frame: return false to drop the message, or mutate it
+  /// in place to corrupt it. Models channel faults *between* the port
+  /// queue and the wire (the message already consumed its sequence
+  /// number, so receivers see an honest gap).
+  std::function<bool(Message&, tta::RoundId)> drain_filter;
+
   /// Unpacks an arriving payload. Malformed payloads yield an empty list.
   [[nodiscard]] std::vector<Message> unpack_arrival(
       std::span<const std::uint8_t> payload) const;
@@ -53,8 +60,11 @@ class Multiplexer {
   /// optional; platform::Component binds to its simulator's registry.
   void bind_metrics(obs::Registry& registry);
 
-  /// Called on every overflow drop: (port, round).
-  std::function<void(platform::PortId, tta::RoundId)> on_overflow;
+  /// Called on every overflow drop: (port, vnet, round). The vnet id lets
+  /// the handler separate diagnostic-port drops from application-port
+  /// drops without a plan lookup.
+  std::function<void(platform::PortId, platform::VnetId, tta::RoundId)>
+      on_overflow;
 
  private:
   const NetworkPlan& plan_;
@@ -64,14 +74,20 @@ class Multiplexer {
     std::deque<Message> queue;
     std::uint64_t overflows = 0;
     std::uint32_t next_seq = 0;
+    /// Per-port labelled overflow counter ("port=<vnet>/<port>"), so obs
+    /// snapshots tell diagnostic-port drops from application-port drops.
+    obs::Counter overflow_labeled;
   };
   std::unordered_map<platform::PortId, PortQueue> hosted_;
   /// Hosted ports grouped by vnet, in hosting order (drain fairness).
   std::map<platform::VnetId, std::vector<platform::PortId>> by_vnet_;  // ordered: deterministic drain order
   std::uint64_t total_overflows_ = 0;
+  obs::Registry* registry_ = nullptr;
   obs::Counter relayed_metric_;
   obs::Counter overflow_metric_;
   obs::Gauge queue_occupancy_metric_;
+
+  void bind_port_metrics(PortQueue& pq);
 };
 
 }  // namespace decos::vnet

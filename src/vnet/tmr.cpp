@@ -44,10 +44,16 @@ void RedundancyMonitor::observe(
     const bool missing = !replicas[i].has_value();
     const bool outvoted = result.outvoted.has_value() && *result.outvoted == i;
     if (missing || outvoted) {
-      if (++bad_streak_[i] >= p_.degraded_after_rounds) lost_[i] = true;
+      if (++bad_streak_[i] >= p_.degraded_after_rounds && !lost_[i]) {
+        lost_[i] = true;
+        if (on_transition) on_transition(i, true);
+      }
     } else {
       bad_streak_[i] = 0;
-      lost_[i] = false;  // a recovered replica restores the redundancy
+      if (lost_[i]) {
+        lost_[i] = false;  // a recovered replica restores the redundancy
+        if (on_transition) on_transition(i, false);
+      }
     }
   }
 }

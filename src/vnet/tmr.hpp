@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <vector>
@@ -81,6 +82,12 @@ class RedundancyMonitor {
 
   [[nodiscard]] std::uint64_t rounds_observed() const { return rounds_; }
   [[nodiscard]] const Params& params() const { return p_; }
+
+  /// Fired on every edge of a replica's lost status: (replica, lost).
+  /// `lost == true` is the latent-redundancy-loss event the maintenance
+  /// report must surface; `lost == false` is the recovery. Push-based, so
+  /// the diagnostic layer hears about degradation without polling.
+  std::function<void(std::size_t replica, bool lost)> on_transition;
 
  private:
   Params p_;

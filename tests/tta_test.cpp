@@ -323,6 +323,57 @@ TEST(Cluster, RestartIsSafeOnHealthyNode) {
   EXPECT_EQ(cluster.node(0).membership(), 0b1111u);
 }
 
+TEST(Cluster, DoubleRestartRunsExactlyOneSlotChain) {
+  // Two restarts in the same round must not race two concurrent slot
+  // chains — the node would transmit twice per round and be judged a
+  // babbler. The chain epoch cancels the first restart's chain.
+  sim::Simulator sim(119);
+  Cluster cluster(sim, small_cluster());
+  cluster.start();
+  sim.run_until(sim::SimTime{0} + sim::milliseconds(20));
+  cluster.node(1).restart();
+  cluster.node(1).restart();
+  sim.run_until(sim.now() + sim::microseconds(300));
+  cluster.node(1).restart();  // and once more while the fresh chain runs
+  sim.run_until(sim.now() + sim::milliseconds(40));
+  EXPECT_TRUE(cluster.node(1).in_sync());
+  // Peers still see a well-behaved node 1 (no double transmissions).
+  EXPECT_EQ(cluster.node(0).membership(), 0b1111u);
+  EXPECT_EQ(cluster.node(2).membership(), 0b1111u);
+}
+
+TEST(Cluster, RestartDuringColdStartListeningJoins) {
+  // A restart while the node is still in its cold-start listen phase used
+  // to wedge it: in_sync_ was set but no slot chain existed, and the
+  // anchor timeout had been consumed. It must come up on the running
+  // cluster's schedule instead.
+  sim::Simulator sim(120);
+  Cluster cluster(sim, small_cluster());
+  for (NodeId n = 0; n < 3; ++n) cluster.node(n).start();
+  sim.run_until(sim::SimTime{0} + sim::milliseconds(10));
+  cluster.node(3).start_cold();  // listening, not yet integrated
+  cluster.node(3).restart();     // maintenance reset lands mid-listen
+  sim.run_until(sim.now() + sim::milliseconds(60));
+  EXPECT_TRUE(cluster.node(3).in_sync());
+  EXPECT_EQ(cluster.node(0).membership() & 0b1000u, 0b1000u);
+}
+
+TEST(Cluster, AnchorRestartKeepsLoneNodeAlive) {
+  // The cold-start anchor of a single-node "cluster" is restarted: with
+  // nobody to resynchronise against it must keep free-running its own
+  // schedule, not fall silent waiting for frames.
+  sim::Simulator sim(121);
+  Cluster cluster(sim, small_cluster(4));
+  cluster.node(2).start_cold();
+  sim.run_until(sim::SimTime{0} + sim::milliseconds(50));
+  ASSERT_TRUE(cluster.node(2).in_sync());
+  const auto frames_before = cluster.bus().frames_sent();
+  cluster.node(2).restart();
+  sim.run_until(sim.now() + sim::milliseconds(50));
+  EXPECT_TRUE(cluster.node(2).in_sync());
+  EXPECT_GT(cluster.bus().frames_sent(), frames_before + 10u);
+}
+
 TEST(Cluster, DeterministicTrajectories) {
   auto run = [](std::uint64_t seed) {
     sim::Simulator sim(seed);

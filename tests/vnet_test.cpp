@@ -132,10 +132,14 @@ TEST(Multiplexer, AssignsSequenceNumbersAndMetadata) {
 TEST(Multiplexer, QueueOverflowDropsAndCounts) {
   const auto plan = two_vnet_plan();  // app vnet queue_depth = 3
   Multiplexer mux(plan, 0);
+  obs::Registry registry;
+  mux.bind_metrics(registry);
   mux.host_port(0);
   int overflow_events = 0;
-  mux.on_overflow = [&](platform::PortId p, tta::RoundId) {
+  mux.on_overflow = [&](platform::PortId p, platform::VnetId vn,
+                        tta::RoundId) {
     EXPECT_EQ(p, 0);
+    EXPECT_EQ(vn, 1);
     ++overflow_events;
   };
   Message m;
@@ -149,6 +153,12 @@ TEST(Multiplexer, QueueOverflowDropsAndCounts) {
   EXPECT_EQ(mux.total_overflows(), 2u);
   EXPECT_EQ(overflow_events, 2);
   EXPECT_EQ(mux.queue_length(0), 3u);
+  // Overflow attribution: the labelled counter names the vnet/port (and
+  // through the plan, the DAS) that overflowed.
+  const auto snap = registry.snapshot();
+  const auto* labelled = snap.find("vnet.mux.overflows", "port=app/p0");
+  ASSERT_NE(labelled, nullptr);
+  EXPECT_EQ(labelled->counter, 2u);
 }
 
 TEST(Multiplexer, DrainIsRoundRobinAcrossPorts) {
@@ -209,7 +219,9 @@ TEST(Multiplexer, TimeTriggeredPortNeverOverflows) {
   Multiplexer mux(plan, 0);
   mux.host_port(0);
   int overflows = 0;
-  mux.on_overflow = [&](platform::PortId, tta::RoundId) { ++overflows; };
+  mux.on_overflow = [&](platform::PortId, platform::VnetId, tta::RoundId) {
+    ++overflows;
+  };
   Message m;
   m.port = 0;
   for (int i = 0; i < 100; ++i) {
