@@ -8,11 +8,14 @@
 // actually dies (episodes merge into continuous failure) and the
 // prediction error is scored. Swept over shrink rates and seeds.
 #include <cstdio>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "analysis/cbm.hpp"
 #include "analysis/table.hpp"
 #include "diag/features.hpp"
+#include "exec/runner.hpp"
 #include "obs/bench_io.hpp"
 #include "scenario/fig10.hpp"
 
@@ -71,29 +74,41 @@ int main(int argc, char** argv) {
   analysis::Table t({"injected shrink", "seed", "fitted shrink",
                      "predicted EOL [round]", "actual EOL [round]",
                      "error [%]"});
-  int predicted = 0, total = 0;
+  // The (shrink, seed) sweep on the experiment engine: each run is an
+  // isolated rig; the ordered fold keeps the table rows and histogram
+  // identical for every --jobs value.
+  const auto seeds = reporter.seeds_or({1101, 1102, 1103});
+  std::vector<std::pair<double, std::uint64_t>> cells;
+  std::vector<std::function<Outcome()>> runs;
   for (const double shrink : {0.65, 0.75, 0.85}) {
-    for (const std::uint64_t seed : {1101u, 1102u, 1103u}) {
-      const auto o = run_one(seed, shrink);
-      ++total;
-      if (!o.predicted) {
-        t.add_row({analysis::Table::num(shrink, 2), std::to_string(seed),
-                   "-", "-", std::to_string(o.actual_eol), "-"});
-        continue;
-      }
-      ++predicted;
-      const double err =
-          100.0 *
-          (static_cast<double>(o.predicted_eol) -
-           static_cast<double>(o.actual_eol)) /
-          static_cast<double>(o.actual_eol);
-      abs_err_pct.record(static_cast<std::int64_t>(err < 0 ? -err : err));
-      t.add_row({analysis::Table::num(shrink, 2), std::to_string(seed),
-                 analysis::Table::num(o.fitted_shrink, 3),
-                 std::to_string(o.predicted_eol), std::to_string(o.actual_eol),
-                 analysis::Table::num(err, 1)});
+    for (const std::uint64_t seed : seeds) {
+      cells.emplace_back(shrink, seed);
+      runs.push_back([seed, shrink] { return run_one(seed, shrink); });
     }
   }
+  int predicted = 0, total = 0;
+  exec::ExperimentRunner runner(reporter.jobs());
+  runner.run_and_merge<Outcome>(
+      std::move(runs), [&](std::size_t i, const Outcome& o) {
+        const auto [shrink, seed] = cells[i];
+        ++total;
+        if (!o.predicted) {
+          t.add_row({analysis::Table::num(shrink, 2), std::to_string(seed),
+                     "-", "-", std::to_string(o.actual_eol), "-"});
+          return;
+        }
+        ++predicted;
+        const double err =
+            100.0 *
+            (static_cast<double>(o.predicted_eol) -
+             static_cast<double>(o.actual_eol)) /
+            static_cast<double>(o.actual_eol);
+        abs_err_pct.record(static_cast<std::int64_t>(err < 0 ? -err : err));
+        t.add_row({analysis::Table::num(shrink, 2), std::to_string(seed),
+                   analysis::Table::num(o.fitted_shrink, 3),
+                   std::to_string(o.predicted_eol),
+                   std::to_string(o.actual_eol), analysis::Table::num(err, 1)});
+      });
   std::printf("%s\n", t.render().c_str());
   std::printf("prognoses produced: %d/%d\n", predicted, total);
   std::printf("expected shape: fitted shrink tracks the injected shrink; "

@@ -46,13 +46,16 @@ int main(int argc, char** argv) {
   scenario::Fig10Options base;
   base.components = chaos.components;
   base.assessor_host = chaos.assessor_host;
-  const auto baseline = scenario::run_campaign(archetypes, seeds, base);
+  const auto baseline =
+      scenario::run_campaign(archetypes, seeds, base, reporter.jobs());
 
-  const auto hardened = scenario::run_chaos_campaign(archetypes, seeds, chaos);
+  const auto hardened = scenario::run_chaos_campaign(archetypes, seeds, chaos,
+                                                     {}, reporter.jobs());
   scenario::ChaosOptions ablated_opts = chaos;
   ablated_opts.hardening = false;
-  const auto ablated =
-      scenario::run_chaos_campaign(archetypes, seeds, ablated_opts);
+  const auto ablated = scenario::run_chaos_campaign(archetypes, seeds,
+                                                    ablated_opts, {},
+                                                    reporter.jobs());
 
   analysis::Table t({"archetype", "baseline", "chaos hardened", "chaos ablated"});
   for (std::size_t i = 0; i < baseline.per_archetype.size(); ++i) {

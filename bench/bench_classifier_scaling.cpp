@@ -5,18 +5,29 @@
 // classification bound how large a cluster one assessor can serve.
 // Benchmarks: symptom wire codec, evidence ingest, component
 // classification vs evidence-window size, and full-system simulation
-// rate vs cluster size.
+// rate vs cluster size. Plus E16: wall-clock scaling of the parallel
+// experiment engine — run with `--jobs {1,2,4,8}` and compare
+// BM_ExperimentBatch real time.
 #include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <functional>
+#include <vector>
 
 #include "diag/classifier.hpp"
 #include "diag/evidence.hpp"
 #include "diag/symptom.hpp"
+#include "exec/runner.hpp"
 #include "obs/bench_io.hpp"
 #include "scenario/fig10.hpp"
 
 using namespace decos;
 
 namespace {
+
+// Worker count for BM_ExperimentBatch, set from --jobs in main before
+// google-benchmark takes over.
+unsigned g_jobs = 1;
 
 void BM_SymptomCodec(benchmark::State& state) {
   diag::Symptom s;
@@ -93,12 +104,45 @@ void BM_FullSystemSimulation(benchmark::State& state) {
 BENCHMARK(BM_FullSystemSimulation)->Arg(5)->Arg(8)->Arg(16)->Arg(32)
     ->Unit(benchmark::kMillisecond);
 
+/// E16 — a fixed batch of independent Fig. 10 simulations executed
+/// through the experiment engine with --jobs workers. The per-run work is
+/// identical for every job count (the ordered merge guarantees identical
+/// results too), so the real-time ratio between --jobs 1 and --jobs N is
+/// the engine's wall-clock speedup.
+void BM_ExperimentBatch(benchmark::State& state) {
+  const std::size_t batch = 8;
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    exec::ExperimentRunner runner(g_jobs);
+    std::vector<std::function<std::uint64_t()>> runs;
+    runs.reserve(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      runs.push_back([i] {
+        scenario::Fig10Options opts;
+        opts.seed = 42 + i;
+        scenario::Fig10System rig(opts);
+        rig.run(sim::milliseconds(250));
+        return rig.diag().assessor().symptoms_processed();
+      });
+    }
+    total = 0;
+    for (auto& outcome : runner.run(std::move(runs))) {
+      if (outcome.ok()) total += *outcome.result;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["jobs"] = g_jobs;
+  state.counters["batch"] = static_cast<double>(batch);
+}
+BENCHMARK(BM_ExperimentBatch)->Unit(benchmark::kMillisecond)->UseRealTime();
+
 }  // namespace
 
 // Custom main: peel off --json/--csv for the metrics reporter, forward the
 // rest of argv to google-benchmark untouched.
 int main(int argc, char** argv) {
   obs::BenchReporter reporter("bench_classifier_scaling", argc, argv);
+  g_jobs = reporter.jobs();
   int fargc = reporter.argc();
   benchmark::Initialize(&fargc, reporter.argv());
   if (benchmark::ReportUnrecognizedArguments(fargc, reporter.argv())) return 1;

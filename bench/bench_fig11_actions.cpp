@@ -21,7 +21,8 @@ int main(int argc, char** argv) {
 
   const auto archetypes = scenario::standard_archetypes();
   const auto seeds = reporter.seeds_or({501, 502, 503, 504, 505});
-  const auto result = scenario::run_campaign(archetypes, seeds);
+  const auto result =
+      scenario::run_campaign(archetypes, seeds, {}, reporter.jobs());
 
   analysis::Table t({"injected archetype", "true class", "Fig.11 action",
                      "diagnosed correctly"});

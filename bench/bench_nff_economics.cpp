@@ -12,12 +12,15 @@
 // Prints NFF ratios, wasted dollars at the paper's 800 $/removal, and the
 // fleet-scale annual saving.
 #include <cstdio>
+#include <functional>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "analysis/confusion.hpp"
 #include "analysis/nff.hpp"
 #include "analysis/table.hpp"
+#include "exec/runner.hpp"
 #include "obs/bench_io.hpp"
 #include "reliability/fit.hpp"
 #include "scenario/fig10.hpp"
@@ -29,59 +32,88 @@ namespace {
 
 sim::SimTime ms(std::int64_t v) { return sim::SimTime{0} + sim::milliseconds(v); }
 
-/// Calibration: how the diagnostic DAS classifies each true class.
-std::map<fault::FaultClass, std::vector<fault::FaultClass>> calibrate() {
-  std::map<fault::FaultClass, std::vector<fault::FaultClass>> out;
-  for (std::uint64_t seed : {601, 602, 603}) {
-    {
-      scenario::Fig10System rig({.seed = seed});
-      rig.injector().inject_emi_burst(1.0, 1.1, ms(600), sim::milliseconds(12));
-      rig.injector().inject_emi_burst(1.0, 1.1, ms(1600), sim::milliseconds(12));
-      rig.run(sim::seconds(3));
-      out[fault::FaultClass::kComponentExternal].push_back(
-          rig.diag().assessor().diagnose_component(1).cls);
-    }
-    {
-      scenario::Fig10System rig({.seed = seed + 10});
-      rig.injector().inject_connector_fault(3, ms(300), sim::milliseconds(250),
-                                            sim::milliseconds(10), 0.8);
-      rig.run(sim::seconds(5));
-      out[fault::FaultClass::kComponentBorderline].push_back(
-          rig.diag().assessor().diagnose_component(3).cls);
-    }
-    {
-      scenario::Fig10System rig({.seed = seed + 20});
-      rig.injector().inject_wearout(1, ms(300), sim::milliseconds(600), 0.7,
-                                    sim::milliseconds(10));
-      rig.run(sim::seconds(5));
-      out[fault::FaultClass::kComponentInternal].push_back(
-          rig.diag().assessor().diagnose_component(1).cls);
-    }
-    {
-      scenario::Fig10System rig({.seed = seed + 30});
-      rig.injector().inject_config_fault(2, ms(300), 0, 2);
-      rig.run(sim::seconds(3));
-      out[fault::FaultClass::kJobBorderline].push_back(
-          rig.diag().assessor().diagnose_job(
-              *rig.injector().ledger().front().job).cls);
-    }
-    {
-      scenario::Fig10System rig({.seed = seed + 40});
-      rig.injector().inject_heisenbug(rig.a(1), ms(300), 0.08);
-      rig.run(sim::seconds(4));
-      out[fault::FaultClass::kJobInherentSoftware].push_back(
-          rig.diag().assessor().diagnose_job(rig.a(1)).cls);
-    }
-    {
-      scenario::Fig10System rig({.seed = seed + 50});
-      rig.injector().inject_sensor_fault(rig.c(0), 0,
-                                         platform::SensorFaultMode::kDrift,
-                                         ms(300));
-      rig.run(sim::seconds(10));
-      out[fault::FaultClass::kJobInherentTransducer].push_back(
-          rig.diag().assessor().diagnose_job(rig.c(0)).cls);
+/// Calibration: how the diagnostic DAS classifies each true class. Each
+/// (seed, probe) pair is an independent rig, so the sweep runs on the
+/// experiment engine and folds in submission order — the calibration map
+/// is identical for every --jobs value.
+std::map<fault::FaultClass, std::vector<fault::FaultClass>> calibrate(
+    const std::vector<std::uint64_t>& seeds, unsigned jobs) {
+  struct Probe {
+    fault::FaultClass truth;
+    std::uint64_t seed_offset;
+    std::function<fault::FaultClass(std::uint64_t)> run;
+  };
+  const std::vector<Probe> probes = {
+      {fault::FaultClass::kComponentExternal, 0,
+       [](std::uint64_t seed) {
+         scenario::Fig10System rig({.seed = seed});
+         rig.injector().inject_emi_burst(1.0, 1.1, ms(600),
+                                         sim::milliseconds(12));
+         rig.injector().inject_emi_burst(1.0, 1.1, ms(1600),
+                                         sim::milliseconds(12));
+         rig.run(sim::seconds(3));
+         return rig.diag().assessor().diagnose_component(1).cls;
+       }},
+      {fault::FaultClass::kComponentBorderline, 10,
+       [](std::uint64_t seed) {
+         scenario::Fig10System rig({.seed = seed});
+         rig.injector().inject_connector_fault(3, ms(300),
+                                               sim::milliseconds(250),
+                                               sim::milliseconds(10), 0.8);
+         rig.run(sim::seconds(5));
+         return rig.diag().assessor().diagnose_component(3).cls;
+       }},
+      {fault::FaultClass::kComponentInternal, 20,
+       [](std::uint64_t seed) {
+         scenario::Fig10System rig({.seed = seed});
+         rig.injector().inject_wearout(1, ms(300), sim::milliseconds(600), 0.7,
+                                       sim::milliseconds(10));
+         rig.run(sim::seconds(5));
+         return rig.diag().assessor().diagnose_component(1).cls;
+       }},
+      {fault::FaultClass::kJobBorderline, 30,
+       [](std::uint64_t seed) {
+         scenario::Fig10System rig({.seed = seed});
+         rig.injector().inject_config_fault(2, ms(300), 0, 2);
+         rig.run(sim::seconds(3));
+         return rig.diag().assessor().diagnose_job(
+             *rig.injector().ledger().front().job).cls;
+       }},
+      {fault::FaultClass::kJobInherentSoftware, 40,
+       [](std::uint64_t seed) {
+         scenario::Fig10System rig({.seed = seed});
+         rig.injector().inject_heisenbug(rig.a(1), ms(300), 0.08);
+         rig.run(sim::seconds(4));
+         return rig.diag().assessor().diagnose_job(rig.a(1)).cls;
+       }},
+      {fault::FaultClass::kJobInherentTransducer, 50,
+       [](std::uint64_t seed) {
+         scenario::Fig10System rig({.seed = seed});
+         rig.injector().inject_sensor_fault(rig.c(0), 0,
+                                            platform::SensorFaultMode::kDrift,
+                                            ms(300));
+         rig.run(sim::seconds(10));
+         return rig.diag().assessor().diagnose_job(rig.c(0)).cls;
+       }},
+  };
+
+  using Sample = std::pair<fault::FaultClass, fault::FaultClass>;
+  std::vector<std::function<Sample()>> runs;
+  runs.reserve(seeds.size() * probes.size());
+  for (const std::uint64_t seed : seeds) {
+    for (const Probe& probe : probes) {
+      runs.push_back([&probe, seed]() -> Sample {
+        return {probe.truth, probe.run(seed + probe.seed_offset)};
+      });
     }
   }
+
+  std::map<fault::FaultClass, std::vector<fault::FaultClass>> out;
+  exec::ExperimentRunner runner(jobs);
+  runner.run_and_merge<Sample>(
+      std::move(runs), [&](std::size_t, const Sample& sample) {
+        out[sample.first].push_back(sample.second);
+      });
   return out;
 }
 
@@ -92,7 +124,8 @@ int main(int argc, char** argv) {
   std::printf("== E6 / Section I: NFF economics, naive vs model-guided ==\n\n");
 
   std::printf("calibrating classifier behaviour on the simulated cluster...\n");
-  const auto calibration = calibrate();
+  const auto seeds = reporter.seeds_or({601, 602, 603});
+  const auto calibration = calibrate(seeds, reporter.jobs());
   analysis::ConfusionMatrix cal_cm;
   for (const auto& [truth, diagnoses] : calibration) {
     for (auto d : diagnoses) cal_cm.add(truth, d);

@@ -1,0 +1,103 @@
+// Deterministic parallel experiment runner.
+//
+// Every multi-run sweep in this repo — fault-injection campaigns, chaos
+// campaigns, bench seed loops — is a list of *independent* experiments:
+// each run builds its own Simulator and metrics Registry (factory),
+// advances it (run) and reduces the rig to a plain value (harvest). The
+// runner executes those closures on a worker pool and hands the outcomes
+// back *in submission order behind a barrier*, so folding them into an
+// accumulator on the calling thread replays the exact sequence of the
+// historical serial loop. Output is therefore bit-identical regardless
+// of the job count or how the OS schedules the workers — the property
+// tests/exec_test.cpp pins down.
+//
+// A run that throws is captured as a per-run error and never poisons its
+// siblings; the fold helper surfaces the first failure only after every
+// run has finished.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+
+namespace decos::exec {
+
+/// Result slot for one run: either the harvested value or the message of
+/// the exception the run threw.
+template <typename Result>
+struct RunOutcome {
+  std::optional<Result> result;  // engaged iff the run completed
+  std::string error;             // what() of the exception otherwise
+
+  [[nodiscard]] bool ok() const { return result.has_value(); }
+};
+
+class ExperimentRunner {
+ public:
+  /// `jobs` worker threads; 0 means default_jobs() (hardware concurrency).
+  explicit ExperimentRunner(unsigned jobs = 0)
+      : jobs_(jobs == 0 ? default_jobs() : jobs) {}
+
+  [[nodiscard]] unsigned jobs() const { return jobs_; }
+
+  /// Executes every closure and returns the outcomes in submission order.
+  /// With jobs() == 1 (or a single run) everything executes inline on the
+  /// calling thread — exactly the historical serial path, no pool.
+  template <typename Result>
+  [[nodiscard]] std::vector<RunOutcome<Result>> run(
+      std::vector<std::function<Result()>> runs) {
+    std::vector<RunOutcome<Result>> outcomes(runs.size());
+    const auto execute = [&runs, &outcomes](std::size_t i) {
+      try {
+        outcomes[i].result.emplace(runs[i]());
+      } catch (const std::exception& e) {
+        outcomes[i].error = e.what();
+        if (outcomes[i].error.empty()) outcomes[i].error = "exception";
+      } catch (...) {
+        outcomes[i].error = "unknown exception";
+      }
+    };
+    if (jobs_ <= 1 || runs.size() <= 1) {
+      for (std::size_t i = 0; i < runs.size(); ++i) execute(i);
+      return outcomes;
+    }
+    ThreadPool pool(static_cast<unsigned>(
+        std::min<std::size_t>(jobs_, runs.size())));
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      pool.submit([&execute, i] { execute(i); });
+    }
+    // The merge barrier: from here on only the calling thread touches the
+    // outcomes, so accumulators folded from them need no locking.
+    pool.wait_idle();
+    return outcomes;
+  }
+
+  /// run() + ordered fold: `merge(i, result)` is invoked on the calling
+  /// thread in submission order. A failed run aborts the fold with
+  /// std::runtime_error — but only after all runs have finished, so one
+  /// bad seed cannot tear down its siblings mid-flight.
+  template <typename Result, typename Merge>
+  void run_and_merge(std::vector<std::function<Result()>> runs,
+                     Merge&& merge) {
+    auto outcomes = run<Result>(std::move(runs));
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      if (!outcomes[i].ok()) {
+        throw std::runtime_error("experiment run " + std::to_string(i) +
+                                 " failed: " + outcomes[i].error);
+      }
+      merge(i, *outcomes[i].result);
+    }
+  }
+
+ private:
+  unsigned jobs_;
+};
+
+}  // namespace decos::exec

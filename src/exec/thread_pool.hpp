@@ -1,0 +1,62 @@
+// Fixed-size worker pool for the experiment engine.
+//
+// Deliberately minimal: submit() enqueues a task, wait_idle() is the
+// barrier the ExperimentRunner merges behind, shutdown() drains whatever
+// is still queued and joins the workers. All synchronisation is one
+// mutex + two condition variables; a finished task's writes are visible
+// to whoever returns from wait_idle() (release via the mutex on task
+// completion, acquire on the barrier wake-up), which is the
+// happens-before edge the runner's result slots rely on.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace decos::exec {
+
+/// Worker count used when the caller passes 0: the hardware concurrency,
+/// floored at 1 (std::thread::hardware_concurrency() may return 0).
+[[nodiscard]] unsigned default_jobs();
+
+class ThreadPool {
+ public:
+  /// Starts `threads` workers (0 => default_jobs()).
+  explicit ThreadPool(unsigned threads = 0);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool() { shutdown(); }
+
+  /// Enqueues a task. Tasks must not throw — the runner wraps user code
+  /// and captures exceptions before they reach the pool.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished (queue empty and no
+  /// worker mid-task). The runner's merge barrier.
+  void wait_idle();
+
+  /// Finishes every already-submitted task, then joins the workers.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;  // popped but not yet finished
+  bool stop_ = false;
+};
+
+}  // namespace decos::exec

@@ -1,8 +1,10 @@
 #include "obs/bench_io.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string_view>
+#include <thread>
 
 #include "obs/export.hpp"
 
@@ -42,6 +44,24 @@ BenchReporter::BenchReporter(std::string bench_name, int argc, char** argv)
       ++i;
       continue;
     }
+    if (arg == "--jobs") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --jobs requires a value\n");
+        bad_args_ = true;
+        continue;
+      }
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(argv[i + 1], &end, 10);
+      if (end == argv[i + 1] || *end != '\0') {
+        std::fprintf(stderr, "error: --jobs wants a number, got '%s'\n",
+                     argv[i + 1]);
+        bad_args_ = true;
+      } else {
+        jobs_ = static_cast<unsigned>(v);
+      }
+      ++i;
+      continue;
+    }
     if (arg == "--seed" || arg == "--seeds") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error: %.*s requires a value\n",
@@ -61,6 +81,11 @@ BenchReporter::BenchReporter(std::string bench_name, int argc, char** argv)
     args_.push_back(argv[i]);
   }
   args_.push_back(nullptr);
+}
+
+unsigned BenchReporter::jobs() const {
+  if (jobs_ != 0) return jobs_;
+  return std::max(1u, std::thread::hardware_concurrency());
 }
 
 std::vector<std::uint64_t> BenchReporter::seeds_or(
@@ -94,7 +119,8 @@ int BenchReporter::finish() const {
       if (i) json += ",";
       json += std::to_string(seeds_[i]);
     }
-    json += "],\"metrics\":" + to_json(snapshot_) + "}\n";
+    json += "],\"jobs\":" + std::to_string(jobs()) +
+            ",\"metrics\":" + to_json(snapshot_) + "}\n";
     if (!write_file(json_path_, json)) {
       std::fprintf(stderr, "error: could not write %s\n", json_path_.c_str());
       ok = false;

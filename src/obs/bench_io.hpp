@@ -22,10 +22,10 @@ namespace decos::obs {
 
 class BenchReporter {
  public:
-  /// Parses and strips `--json <path>`, `--csv <path>`, `--seed <n>` and
-  /// `--seeds <n,n,...>` from argv. The remaining arguments stay visible
-  /// through argc()/argv() for benches that forward them
-  /// (google-benchmark).
+  /// Parses and strips `--json <path>`, `--csv <path>`, `--seed <n>`,
+  /// `--seeds <n,n,...>` and `--jobs <n>` from argv. The remaining
+  /// arguments stay visible through argc()/argv() for benches that
+  /// forward them (google-benchmark).
   BenchReporter(std::string bench_name, int argc, char** argv);
 
   /// Folds a registry (or pre-built snapshot) into the bench snapshot.
@@ -41,6 +41,14 @@ class BenchReporter {
   /// seed list that produced it.
   [[nodiscard]] std::vector<std::uint64_t> seeds_or(
       std::vector<std::uint64_t> fallback);
+
+  /// Worker threads for the bench's experiment sweeps: the `--jobs <n>`
+  /// override if given, else the hardware concurrency (`--jobs 0` also
+  /// means hardware concurrency; `--jobs 1` is the serial path). The
+  /// resolved value is echoed in the --json export under "jobs". The
+  /// exec::ExperimentRunner's ordered merge makes the results identical
+  /// for every value — this knob only trades wall-clock for cores.
+  [[nodiscard]] unsigned jobs() const;
 
   [[nodiscard]] bool json_requested() const { return !json_path_.empty(); }
   [[nodiscard]] const Snapshot& snapshot() const { return snapshot_; }
@@ -60,6 +68,7 @@ class BenchReporter {
   std::string csv_path_;
   std::vector<char*> args_;  // non-owning views into the original argv
   std::vector<std::uint64_t> seeds_;  // resolved by seeds_or()
+  unsigned jobs_ = 0;  // 0 = hardware concurrency
   Snapshot snapshot_;
   std::vector<std::pair<std::string, double>> info_;
   bool bad_args_ = false;  // --json/--csv given without a path

@@ -7,18 +7,22 @@ namespace decos::obs {
 
 namespace detail {
 
+// thread_local: unbound handles can be exercised from experiment-engine
+// worker threads (src/exec/), and a process-wide sink would make every
+// discarded write a data race. A per-thread sink keeps the discard path
+// race-free without putting atomics on the bound hot path.
 CounterCell& counter_sink() {
-  static CounterCell sink;
+  thread_local CounterCell sink;
   return sink;
 }
 
 GaugeCell& gauge_sink() {
-  static GaugeCell sink;
+  thread_local GaugeCell sink;
   return sink;
 }
 
 HistogramCell& histogram_sink() {
-  static HistogramCell sink;
+  thread_local HistogramCell sink;
   return sink;
 }
 

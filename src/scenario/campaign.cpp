@@ -1,5 +1,7 @@
 #include "scenario/campaign.hpp"
 
+#include "exec/runner.hpp"
+
 namespace decos::scenario {
 namespace {
 
@@ -119,25 +121,40 @@ std::vector<Archetype> standard_archetypes() {
 
 CampaignResult run_campaign(const std::vector<Archetype>& archetypes,
                             const std::vector<std::uint64_t>& seeds,
-                            Fig10Options base_options) {
+                            Fig10Options base_options, unsigned jobs) {
   CampaignResult result;
+  result.per_archetype.reserve(archetypes.size());
   for (const Archetype& arch : archetypes) {
-    CampaignResult::PerArchetype row;
-    row.name = arch.name;
-    row.truth = arch.truth;
-    for (const std::uint64_t seed : seeds) {
-      Fig10Options opts = base_options;
-      opts.seed = seed;
-      Fig10System rig(opts);
-      arch.inject(rig);
-      rig.run(arch.horizon);
-      const auto d = arch.diagnose(rig);
-      result.confusion.add(arch.truth, d.cls);
-      ++row.runs;
-      if (d.cls == arch.truth) ++row.correct;
-    }
-    result.per_archetype.push_back(std::move(row));
+    result.per_archetype.push_back({arch.name, arch.truth, 0, 0});
   }
+  if (seeds.empty()) return result;
+
+  // One descriptor per (archetype, seed), archetype-major — the order of
+  // the historical serial loop, which the ordered merge below replays.
+  std::vector<std::function<fault::FaultClass()>> runs;
+  runs.reserve(archetypes.size() * seeds.size());
+  for (const Archetype& arch : archetypes) {
+    for (const std::uint64_t seed : seeds) {
+      runs.push_back([&arch, seed, &base_options] {
+        Fig10Options opts = base_options;
+        opts.seed = seed;
+        Fig10System rig(opts);
+        arch.inject(rig);
+        rig.run(arch.horizon);
+        return arch.diagnose(rig).cls;
+      });
+    }
+  }
+
+  exec::ExperimentRunner runner(jobs);
+  runner.run_and_merge<fault::FaultClass>(
+      std::move(runs), [&](std::size_t i, fault::FaultClass predicted) {
+        const Archetype& arch = archetypes[i / seeds.size()];
+        auto& row = result.per_archetype[i / seeds.size()];
+        result.confusion.add(arch.truth, predicted);
+        ++row.runs;
+        if (predicted == arch.truth) ++row.correct;
+      });
   return result;
 }
 

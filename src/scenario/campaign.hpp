@@ -46,8 +46,15 @@ struct CampaignResult {
 };
 
 /// Runs every archetype across the seeds (one fresh Fig10System per run).
+///
+/// Runs execute on the exec::ExperimentRunner: each (archetype, seed)
+/// pair is an isolated rig with its own Simulator/RNG/Registry, executed
+/// on up to `jobs` workers (0 = hardware concurrency, 1 = the historical
+/// serial loop) and merged in submission order — the result is
+/// bit-identical for every job count.
 [[nodiscard]] CampaignResult run_campaign(
     const std::vector<Archetype>& archetypes,
-    const std::vector<std::uint64_t>& seeds, Fig10Options base_options = {});
+    const std::vector<std::uint64_t>& seeds, Fig10Options base_options = {},
+    unsigned jobs = 0);
 
 }  // namespace decos::scenario

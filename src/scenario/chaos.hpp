@@ -76,10 +76,16 @@ struct ChaosCampaignResult {
 /// Runs every archetype across the seeds with the chaos treatment applied
 /// to each fresh rig. The diagnosis is taken from the *active* assessor,
 /// whichever that is after failover/failback.
+///
+/// Like run_campaign, executes on the exec::ExperimentRunner: up to
+/// `jobs` parallel workers (0 = hardware concurrency), results — the
+/// confusion matrix, telemetry totals and the merged metrics snapshot —
+/// folded in submission order so every job count produces identical
+/// output.
 [[nodiscard]] ChaosCampaignResult run_chaos_campaign(
     const std::vector<Archetype>& archetypes,
     const std::vector<std::uint64_t>& seeds, ChaosOptions chaos = {},
-    Fig10Options base_options = {});
+    Fig10Options base_options = {}, unsigned jobs = 0);
 
 /// Outcome of the silent-agent scenario: the victim component stays
 /// perfectly healthy, only its diagnostic agent is crashed. The

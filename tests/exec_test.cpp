@@ -1,0 +1,211 @@
+// Tests for the parallel experiment engine (src/exec/): pool lifecycle
+// (shutdown drains), per-run error isolation, ordered merging, and the
+// headline determinism contract — a parallel campaign is bit-identical
+// to the serial one, including the merged metrics snapshot of the chaos
+// campaign (modulo the one wall-clock gauge).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/runner.hpp"
+#include "exec/thread_pool.hpp"
+#include "scenario/chaos.hpp"
+
+namespace decos {
+namespace {
+
+TEST(ThreadPool, ShutdownDrainsPendingTasks) {
+  std::atomic<int> done{0};
+  exec::ThreadPool pool(2);
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      done.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  pool.shutdown();  // must finish all 32, not abandon the queue
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, DestructorJoinsCleanly) {
+  std::atomic<int> done{0};
+  {
+    exec::ThreadPool pool(3);
+    for (int i = 0; i < 16; ++i) {
+      pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // ~ThreadPool: drain + join
+  EXPECT_EQ(done.load(), 16);
+}
+
+TEST(ThreadPool, WaitIdleIsABarrier) {
+  std::atomic<int> done{0};
+  exec::ThreadPool pool(4);
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      done.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 20);  // nothing in flight past the barrier
+}
+
+TEST(ExperimentRunner, ThrowingRunDoesNotPoisonSiblings) {
+  exec::ExperimentRunner runner(4);
+  std::vector<std::function<int()>> runs;
+  runs.push_back([] { return 10; });
+  runs.push_back([]() -> int { throw std::runtime_error("boom"); });
+  runs.push_back([] { return 30; });
+  const auto outcomes = runner.run<int>(std::move(runs));
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_TRUE(outcomes[0].ok());
+  EXPECT_EQ(*outcomes[0].result, 10);
+  EXPECT_FALSE(outcomes[1].ok());
+  EXPECT_EQ(outcomes[1].error, "boom");
+  EXPECT_TRUE(outcomes[2].ok());
+  EXPECT_EQ(*outcomes[2].result, 30);
+}
+
+TEST(ExperimentRunner, RunAndMergeReportsTheFailedRunIndex) {
+  exec::ExperimentRunner runner(2);
+  std::vector<std::function<int()>> runs;
+  runs.push_back([] { return 1; });
+  runs.push_back([]() -> int { throw std::runtime_error("bad seed"); });
+  try {
+    runner.run_and_merge<int>(std::move(runs), [](std::size_t, int) {});
+    FAIL() << "expected run_and_merge to rethrow the per-run failure";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("run 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("bad seed"), std::string::npos) << what;
+  }
+}
+
+TEST(ExperimentRunner, MergesInSubmissionOrderRegardlessOfFinishOrder) {
+  exec::ExperimentRunner runner(4);
+  std::vector<std::function<std::size_t()>> runs;
+  for (std::size_t i = 0; i < 12; ++i) {
+    runs.push_back([i] {
+      // Later submissions finish earlier; the fold must still see 0,1,2...
+      std::this_thread::sleep_for(std::chrono::milliseconds(12 - i));
+      return i;
+    });
+  }
+  std::vector<std::size_t> order;
+  runner.run_and_merge<std::size_t>(
+      std::move(runs),
+      [&order](std::size_t, std::size_t v) { order.push_back(v); });
+  ASSERT_EQ(order.size(), 12u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+// --- determinism: parallel == serial, bit for bit ------------------------
+
+/// Two cheap archetypes keep the live campaigns fast.
+std::vector<scenario::Archetype> cheap_archetypes() {
+  std::vector<scenario::Archetype> subset;
+  for (auto& a : scenario::standard_archetypes()) {
+    if (a.name == "seu" || a.name == "permanent") subset.push_back(a);
+  }
+  return subset;
+}
+
+void expect_same_confusion(const analysis::ConfusionMatrix& a,
+                           const analysis::ConfusionMatrix& b) {
+  EXPECT_EQ(a.total(), b.total());
+  for (std::size_t t = 0; t < analysis::ConfusionMatrix::kClasses; ++t) {
+    for (std::size_t p = 0; p < analysis::ConfusionMatrix::kClasses; ++p) {
+      EXPECT_EQ(a.count(static_cast<fault::FaultClass>(t),
+                        static_cast<fault::FaultClass>(p)),
+                b.count(static_cast<fault::FaultClass>(t),
+                        static_cast<fault::FaultClass>(p)))
+          << "truth=" << t << " predicted=" << p;
+    }
+  }
+}
+
+/// Field-by-field snapshot equality, skipping the only wall-clock metric
+/// (sim.events_per_sec — events per wall second, not simulated state).
+void expect_same_snapshot(const obs::Snapshot& a, const obs::Snapshot& b) {
+  auto filtered = [](const obs::Snapshot& s) {
+    std::vector<const obs::SnapshotEntry*> out;
+    for (const auto& e : s.entries) {
+      if (e.name != "sim.events_per_sec") out.push_back(&e);
+    }
+    return out;
+  };
+  const auto fa = filtered(a);
+  const auto fb = filtered(b);
+  ASSERT_EQ(fa.size(), fb.size());
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    const auto& ea = *fa[i];
+    const auto& eb = *fb[i];
+    EXPECT_EQ(ea.kind, eb.kind) << ea.name;
+    EXPECT_EQ(ea.name, eb.name);
+    EXPECT_EQ(ea.label, eb.label) << ea.name;
+    EXPECT_EQ(ea.counter, eb.counter) << ea.name << "{" << ea.label << "}";
+    EXPECT_DOUBLE_EQ(ea.gauge, eb.gauge) << ea.name;
+    EXPECT_DOUBLE_EQ(ea.gauge_high_water, eb.gauge_high_water) << ea.name;
+    EXPECT_EQ(ea.hist_count, eb.hist_count) << ea.name;
+    EXPECT_DOUBLE_EQ(ea.hist_sum, eb.hist_sum) << ea.name;
+    EXPECT_EQ(ea.hist_min, eb.hist_min) << ea.name;
+    EXPECT_EQ(ea.hist_max, eb.hist_max) << ea.name;
+    EXPECT_EQ(ea.buckets, eb.buckets) << ea.name;
+  }
+}
+
+TEST(ExperimentRunner, ParallelCampaignIsBitIdenticalToSerial) {
+  const auto subset = cheap_archetypes();
+  ASSERT_EQ(subset.size(), 2u);
+  const std::vector<std::uint64_t> seeds = {11, 12, 13};
+  const auto serial = scenario::run_campaign(subset, seeds, {}, 1);
+  const auto parallel = scenario::run_campaign(subset, seeds, {}, 4);
+
+  expect_same_confusion(serial.confusion, parallel.confusion);
+  ASSERT_EQ(serial.per_archetype.size(), parallel.per_archetype.size());
+  for (std::size_t i = 0; i < serial.per_archetype.size(); ++i) {
+    EXPECT_EQ(serial.per_archetype[i].name, parallel.per_archetype[i].name);
+    EXPECT_EQ(serial.per_archetype[i].truth, parallel.per_archetype[i].truth);
+    EXPECT_EQ(serial.per_archetype[i].runs, parallel.per_archetype[i].runs);
+    EXPECT_EQ(serial.per_archetype[i].correct,
+              parallel.per_archetype[i].correct);
+  }
+}
+
+TEST(ExperimentRunner, ParallelChaosCampaignMergesIdenticalSnapshot) {
+  // One archetype x three seeds through the full chaos treatment: the
+  // merged snapshot union exercises ordered Snapshot::merge across runs.
+  std::vector<scenario::Archetype> subset;
+  for (auto& a : scenario::standard_archetypes()) {
+    if (a.name == "seu") subset.push_back(a);
+  }
+  ASSERT_EQ(subset.size(), 1u);
+  const std::vector<std::uint64_t> seeds = {21, 22, 23};
+  const auto serial =
+      scenario::run_chaos_campaign(subset, seeds, {}, {}, 1);
+  const auto parallel =
+      scenario::run_chaos_campaign(subset, seeds, {}, {}, 4);
+
+  expect_same_confusion(serial.confusion, parallel.confusion);
+  EXPECT_EQ(serial.runs, parallel.runs);
+  EXPECT_EQ(serial.correct, parallel.correct);
+  EXPECT_EQ(serial.failovers, parallel.failovers);
+  EXPECT_EQ(serial.failbacks, parallel.failbacks);
+  EXPECT_EQ(serial.symptom_gaps, parallel.symptom_gaps);
+  EXPECT_EQ(serial.duplicates_dropped, parallel.duplicates_dropped);
+  EXPECT_EQ(serial.retransmissions, parallel.retransmissions);
+  EXPECT_EQ(serial.heartbeats_sent, parallel.heartbeats_sent);
+  EXPECT_EQ(serial.heartbeats_received, parallel.heartbeats_received);
+  EXPECT_EQ(serial.chaos_dropped, parallel.chaos_dropped);
+  EXPECT_EQ(serial.chaos_corrupted, parallel.chaos_corrupted);
+  expect_same_snapshot(serial.metrics, parallel.metrics);
+}
+
+}  // namespace
+}  // namespace decos
