@@ -1,4 +1,4 @@
-// E13 — ablations of the diagnostic design choices (DESIGN.md §10).
+// E13 — ablations of the diagnostic design choices (DESIGN.md §11).
 //
 // (a) Observer-credibility bar: the auto-scaled bar (3/4 of peers) vs a
 //     fixed bar of 2 under *two concurrent* sender faults — the fixed bar

@@ -1,0 +1,146 @@
+// E17 — closed-loop maintenance: Fig. 11 executed, not just recommended.
+//
+// Every archetype of the standard campaign runs with a live
+// MaintenanceExecutor: the diagnostic report opens a work order, a
+// simulated technician performs the Fig. 11 action (replacement from a
+// bounded spare pool, software update, transducer swap, connector
+// re-seating, configuration restore), and the repair is verified by the
+// FRU's trust reconverging above the conformance threshold. Measured per
+// archetype x seed: recovery rate, time-to-recovery, repairs
+// attempted/verified, retries, and NFF removals scored against the
+// injector's ground truth.
+//
+// Two directed scenarios close the paper's economics argument: the naive
+// "swap the box" strategy on a connector fault produces a *measured* NFF
+// removal followed by a successful model-guided retry, and a drained
+// spare pool degrades gracefully into quarantine plus the
+// `maintenance-degraded` meta-ONA.
+#include <cstdio>
+#include <string>
+
+#include "analysis/table.hpp"
+#include "obs/bench_io.hpp"
+#include "scenario/maintenance.hpp"
+
+using namespace decos;
+
+namespace {
+
+scenario::Archetype find_archetype(const std::vector<scenario::Archetype>& all,
+                                   const std::string& name) {
+  for (const auto& a : all) {
+    if (a.name == name) return a;
+  }
+  std::fprintf(stderr, "unknown archetype %s\n", name.c_str());
+  std::exit(2);
+}
+
+std::string trajectory_string(
+    const std::vector<fault::MaintenanceAction>& actions) {
+  std::string out;
+  for (const auto a : actions) {
+    if (!out.empty()) out += " -> ";
+    out += fault::to_string(a);
+  }
+  return out.empty() ? std::string("(none)") : out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::BenchReporter reporter("bench_maintenance_loop", argc, argv);
+  std::printf("== E17: closed-loop maintenance (Fig. 11 executed in-sim) ==\n\n");
+
+  const auto archetypes = scenario::standard_archetypes();
+  const auto seeds = reporter.seeds_or({901, 902, 903});
+
+  const scenario::MaintenanceOptions options;
+  const auto result = scenario::run_maintenance_campaign(
+      archetypes, seeds, options, {}, reporter.jobs());
+
+  analysis::Table t({"archetype", "true class", "recovered", "repairs",
+                     "verified", "retries", "NFF", "spares", "mean TTR ms"});
+  for (const auto& row : result.per_archetype) {
+    char rec[32], ttr[32];
+    std::snprintf(rec, sizeof rec, "%zu/%zu", row.recovered, row.runs);
+    std::snprintf(ttr, sizeof ttr, "%.1f", row.mean_ttr_ms());
+    t.add_row({row.name, fault::to_string(row.truth), rec,
+               std::to_string(row.repairs_attempted),
+               std::to_string(row.repairs_verified),
+               std::to_string(row.retries), std::to_string(row.nff_removals),
+               std::to_string(row.spares_consumed),
+               row.ttr_samples == 0 ? "-" : ttr});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "model-guided loop, %zu runs: %zu recovered, %llu repairs "
+      "(%llu verified, %llu retries), %llu NFF removals, %llu spares used\n\n",
+      result.runs, result.recovered,
+      static_cast<unsigned long long>(result.repairs_attempted),
+      static_cast<unsigned long long>(result.repairs_verified),
+      static_cast<unsigned long long>(result.retries),
+      static_cast<unsigned long long>(result.nff_removals),
+      static_cast<unsigned long long>(result.spares_consumed));
+
+  // --- directed: naive strategy mis-repair -> measured NFF -> retry ------
+  // The pre-DECOS garage pulls the box for the connector's hardware-
+  // flavoured symptoms; the unit retests OK (NFF), the symptom recurs,
+  // and the retry's model-guided second opinion re-seats the connector.
+  scenario::MaintenanceOptions naive = options;
+  naive.executor.strategy = analysis::Strategy::kNaiveReplace;
+  scenario::Fig10Options naive_rig;
+  // The connector archetype targets component 3, the default assessor
+  // host; home the assessor elsewhere so the replacement's restart does
+  // not take the diagnostic DAS down with it.
+  naive_rig.assessor_host = 0;
+  const auto misrepair = scenario::run_maintenance_scenario(
+      find_archetype(archetypes, "connector"), seeds.front(), naive,
+      naive_rig);
+  std::printf("naive garage on connector fault (seed %llu):\n",
+              static_cast<unsigned long long>(seeds.front()));
+  std::printf("  action trajectory: %s\n",
+              trajectory_string(misrepair.run.trajectory).c_str());
+  std::printf(
+      "  NFF removals=%llu retries=%llu verified=%llu recovered=%s "
+      "final trust=%.3f\n\n",
+      static_cast<unsigned long long>(misrepair.run.nff_removals),
+      static_cast<unsigned long long>(misrepair.run.retries),
+      static_cast<unsigned long long>(misrepair.run.repairs_verified),
+      misrepair.run.recovered ? "yes" : "no", misrepair.run.final_trust);
+
+  // --- directed: spare exhaustion -> quarantine + meta-ONA ---------------
+  scenario::MaintenanceOptions no_spares = options;
+  no_spares.executor.spares = 0;
+  const auto exhausted = scenario::run_maintenance_scenario(
+      find_archetype(archetypes, "permanent"), seeds.front(), no_spares);
+  std::printf("permanent failure with an empty spare pool (seed %llu):\n",
+              static_cast<unsigned long long>(seeds.front()));
+  std::printf(
+      "  quarantines=%llu maintenance-degraded ONA=%s degraded jobs=%zu "
+      "recovered=%s\n\n",
+      static_cast<unsigned long long>(exhausted.run.quarantines),
+      exhausted.degraded_ona ? "asserted" : "missing",
+      exhausted.degraded_jobs.size(), exhausted.run.recovered ? "yes" : "no");
+
+  reporter.absorb(result.metrics);
+  reporter.absorb(misrepair.run.metrics);
+  reporter.absorb(exhausted.run.metrics);
+  reporter.set_info("recovered_ratio",
+                    result.runs == 0
+                        ? 0.0
+                        : static_cast<double>(result.recovered) /
+                              static_cast<double>(result.runs));
+  reporter.set_info("repairs_verified",
+                    static_cast<double>(result.repairs_verified));
+  reporter.set_info("nff_removals_measured",
+                    static_cast<double>(result.nff_removals +
+                                        misrepair.run.nff_removals));
+  reporter.set_info("spare_exhaustion_quarantines",
+                    static_cast<double>(exhausted.run.quarantines));
+  std::printf(
+      "expected shape: every hardware archetype's trust reconverges after "
+      "a verified repair; the naive strategy's removal retests OK and the "
+      "retry fixes the connector; the empty pool quarantines the FRU "
+      "instead of wedging the loop\n");
+  return reporter.finish();
+}

@@ -271,6 +271,16 @@ void Assessor::export_staleness() {
   }
 }
 
+void Assessor::reset_component_trust(platform::ComponentId c) {
+  component_trust_.at(c) = p_.trust.initial;
+  component_violation_round_.erase(c);
+}
+
+void Assessor::reset_job_trust(platform::JobId j) {
+  job_trust_[j] = p_.trust.initial;
+  job_violation_round_.erase(j);
+}
+
 void Assessor::reconcile_from(const Assessor& fresher) {
   // Per-FRU max-staleness merge: the side that heard the FRU's agent more
   // recently contributes trust and channel state.

@@ -128,6 +128,14 @@ class Assessor {
   /// still re-ingests.
   void reconcile_from(const Assessor& fresher);
 
+  /// Maintenance reset after an executed repair: the replacement FRU
+  /// starts with fresh trust and no violation history. Accumulated
+  /// evidence and channel state are deliberately kept — a mis-repair must
+  /// stay classifiable from the full symptom history, and the agent
+  /// channel belongs to the diagnostic path, not to the repaired FRU.
+  void reset_component_trust(platform::ComponentId c);
+  void reset_job_trust(platform::JobId j);
+
   // --- results -----------------------------------------------------------
   [[nodiscard]] Diagnosis diagnose_component(platform::ComponentId c) const;
   [[nodiscard]] Diagnosis diagnose_job(platform::JobId j) const;
@@ -162,8 +170,16 @@ class Assessor {
   /// Quality of the evidence about job `j` = quality of its host
   /// component's agent channel (job-level symptoms originate there).
   [[nodiscard]] double job_evidence_quality(platform::JobId j) const;
+  /// Whether `c`'s agent was heard within the staleness threshold. Judged
+  /// on the integer evidence age, not on the decayed quality double, so
+  /// floating-point rounding can never flip a fresh channel to stale.
+  /// Always fresh with hardening off (the ablated assessor is blind to
+  /// silence by construction).
+  [[nodiscard]] bool evidence_fresh(platform::ComponentId c) const {
+    return !p_.hardening || evidence_age(c) <= p_.stale_after;
+  }
   [[nodiscard]] bool channel_degraded(platform::ComponentId c) const {
-    return evidence_quality(c) < 1.0;
+    return !evidence_fresh(c);
   }
   /// Components whose agent channel is currently degraded.
   [[nodiscard]] std::vector<platform::ComponentId> stale_components() const;

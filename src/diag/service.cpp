@@ -154,6 +154,14 @@ void DiagnosticService::retract_external_ona(platform::ComponentId c,
   std::erase(it->second, name);
 }
 
+void DiagnosticService::reset_component_trust(platform::ComponentId c) {
+  for (auto& assessor : assessors_) assessor->reset_component_trust(c);
+}
+
+void DiagnosticService::reset_job_trust(platform::JobId j) {
+  for (auto& assessor : assessors_) assessor->reset_job_trust(j);
+}
+
 std::size_t DiagnosticService::record_detection_latency(
     const fault::FaultInjector& injector) {
   obs::Registry& metrics = system_.simulator().metrics();
@@ -193,11 +201,13 @@ std::vector<FruReport> DiagnosticService::report() const {
   for (platform::ComponentId c = 0; c < system_.component_count(); ++c) {
     FruReport row;
     row.fru = "component " + std::to_string(c);
+    row.component = c;
     row.trust = active.component_trust(c);
     row.diagnosis = active.diagnose_component(c);
     row.action = row.diagnosis.action();
     row.evidence_quality = active.evidence_quality(c);
     row.evidence_age = active.evidence_age(c);
+    row.evidence_fresh = active.evidence_fresh(c);
     const OnaContext ctx{active.evidence(), c, active.current_round(),
                          system_.component_count(), layout, FeatureParams{}};
     for (const auto* hit : kOnaRules.evaluate(ctx)) {
@@ -233,11 +243,14 @@ std::vector<FruReport> DiagnosticService::report() const {
     FruReport row;
     row.fru = "job " + job.name() + " (j" + std::to_string(j) +
               ") on component " + std::to_string(job.host());
+    row.component = job.host();
+    row.job = j;
     row.trust = active.job_trust(j);
     row.diagnosis = active.diagnose_job(j);
     row.action = row.diagnosis.action();
     row.evidence_quality = active.job_evidence_quality(j);
     row.evidence_age = active.evidence_age(job.host());
+    row.evidence_fresh = active.evidence_fresh(job.host());
     rows.push_back(std::move(row));
   }
   return rows;

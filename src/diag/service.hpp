@@ -20,6 +20,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,12 @@ namespace decos::diag {
 /// One row of the maintenance report.
 struct FruReport {
   std::string fru;  // "component 3" or "job brake1 (j5) on component 2"
+  /// Structured FRU identity: the hardware FRU this row concerns, and the
+  /// software FRU when the row describes a job (nullopt for component
+  /// rows). Consumers that act on the report — foremost the maintenance
+  /// executor — key off these instead of parsing the display label.
+  platform::ComponentId component = 0;
+  std::optional<platform::JobId> job;
   double trust = 1.0;
   Diagnosis diagnosis;
   fault::MaintenanceAction action = fault::MaintenanceAction::kNoAction;
@@ -48,10 +55,15 @@ struct FruReport {
   double evidence_quality = 1.0;
   /// Rounds since the FRU's agent was last heard by the active assessor.
   tta::RoundId evidence_age = 0;
+  /// Whether the agent was heard within the assessor's staleness
+  /// threshold. Derived from the integer evidence age, never from
+  /// comparing the decayed quality double against 1.0 — a 0.9999…
+  /// quality row from floating-point rounding stays "verified".
+  bool evidence_fresh = true;
   /// Distinguishes "verified healthy" from "no recent evidence": a row
   /// with kNoAction and degraded evidence is NOT a clean bill of health.
   [[nodiscard]] const char* evidence_state() const {
-    return evidence_quality >= 1.0 ? "verified" : "no-recent-evidence";
+    return evidence_fresh ? "verified" : "no-recent-evidence";
   }
 };
 
@@ -120,6 +132,14 @@ class DiagnosticService {
   /// `diag.ona_assertions` counter; `retract_external_ona` clears it.
   void assert_external_ona(platform::ComponentId c, const std::string& name);
   void retract_external_ona(platform::ComponentId c, const std::string& name);
+
+  /// Maintenance reset after an *executed* repair of the FRU: every
+  /// assessor — active and replicas alike — restarts the FRU's trust at
+  /// its initial value and forgets the violation instant, so a later
+  /// failback reconciliation cannot resurrect pre-repair suspicion of a
+  /// unit that is physically no longer installed.
+  void reset_component_trust(platform::ComponentId c);
+  void reset_job_trust(platform::JobId j);
 
   /// Maintenance report over all FRUs: components first, then application
   /// jobs. Only FRUs whose trust fell below the report threshold carry a

@@ -251,10 +251,12 @@ FaultId FaultInjector::inject_babbling(platform::ComponentId component,
                                        sim::Duration mean_attempt_gap) {
   auto rng = std::make_shared<sim::Rng>(
       sim_.fork_rng("babble." + std::to_string(component)));
+  auto active = std::make_shared<bool>(true);
   const sim::SimTime end = start + duration;
   std::function<void()>* attempt =
       own_chain(std::make_shared<std::function<void()>>());
-  *attempt = [this, component, mean_attempt_gap, rng, end, attempt] {
+  *attempt = [this, component, mean_attempt_gap, rng, end, attempt, active] {
+    if (!*active) return;  // the defective controller was replaced
     if (sim_.now() >= end) return;
     system_.cluster().node(component).attempt_transmit_now();
     const double gap_ns = rng->exponential(
@@ -271,6 +273,7 @@ FaultId FaultInjector::inject_babbling(platform::ComponentId component,
   f.start = start;
   f.duration = duration;
   f.description = "babbling idiot (random-instant transmissions)";
+  f.active = std::move(active);
   return record(f);
 }
 
@@ -415,6 +418,22 @@ void FaultInjector::repair_job(platform::JobId j) {
   for (auto& f : ledger_) {
     if (f.job.has_value() && *f.job == j) *f.active = false;
   }
+}
+
+std::size_t FaultInjector::apply_action(platform::ComponentId c,
+                                        std::optional<platform::JobId> job,
+                                        MaintenanceAction action) {
+  std::size_t stopped = 0;
+  for (auto& f : ledger_) {
+    const bool same_fru = job.has_value()
+                              ? (f.job.has_value() && *f.job == *job)
+                              : (!f.job.has_value() && f.component == c);
+    if (!same_fru) continue;
+    if (!evaluate_action(f.cls, action).fault_eliminated) continue;
+    if (*f.active) ++stopped;
+    *f.active = false;
+  }
+  return stopped;
 }
 
 FaultId FaultInjector::inject_actuator_fault(platform::JobId job,

@@ -179,6 +179,19 @@ class FaultInjector {
   /// Repair of a software FRU (software update / transducer replacement).
   void repair_job(platform::JobId j);
 
+  /// One *specific* executed maintenance action on a FRU — the closed-loop
+  /// executor's hook into the ground truth. Unlike the blanket repair_*
+  /// calls above, only the fault processes that the chosen action
+  /// eliminates per evaluate_action() stop; a wrong action (e.g. replacing
+  /// the board under a Heisenbug) leaves the real fault process running,
+  /// so the mis-repair stays observable as recurring symptoms. Component
+  /// actions (job == nullopt) judge component-level faults on `c`;
+  /// job actions judge that job's faults. Returns how many active fault
+  /// processes the action stopped.
+  std::size_t apply_action(platform::ComponentId c,
+                           std::optional<platform::JobId> job,
+                           MaintenanceAction action);
+
  private:
   FaultId record(InjectedFault f);
   /// Takes ownership of a self-rescheduling episode chain and returns the

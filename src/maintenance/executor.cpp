@@ -1,0 +1,292 @@
+#include "maintenance/executor.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "sim/trace.hpp"
+#include "tta/node.hpp"
+
+namespace decos::maintenance {
+
+const char* to_string(WorkOrderState s) {
+  switch (s) {
+    case WorkOrderState::kScheduled: return "scheduled";
+    case WorkOrderState::kVerifying: return "verifying";
+    case WorkOrderState::kVerified: return "verified";
+    case WorkOrderState::kQuarantined: return "quarantined";
+  }
+  return "?";
+}
+
+MaintenanceExecutor::MaintenanceExecutor(platform::System& system,
+                                         diag::DiagnosticService& service,
+                                         fault::FaultInjector& injector,
+                                         Params params)
+    : system_(system), service_(service), injector_(injector),
+      p_(params), sim_(system.simulator()),
+      pristine_vnets_(system.plan().vnets()), spares_(params.spares) {}
+
+void MaintenanceExecutor::start() {
+  if (started_) return;
+  started_ = true;
+  sim_.metrics().gauge("maint.spare_pool").set(static_cast<double>(spares_));
+  sim::schedule_periodic(sim_, sim_.now() + p_.poll_period, p_.poll_period,
+                         [this] {
+                           poll();
+                           return true;
+                         });
+}
+
+bool MaintenanceExecutor::has_open_order(
+    platform::ComponentId c, std::optional<platform::JobId> j) const {
+  for (const WorkOrder& o : orders_) {
+    if (o.is_open() && o.component == c && o.job == j) return true;
+  }
+  return false;
+}
+
+double MaintenanceExecutor::fru_trust(const WorkOrder& o) const {
+  const diag::Assessor& active = service_.assessor();
+  return o.job ? active.job_trust(*o.job) : active.component_trust(o.component);
+}
+
+fault::FaultClass MaintenanceExecutor::rediagnose(const WorkOrder& o) const {
+  const diag::Assessor& active = service_.assessor();
+  return (o.job ? active.diagnose_job(*o.job)
+                : active.diagnose_component(o.component))
+      .cls;
+}
+
+void MaintenanceExecutor::poll() {
+  const double threshold =
+      service_.assessor().params().trust.report_threshold;
+  for (const diag::FruReport& row : service_.report()) {
+    if (row.trust >= threshold) continue;
+    // Quarantined hardware is retired: neither the component row nor the
+    // rows of jobs stranded on it can be serviced any more.
+    if (quarantined_components_.contains(row.component)) continue;
+    if (row.job && quarantined_jobs_.contains(*row.job)) continue;
+    if (has_open_order(row.component, row.job)) continue;
+    if (analysis::decide(p_.strategy, row.diagnosis.cls) ==
+        fault::MaintenanceAction::kNoAction) {
+      continue;
+    }
+    WorkOrder o;
+    o.fru = row.fru;
+    o.component = row.component;
+    o.job = row.job;
+    o.first_diagnosis = row.diagnosis.cls;
+    o.opened = sim_.now();
+    const std::size_t idx = orders_.size();
+    orders_.push_back(std::move(o));
+    sim_.metrics().counter("maint.work_orders").inc();
+    sim_.log(sim::TraceCategory::kMaintenance, orders_[idx].fru,
+             std::string("work order opened: ") +
+                 fault::to_string(row.diagnosis.cls));
+    sim_.schedule_after(p_.technician_latency,
+                        [this, idx] { execute(idx); });
+  }
+}
+
+void MaintenanceExecutor::execute(std::size_t idx) {
+  WorkOrder& o = orders_[idx];
+  if (o.state == WorkOrderState::kQuarantined) return;
+
+  // First attempt: the configured garage strategy applied to the opening
+  // diagnosis. Retries: a fresh second opinion over the accumulated
+  // evidence, always mapped through Fig. 11 — by the time a repair has
+  // visibly failed, the recurring symptom pattern is richer than what the
+  // first visit saw. A retry whose re-diagnosis comes back clean falls
+  // back to Fig. 11 on the opening class (repeat the prescribed action).
+  fault::MaintenanceAction action;
+  if (o.attempts == 0) {
+    action = analysis::decide(p_.strategy, o.first_diagnosis);
+  } else {
+    fault::FaultClass cls = rediagnose(o);
+    if (cls == fault::FaultClass::kNone) cls = o.first_diagnosis;
+    action = fault::action_for(cls);
+  }
+  ++o.attempts;
+  if (o.attempts > 1) {
+    ++retries_;
+    sim_.metrics().counter("maint.retries").inc();
+  }
+
+  if (action == fault::MaintenanceAction::kReplaceComponent) {
+    if (spares_ == 0) {
+      sim_.metrics().counter("maint.spares_exhausted").inc();
+      sim_.log(sim::TraceCategory::kMaintenance, o.fru,
+               "replacement needed but spare pool is empty");
+      quarantine(o);
+      return;
+    }
+    --spares_;
+    ++spares_consumed_;
+    sim_.metrics().gauge("maint.spare_pool").set(static_cast<double>(spares_));
+  }
+
+  o.actions.push_back(action);
+  ++attempted_;
+  sim_.metrics()
+      .counter("maint.repairs",
+               std::string("action=") + fault::to_string(action))
+      .inc();
+
+  // Score the executed action against the ground truth *now* — the truth
+  // the bench test would see when the pulled unit arrives at the OEM.
+  const fault::FaultClass truth = o.job
+                                      ? injector_.truth_for_job(*o.job)
+                                      : injector_.truth_for_component(o.component);
+  nff_.record(truth, action);
+  if (fault::evaluate_action(truth, action).unnecessary_removal) {
+    o.nff = true;
+    ++nff_removals_;
+    sim_.metrics().counter("maint.nff_removals").inc();
+    sim_.log(sim::TraceCategory::kMaintenance, o.fru,
+             "removed hardware retests OK (NFF removal)");
+  }
+
+  perform(o, action);
+  o.state = WorkOrderState::kVerifying;
+  sim_.log(sim::TraceCategory::kMaintenance, o.fru,
+           std::string("executed ") + fault::to_string(action) +
+               " (attempt " + std::to_string(o.attempts) + ")");
+
+  // The replacement re-integrates (clock snap + listen-only rounds) before
+  // the verification clock starts: reset trust after the settle, then the
+  // reset trust must hold through the verification window.
+  sim_.schedule_after(p_.settle, [this, idx] {
+    WorkOrder& order = orders_[idx];
+    if (order.state != WorkOrderState::kVerifying) return;
+    if (order.job) {
+      service_.reset_job_trust(*order.job);
+    } else {
+      service_.reset_component_trust(order.component);
+    }
+  });
+  sim_.schedule_after(p_.settle + p_.verify_window,
+                      [this, idx] { verify(idx); });
+}
+
+void MaintenanceExecutor::perform(WorkOrder& o,
+                                  fault::MaintenanceAction action) {
+  switch (action) {
+    case fault::MaintenanceAction::kReplaceComponent: {
+      // New board: persistent component faults leave with the old unit,
+      // the replacement's controls are pristine, its crystal is in spec,
+      // and the node re-integrates with state synchronisation.
+      injector_.apply_action(o.component, std::nullopt, action);
+      tta::TtaNode& node = system_.cluster().node(o.component);
+      node.faults() = tta::FaultControls{};
+      node.clock().set_drift_ppm(p_.replacement_drift_ppm);
+      node.restart();
+      break;
+    }
+    case fault::MaintenanceAction::kInspectConnector: {
+      // Re-seating the connector ends any in-flight episode; whether the
+      // intermittent process itself stops is judged by the ground truth
+      // (inspection cures a borderline fault, nothing else).
+      injector_.apply_action(o.component, std::nullopt, action);
+      tta::FaultControls& fc = system_.cluster().node(o.component).faults();
+      fc.rx_corrupt_prob = 0.0;
+      fc.rx_drop_prob = 0.0;
+      break;
+    }
+    case fault::MaintenanceAction::kSoftwareUpdate: {
+      if (!o.job) break;
+      injector_.apply_action(o.component, o.job, action);
+      platform::Job& job = system_.job(*o.job);
+      platform::SoftwareFaultControls& sw = job.sw_faults();
+      sw.crashed = false;
+      sw.heisenbug_prob = 0.0;
+      sw.bohrbug_trigger = nullptr;
+      break;
+    }
+    case fault::MaintenanceAction::kInspectTransducer: {
+      if (!o.job) break;
+      injector_.apply_action(o.component, o.job, action);
+      platform::Job& job = system_.job(*o.job);
+      for (std::size_t s = 0; s < job.sensor_count(); ++s) {
+        job.sensor(s).set_fault(platform::SensorFaultMode::kHealthy,
+                                sim_.now());
+      }
+      for (std::size_t a = 0; a < job.actuator_count(); ++a) {
+        job.actuator(a).set_fault(platform::ActuatorFaultMode::kHealthy);
+      }
+      break;
+    }
+    case fault::MaintenanceAction::kUpdateConfiguration: {
+      if (!o.job) break;
+      injector_.apply_action(o.component, o.job, action);
+      // Restore the as-designed resource records of every vnet the job
+      // sends on (the misconfigured queue/budget sizing).
+      for (const vnet::PortConfig& pc : system_.plan().ports()) {
+        if (pc.owner != *o.job) continue;
+        system_.plan().mutable_vnet(pc.vnet) = pristine_vnets_.at(pc.vnet);
+      }
+      break;
+    }
+    case fault::MaintenanceAction::kNoAction:
+      break;
+  }
+}
+
+void MaintenanceExecutor::verify(std::size_t idx) {
+  WorkOrder& o = orders_[idx];
+  if (o.state != WorkOrderState::kVerifying) return;
+  const double trust = fru_trust(o);
+  if (trust >= p_.verify_trust) {
+    o.state = WorkOrderState::kVerified;
+    o.closed = sim_.now();
+    ++verified_;
+    sim_.metrics().counter("maint.repairs_verified").inc();
+    sim_.metrics().histogram("maint.ttr_us").record((o.closed - o.opened).ns() /
+                                                    1000);
+    sim_.log(sim::TraceCategory::kMaintenance, o.fru,
+             "repair verified, trust reconverged");
+    return;
+  }
+  ++failed_;
+  sim_.metrics().counter("maint.repair_failures").inc();
+  sim_.log(sim::TraceCategory::kMaintenance, o.fru,
+           "repair did not take (trust " + std::to_string(trust) + ")");
+  if (o.attempts >= p_.max_attempts) {
+    quarantine(o);
+    return;
+  }
+  // Exponential backoff: the garage escalates, it does not hammer.
+  const double scale = std::pow(p_.backoff_factor,
+                                static_cast<double>(o.attempts - 1));
+  const sim::Duration delay{static_cast<std::int64_t>(
+      static_cast<double>(p_.technician_latency.ns()) * scale)};
+  o.state = WorkOrderState::kScheduled;
+  sim_.schedule_after(delay, [this, idx] { execute(idx); });
+}
+
+void MaintenanceExecutor::quarantine(WorkOrder& o) {
+  o.state = WorkOrderState::kQuarantined;
+  o.closed = sim_.now();
+  ++quarantines_;
+  sim_.metrics().counter("maint.quarantined").inc();
+  service_.assert_external_ona(o.component, "maintenance-degraded");
+  sim_.log(sim::TraceCategory::kMaintenance, o.fru,
+           "quarantined unrepaired (maintenance-degraded)");
+  if (o.job) {
+    quarantined_jobs_.insert(*o.job);
+    degraded_jobs_.push_back(*o.job);
+  } else {
+    quarantined_components_.insert(o.component);
+    // Every application job stranded on the unrepairable hardware is
+    // degraded with it.
+    for (platform::JobId j = 0;
+         j < static_cast<platform::JobId>(system_.job_count()); ++j) {
+      if (system_.job(j).host() != o.component) continue;
+      if (service_.is_diagnostic_job(j)) continue;
+      degraded_jobs_.push_back(j);
+    }
+  }
+  sim_.metrics().gauge("maint.degraded_jobs")
+      .set(static_cast<double>(degraded_jobs_.size()));
+}
+
+}  // namespace decos::maintenance

@@ -1,6 +1,7 @@
 #include "obs/bench_io.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <string_view>
@@ -11,8 +12,11 @@
 namespace decos::obs {
 namespace {
 
-/// Parses "1,2,3" into seeds; returns false on any malformed entry.
+/// Parses "1,2,3" into seeds. Returns false — leaving `out` untouched —
+/// on an empty list, any malformed or out-of-range entry, or a duplicate
+/// seed (a duplicate would silently skew per-seed statistics).
 bool parse_seed_list(std::string_view text, std::vector<std::uint64_t>& out) {
+  std::vector<std::uint64_t> parsed;
   while (!text.empty()) {
     const std::size_t comma = text.find(',');
     const std::string token(text.substr(0, comma));
@@ -20,11 +24,17 @@ bool parse_seed_list(std::string_view text, std::vector<std::uint64_t>& out) {
                                            : text.substr(comma + 1);
     if (token.empty()) return false;
     char* end = nullptr;
+    errno = 0;
     const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
-    if (end == token.c_str() || *end != '\0') return false;
-    out.push_back(v);
+    if (end == token.c_str() || *end != '\0' || errno == ERANGE) return false;
+    if (std::find(parsed.begin(), parsed.end(), v) != parsed.end()) {
+      return false;
+    }
+    parsed.push_back(v);
   }
-  return !out.empty();
+  if (parsed.empty()) return false;
+  out = std::move(parsed);
+  return true;
 }
 
 }  // namespace
@@ -51,10 +61,16 @@ BenchReporter::BenchReporter(std::string bench_name, int argc, char** argv)
         continue;
       }
       char* end = nullptr;
+      errno = 0;
       const unsigned long v = std::strtoul(argv[i + 1], &end, 10);
-      if (end == argv[i + 1] || *end != '\0') {
+      if (end == argv[i + 1] || *end != '\0' || errno == ERANGE) {
         std::fprintf(stderr, "error: --jobs wants a number, got '%s'\n",
                      argv[i + 1]);
+        bad_args_ = true;
+      } else if (v == 0) {
+        std::fprintf(stderr,
+                     "error: --jobs must be >= 1 (omit the flag to use "
+                     "hardware concurrency)\n");
         bad_args_ = true;
       } else {
         jobs_ = static_cast<unsigned>(v);
@@ -69,9 +85,10 @@ BenchReporter::BenchReporter(std::string bench_name, int argc, char** argv)
         bad_args_ = true;
         continue;
       }
-      seeds_.clear();
       if (!parse_seed_list(argv[i + 1], seeds_)) {
-        std::fprintf(stderr, "error: %.*s wants N or N,N,... got '%s'\n",
+        std::fprintf(stderr,
+                     "error: %.*s wants a non-empty list of distinct "
+                     "integers (N or N,N,...), got '%s'\n",
                      static_cast<int>(arg.size()), arg.data(), argv[i + 1]);
         bad_args_ = true;
       }

@@ -43,9 +43,10 @@ class BenchReporter {
       std::vector<std::uint64_t> fallback);
 
   /// Worker threads for the bench's experiment sweeps: the `--jobs <n>`
-  /// override if given, else the hardware concurrency (`--jobs 0` also
-  /// means hardware concurrency; `--jobs 1` is the serial path). The
-  /// resolved value is echoed in the --json export under "jobs". The
+  /// override if given, else the hardware concurrency (`--jobs 1` is the
+  /// serial path; an explicit `--jobs 0` is rejected as a flag error —
+  /// omit the flag to get hardware concurrency). The resolved value is
+  /// echoed in the --json export under "jobs". The
   /// exec::ExperimentRunner's ordered merge makes the results identical
   /// for every value — this knob only trades wall-clock for cores.
   [[nodiscard]] unsigned jobs() const;
@@ -71,7 +72,7 @@ class BenchReporter {
   unsigned jobs_ = 0;  // 0 = hardware concurrency
   Snapshot snapshot_;
   std::vector<std::pair<std::string, double>> info_;
-  bool bad_args_ = false;  // --json/--csv given without a path
+  bool bad_args_ = false;  // malformed flag (missing path, bad list, --jobs 0)
 };
 
 }  // namespace decos::obs

@@ -69,6 +69,31 @@ TEST(AssessorFailover, PrimaryDeathPromotesReplicaAndRevivalFailsBack) {
   EXPECT_EQ(rig.diag().failbacks(), 1u);
 }
 
+TEST(AssessorFailover, FailbackIsDebouncedAgainstFlappingPrimary) {
+  // The primary twitches back to life mid-outage for less than the
+  // failback hold (50 ms), then dies again before the hold expires. The
+  // debounce must swallow that flap: the replica keeps serving, and only
+  // the later durable revival reconciles — exactly one failover and
+  // exactly one failback over the whole episode.
+  scenario::Fig10System rig(chaos_rig_options(11, true));
+  fault::ChaosInjector storm(rig.sim(), rig.system());
+  storm.kill_host(5, ms(800));
+  storm.revive_host(5, ms(1400));   // back up for a moment...
+  storm.kill_host(5, ms(1445));     // ...but dead again inside the hold
+  storm.revive_host(5, ms(2000));   // the durable revival
+  rig.run(sim::seconds(4));
+
+  EXPECT_EQ(rig.diag().failovers(), 1u);
+  EXPECT_EQ(rig.diag().failbacks(), 1u);
+  EXPECT_EQ(rig.diag().active_assessor(), 0u);
+  // The settled state is stable: further report polls must not flap.
+  const auto before = rig.diag().failbacks();
+  (void)rig.diag().report();
+  (void)rig.diag().report();
+  EXPECT_EQ(rig.diag().failbacks(), before);
+  EXPECT_EQ(rig.diag().active_assessor(), 0u);
+}
+
 TEST(AssessorFailover, ReplicaViewStaysCurrentThroughOutage) {
   // A fault injected *while the primary is dead* must still be diagnosed:
   // the replica heard the symptom multicast all along.

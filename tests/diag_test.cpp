@@ -347,6 +347,21 @@ TEST(EndToEnd, ReportListsEveryFru) {
   EXPECT_TRUE(found_replacement);
 }
 
+TEST(Report, EvidenceStateIsFreshnessFlagNotQualityCompare) {
+  // Regression: evidence_state() used to compare the float evidence
+  // quality against 1.0, so a fully-observed FRU whose quality sat at
+  // 0.99999... printed "no-recent-evidence". The state is the explicit
+  // freshness flag now — quality must not leak into it in either
+  // direction.
+  diag::FruReport row;
+  row.evidence_quality = 0.9999999999;
+  row.evidence_fresh = true;
+  EXPECT_STREQ(row.evidence_state(), "verified");
+  row.evidence_quality = 1.0;
+  row.evidence_fresh = false;
+  EXPECT_STREQ(row.evidence_state(), "no-recent-evidence");
+}
+
 TEST(EndToEnd, PipelineIsDeterministic) {
   auto run = [](std::uint64_t seed) {
     scenario::Fig10System rig({.seed = seed});

@@ -11,7 +11,10 @@
 #include <limits>
 #include <string>
 
+#include <vector>
+
 #include "diag/service.hpp"
+#include "obs/bench_io.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "scenario/fig10.hpp"
@@ -415,6 +418,95 @@ TEST(DetectionLatency, HealthyRunRecordsNothing) {
   const SnapshotEntry* agg = snap.find("diag.detection_latency_us");
   ASSERT_NE(agg, nullptr);  // registered (empty) by the call above
   EXPECT_EQ(agg->hist_count, 0u);
+}
+
+// --- BenchReporter flag parsing --------------------------------------------
+//
+// The bench harness is the repo's outermost CLI; a silently mis-parsed
+// flag skews a whole campaign. Malformed input must flag the run as
+// failed (finish() != 0) and must never half-apply: a bad --seeds list
+// leaves the fallback seeds in force.
+
+/// Builds a mutable argv from string literals (BenchReporter wants char**).
+class FakeArgv {
+ public:
+  explicit FakeArgv(std::vector<std::string> args) : strings_(std::move(args)) {
+    for (auto& s : strings_) argv_.push_back(s.data());
+  }
+  [[nodiscard]] int argc() { return static_cast<int>(argv_.size()); }
+  [[nodiscard]] char** argv() { return argv_.data(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::vector<char*> argv_;
+};
+
+TEST(BenchReporter, ValidFlagsParse) {
+  FakeArgv args({"bench", "--seeds", "7,8,9", "--jobs", "3"});
+  BenchReporter reporter("t", args.argc(), args.argv());
+  EXPECT_EQ(reporter.seeds_or({1}), (std::vector<std::uint64_t>{7, 8, 9}));
+  EXPECT_EQ(reporter.jobs(), 3u);
+  EXPECT_EQ(reporter.finish(), 0);
+}
+
+TEST(BenchReporter, ExplicitJobsZeroIsRejected) {
+  FakeArgv args({"bench", "--jobs", "0"});
+  BenchReporter reporter("t", args.argc(), args.argv());
+  // jobs() still resolves to something runnable (hardware concurrency),
+  // but the run is flagged as failed so CI cannot miss the bad flag.
+  EXPECT_GE(reporter.jobs(), 1u);
+  EXPECT_NE(reporter.finish(), 0);
+}
+
+TEST(BenchReporter, MalformedJobsIsRejected) {
+  FakeArgv args({"bench", "--jobs", "many"});
+  BenchReporter reporter("t", args.argc(), args.argv());
+  EXPECT_NE(reporter.finish(), 0);
+}
+
+TEST(BenchReporter, EmptySeedListIsRejected) {
+  FakeArgv args({"bench", "--seeds", ""});
+  BenchReporter reporter("t", args.argc(), args.argv());
+  EXPECT_NE(reporter.finish(), 0);
+  EXPECT_EQ(reporter.seeds_or({42}), (std::vector<std::uint64_t>{42}));
+}
+
+TEST(BenchReporter, SeedListWithEmptyEntryIsRejected) {
+  FakeArgv args({"bench", "--seeds", "1,,2"});
+  BenchReporter reporter("t", args.argc(), args.argv());
+  EXPECT_NE(reporter.finish(), 0);
+  EXPECT_EQ(reporter.seeds_or({42}), (std::vector<std::uint64_t>{42}));
+}
+
+TEST(BenchReporter, MalformedSeedEntryIsRejected) {
+  FakeArgv args({"bench", "--seeds", "1,two,3"});
+  BenchReporter reporter("t", args.argc(), args.argv());
+  EXPECT_NE(reporter.finish(), 0);
+  EXPECT_EQ(reporter.seeds_or({42}), (std::vector<std::uint64_t>{42}));
+}
+
+TEST(BenchReporter, DuplicateSeedsAreRejected) {
+  // A duplicate would silently double-weight one seed's statistics.
+  FakeArgv args({"bench", "--seeds", "1,2,1"});
+  BenchReporter reporter("t", args.argc(), args.argv());
+  EXPECT_NE(reporter.finish(), 0);
+  EXPECT_EQ(reporter.seeds_or({42}), (std::vector<std::uint64_t>{42}));
+}
+
+TEST(BenchReporter, MissingFlagValuesAreRejected) {
+  for (const char* flag : {"--seeds", "--jobs", "--json", "--csv"}) {
+    FakeArgv args({"bench", flag});
+    BenchReporter reporter("t", args.argc(), args.argv());
+    EXPECT_NE(reporter.finish(), 0) << flag;
+  }
+}
+
+TEST(BenchReporter, UnknownArgumentsPassThrough) {
+  FakeArgv args({"bench", "--seeds", "5", "--benchmark_filter=x"});
+  BenchReporter reporter("t", args.argc(), args.argv());
+  ASSERT_EQ(reporter.argc(), 2);
+  EXPECT_STREQ(reporter.argv()[1], "--benchmark_filter=x");
+  EXPECT_EQ(reporter.finish(), 0);
 }
 
 }  // namespace
