@@ -1,0 +1,220 @@
+// E18 — kernel hot-path microbenchmark: events/sec and allocations/event
+// through the discrete-event kernel, and allocations/round through the
+// vnet mux spine (send -> drain -> pack -> unpack), measured with a
+// counting operator-new hook.
+//
+// The scheduling section reproduces the event population of a steady
+// TDMA simulation: staggered periodic timers (slot ticks), one-shot
+// self-rescheduling chains (frame deliveries), and watchdog cancel/re-arm
+// loops (the assessor failover detector). The mux section runs the
+// per-round message path on caller-provided reusable buffers. Both
+// sections warm up first so slab/arena/buffer high-water marks are
+// reached, then assert nothing about the numbers — they are *reported*
+// (stdout + --json) so the experiment table stays measured, not asserted;
+// sanitizer builds interpose operator new and would skew any hard zero.
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string_view>
+
+#include "obs/bench_io.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+#include "vnet/message.hpp"
+#include "vnet/multiplexer.hpp"
+#include "vnet/network_plan.hpp"
+
+namespace {
+unsigned long long g_allocs = 0;
+}
+
+// Counting global allocator hooks: every variant funnels through malloc so
+// the count covers array, nothrow and over-aligned forms alike.
+void* operator new(std::size_t n) {
+  ++g_allocs;
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  ++g_allocs;
+  return std::malloc(n);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  ++g_allocs;
+  return std::malloc(n);
+}
+void* operator new(std::size_t n, std::align_val_t a) {
+  ++g_allocs;
+  const auto align = static_cast<std::size_t>(a);
+  if (void* p = std::aligned_alloc(align, (n + align - 1) / align * align)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return ::operator new(n, a);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace decos;
+
+struct SectionResult {
+  double per_sec = 0.0;
+  double allocs_per_unit = 0.0;
+};
+
+/// Scheduling hot path: 16 periodic timers (1 ms period, 61 us stagger),
+/// 8 one-shot re-scheduling chains (501 us), 4 watchdog cancel/re-arm
+/// loops (10 ms timeout kicked every 733 us). 200 ms sim-time warm-up,
+/// then measured to `horizon` sim-seconds.
+SectionResult bench_scheduling(int horizon_seconds) {
+  sim::Simulator s(42);
+
+  std::array<sim::PeriodicTimer, 16> timers;
+  for (int i = 0; i < 16; ++i) {
+    timers[static_cast<std::size_t>(i)].start(
+        s, sim::SimTime::zero() + sim::microseconds(i * 61),
+        sim::milliseconds(1), [] { return true; }, sim::EventPriority::kClock);
+  }
+
+  struct Chain {
+    sim::Simulator* s = nullptr;
+    void arm() {
+      s->schedule_after(sim::microseconds(501), [this] { arm(); },
+                        sim::EventPriority::kApplication);
+    }
+  };
+  std::array<Chain, 8> chains;
+  for (auto& c : chains) {
+    c.s = &s;
+    c.arm();
+  }
+
+  struct Watchdog {
+    sim::Simulator* s = nullptr;
+    sim::EventId pending{};
+    void kick() {
+      s->cancel(pending);
+      pending = s->schedule_after(sim::milliseconds(10), [] {},
+                                  sim::EventPriority::kDiagnosis);
+      s->schedule_after(sim::microseconds(733), [this] { kick(); },
+                        sim::EventPriority::kDiagnosis);
+    }
+  };
+  std::array<Watchdog, 4> dogs;
+  for (auto& d : dogs) {
+    d.s = &s;
+    d.kick();
+  }
+
+  s.run_until(sim::SimTime::zero() + sim::milliseconds(200));  // warm-up
+  const auto ev0 = s.events_executed();
+  const auto a0 = g_allocs;
+  const auto w0 = std::chrono::steady_clock::now();
+  s.run_until(sim::SimTime::zero() + sim::seconds(horizon_seconds));
+  const auto w1 = std::chrono::steady_clock::now();
+  const auto events = s.events_executed() - ev0;
+  const auto allocs = g_allocs - a0;
+  const double wall = std::chrono::duration<double>(w1 - w0).count();
+
+  SectionResult r;
+  r.per_sec = static_cast<double>(events) / wall;
+  r.allocs_per_unit =
+      static_cast<double>(allocs) / static_cast<double>(events);
+  std::printf(
+      "scheduling: events=%llu events_per_sec=%.3g allocs_per_event=%.4f\n",
+      static_cast<unsigned long long>(events), r.per_sec, r.allocs_per_unit);
+  return r;
+}
+
+/// Mux spine: two event-triggered vnets, four ports, four sends per round,
+/// then the steady-state round path on reused buffers —
+/// drain_messages -> pack_into -> unpack_arrival.
+SectionResult bench_mux_round(tta::RoundId rounds) {
+  vnet::NetworkPlan plan;
+  plan.add_vnet({0, "app", 4, 8, vnet::VnetKind::kEventTriggered});
+  plan.add_vnet({1, "diag", 4, 8, vnet::VnetKind::kEventTriggered});
+  plan.add_port({0, "p0", 0, 0, {1}});
+  plan.add_port({1, "p1", 0, 1, {0}});
+  plan.add_port({2, "p2", 1, 2, {3}});
+  plan.add_port({3, "p3", 1, 3, {2}});
+  vnet::Multiplexer mux(plan, 0);
+  for (platform::PortId p = 0; p < 4; ++p) mux.host_port(p);
+
+  std::vector<vnet::Message> drained;
+  std::vector<std::uint8_t> payload;
+  std::vector<vnet::Message> arrived;
+
+  auto round_once = [&](tta::RoundId r) {
+    for (platform::PortId p = 0; p < 4; ++p) {
+      vnet::Message m;
+      m.vnet = plan.port(p).vnet;
+      m.port = p;
+      m.sender = plan.port(p).owner;
+      m.kind = 1;
+      m.value = 0.5 * static_cast<double>(r);
+      (void)mux.send(m, r);
+    }
+    mux.drain_messages(r, drained);
+    vnet::pack_into(drained, r, payload);
+    mux.unpack_arrival(payload, arrived);
+    return arrived.size();
+  };
+
+  for (tta::RoundId r = 0; r < 512; ++r) round_once(r);  // warm-up
+  const auto a0 = g_allocs;
+  const auto w0 = std::chrono::steady_clock::now();
+  std::size_t sink = 0;
+  for (tta::RoundId r = 512; r < 512 + rounds; ++r) sink += round_once(r);
+  const auto w1 = std::chrono::steady_clock::now();
+  const auto allocs = g_allocs - a0;
+  const double wall = std::chrono::duration<double>(w1 - w0).count();
+
+  SectionResult res;
+  res.per_sec = static_cast<double>(rounds) / wall;
+  res.allocs_per_unit =
+      static_cast<double>(allocs) / static_cast<double>(rounds);
+  std::printf(
+      "mux_round: rounds=%llu rounds_per_sec=%.3g allocs_per_round=%.2f "
+      "sink=%zu\n",
+      static_cast<unsigned long long>(rounds), res.per_sec,
+      res.allocs_per_unit, sink);
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::BenchReporter reporter("bench_kernel_hotpath", argc, argv);
+
+  // `--quick` shrinks both sections for the ctest smoke run.
+  bool quick = false;
+  for (int i = 1; i < reporter.argc(); ++i) {
+    if (std::string_view(reporter.argv()[i]) == "--quick") quick = true;
+  }
+
+  const SectionResult sched = bench_scheduling(quick ? 1 : 10);
+  const SectionResult mux = bench_mux_round(quick ? 20'000 : 200'000);
+
+  reporter.set_info("events_per_sec", sched.per_sec);
+  reporter.set_info("allocs_per_event", sched.allocs_per_unit);
+  reporter.set_info("rounds_per_sec", mux.per_sec);
+  reporter.set_info("allocs_per_round", mux.allocs_per_unit);
+  return reporter.finish();
+}

@@ -200,7 +200,7 @@ void Agent::flush(platform::JobContext& ctx) {
       resend_.push_back(Resend{s, round + p_.resend_backoff, 1});
       while (resend_.size() > p_.resend_buffer) resend_.pop_front();
     }
-    pending_.erase(pending_.begin());
+    pending_.pop_front();
     ++sent;
   }
 

@@ -1,7 +1,7 @@
 #include "diag/assessor.hpp"
 
 #include <algorithm>
-#include <set>
+#include <bit>
 #include <string>
 
 namespace decos::diag {
@@ -14,7 +14,12 @@ Assessor::Assessor(Params p, fault::SpatialLayout layout,
       component_count_(component_count),
       component_trust_(component_count, p.trust.initial),
       component_trajectories_(component_count),
-      channels_(component_count) {}
+      channels_(component_count),
+      component_hits_(component_count, 0),
+      mask_words_((component_count + 63) / 64) {
+  if (mask_words_ == 0) mask_words_ = 1;
+  transport_masks_.assign(component_count_ * mask_words_, 0);
+}
 
 void Assessor::register_agent(platform::JobId agent_job,
                               platform::ComponentId component) {
@@ -26,6 +31,7 @@ void Assessor::register_subject_job(platform::JobId job,
   jobs_by_host_[host].push_back(job);
   job_host_[job] = host;
   job_trust_.emplace(job, p_.trust.initial);
+  if (job >= job_hits_.size()) job_hits_.resize(job + 1, 0);
 }
 
 void Assessor::bind_metrics(obs::Registry& registry) {
@@ -137,12 +143,12 @@ void Assessor::process(platform::JobContext& ctx) {
   round_ = ctx.round();
 
   // Which FRUs were implicated by symptoms ingested this dispatch.
-  std::map<platform::ComponentId, std::uint32_t> component_hits;
-  std::map<platform::JobId, std::uint32_t> job_hits;
-  // Transport symptoms grouped by reporting observer: whether they charge
-  // the subject or the observer depends on the observer's spread.
-  std::map<platform::ComponentId, std::set<platform::ComponentId>>
-      transport_by_observer;
+  // Member scratch, reset here: the steady-state dispatch allocates
+  // nothing (the trust-update loops below walk every FRU anyway, so the
+  // O(N) reset costs no extra asymptotic work).
+  std::fill(component_hits_.begin(), component_hits_.end(), 0u);
+  std::fill(job_hits_.begin(), job_hits_.end(), 0u);
+  std::fill(transport_masks_.begin(), transport_masks_.end(), 0u);
 
   for (const vnet::Message& m : ctx.inbox()) {
     auto agent_it = agent_component_.find(m.sender);
@@ -180,14 +186,19 @@ void Assessor::process(platform::JobContext& ctx) {
     // confidence in the healthy board it runs on. Transport symptoms are
     // deferred: the charged side depends on the observer's spread.
     if (symptom->subject_job) {
-      ++job_hits[*symptom->subject_job];
-    } else if (symptom->type == SymptomType::kSlotCrcError ||
-               symptom->type == SymptomType::kSlotTimingError ||
-               symptom->type == SymptomType::kSlotOmission) {
-      transport_by_observer[symptom->observer].insert(
-          symptom->subject_component);
-    } else {
-      ++component_hits[symptom->subject_component];
+      const platform::JobId j = *symptom->subject_job;
+      if (j >= job_hits_.size()) job_hits_.resize(j + 1, 0);
+      ++job_hits_[j];
+    } else if ((symptom->type == SymptomType::kSlotCrcError ||
+                symptom->type == SymptomType::kSlotTimingError ||
+                symptom->type == SymptomType::kSlotOmission) &&
+               symptom->observer < component_count_ &&
+               symptom->subject_component < component_count_) {
+      transport_masks_[symptom->observer * mask_words_ +
+                       symptom->subject_component / 64] |=
+          std::uint64_t{1} << (symptom->subject_component % 64);
+    } else if (symptom->subject_component < component_count_) {
+      ++component_hits_[symptom->subject_component];
     }
   }
 
@@ -196,13 +207,22 @@ void Assessor::process(platform::JobContext& ctx) {
   // blameless senders — mirroring the classifier's credibility rule.
   const std::size_t spread_bar =
       std::max<std::size_t>(2, (3 * (component_count_ - 1)) / 4);
-  for (const auto& [observer, subjects] : transport_by_observer) {
-    if (subjects.size() >= spread_bar) {
-      component_hits[observer] +=
-          static_cast<std::uint32_t>(subjects.size());
+  for (platform::ComponentId observer = 0; observer < component_count_;
+       ++observer) {
+    const std::uint64_t* mask = &transport_masks_[observer * mask_words_];
+    std::size_t spread = 0;
+    for (std::size_t w = 0; w < mask_words_; ++w) {
+      spread += static_cast<std::size_t>(std::popcount(mask[w]));
+    }
+    if (spread == 0) continue;
+    if (spread >= spread_bar) {
+      component_hits_[observer] += static_cast<std::uint32_t>(spread);
     } else {
-      for (platform::ComponentId subject : subjects) {
-        ++component_hits[subject];
+      for (std::size_t w = 0; w < mask_words_; ++w) {
+        for (std::uint64_t word = mask[w]; word != 0; word &= word - 1) {
+          ++component_hits_[w * 64 +
+                            static_cast<std::size_t>(std::countr_zero(word))];
+        }
       }
     }
   }
@@ -212,28 +232,28 @@ void Assessor::process(platform::JobContext& ctx) {
   // silent agent means *absence of evidence*, and absence of evidence must
   // freeze trust, not launder it back toward 1.0.
   for (platform::ComponentId c = 0; c < component_count_; ++c) {
-    auto it = component_hits.find(c);
-    if (it == component_hits.end()) {
+    const std::uint32_t hits = component_hits_[c];
+    if (hits == 0) {
       if (!channel_degraded(c)) {
         component_trust_[c] =
             std::min(1.0, component_trust_[c] + p_.trust.recovery);
       }
     } else {
-      const double scale = static_cast<double>(std::min(it->second, 4u));
+      const double scale = static_cast<double>(std::min(hits, 4u));
       component_trust_[c] =
           std::max(0.0, component_trust_[c] - p_.trust.drop * scale);
       note_component_trust(c);
     }
   }
   for (auto& [j, trust] : job_trust_) {
-    auto it = job_hits.find(j);
-    if (it == job_hits.end()) {
+    const std::uint32_t hits = j < job_hits_.size() ? job_hits_[j] : 0;
+    if (hits == 0) {
       auto host_it = job_host_.find(j);
       if (host_it == job_host_.end() || !channel_degraded(host_it->second)) {
         trust = std::min(1.0, trust + p_.trust.recovery);
       }
     } else {
-      const double scale = static_cast<double>(std::min(it->second, 4u));
+      const double scale = static_cast<double>(std::min(hits, 4u));
       trust = std::max(0.0, trust - p_.trust.drop * scale);
       note_job_trust(j);
     }

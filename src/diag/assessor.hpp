@@ -249,6 +249,16 @@ class Assessor {
   tta::RoundId last_dedupe_prune_ = 0;
 
   std::vector<AgentChannel> channels_;
+
+  // Dispatch-local scratch, hoisted to members so the steady-state
+  // process() pass allocates nothing: hit counters per FRU and one
+  // bitmask of implicated subjects per transport observer (flattened,
+  // `mask_words_` words per observer).
+  std::vector<std::uint32_t> component_hits_;
+  std::vector<std::uint32_t> job_hits_;  // indexed by JobId
+  std::vector<std::uint64_t> transport_masks_;
+  std::size_t mask_words_ = 1;
+
   std::uint64_t gaps_ = 0;
   std::uint64_t duplicates_ = 0;
   std::uint64_t agent_drops_ = 0;

@@ -45,10 +45,9 @@ FaultId FaultInjector::record(InjectedFault f) {
   return ledger_.back().id;
 }
 
-std::function<void()>* FaultInjector::own_chain(
-    std::shared_ptr<std::function<void()>> f) {
-  chains_.push_back(std::move(f));
-  return chains_.back().get();
+sim::AperiodicTimer& FaultInjector::new_chain() {
+  chains_.push_back(std::make_unique<sim::AperiodicTimer>());
+  return *chains_.back();
 }
 
 FaultId FaultInjector::inject_emi_burst(double center, double radius,
@@ -128,27 +127,26 @@ FaultId FaultInjector::inject_connector_fault(platform::ComponentId component,
       sim_.fork_rng("connector." + std::to_string(component)));
   auto active = std::make_shared<bool>(true);
 
-  // Self-rescheduling episode chain with exponential gaps (arbitrary in
-  // time, Fig. 8) — only this component's receive path is disturbed.
-  std::function<void()>* episode =
-      own_chain(std::make_shared<std::function<void()>>());
-  *episode = [this, component, mean_episode_gap, episode_len, drop_prob, rng,
-              episode, active] {
-    if (!*active) return;  // the connector was repaired
-    auto& node = system_.cluster().node(component);
-    node.faults().rx_drop_prob = drop_prob;
-    node.faults().rx_corrupt_prob = (1.0 - drop_prob);
-    sim_.schedule_after(episode_len, [&node] {
-      node.faults().rx_drop_prob = 0.0;
-      node.faults().rx_corrupt_prob = 0.0;
-    }, sim::EventPriority::kFault);
+  // Episode chain with exponential gaps (arbitrary in time, Fig. 8) —
+  // only this component's receive path is disturbed.
+  new_chain().start(
+      sim_, start,
+      [this, component, mean_episode_gap, episode_len, drop_prob, rng,
+       active]() -> std::optional<sim::Duration> {
+        if (!*active) return std::nullopt;  // the connector was repaired
+        auto& node = system_.cluster().node(component);
+        node.faults().rx_drop_prob = drop_prob;
+        node.faults().rx_corrupt_prob = (1.0 - drop_prob);
+        sim_.schedule_after(episode_len, [&node] {
+          node.faults().rx_drop_prob = 0.0;
+          node.faults().rx_corrupt_prob = 0.0;
+        }, sim::EventPriority::kFault);
 
-    const double gap_ns = rng->exponential(
-        1.0 / static_cast<double>(mean_episode_gap.ns()));
-    sim_.schedule_after(episode_len + sim::Duration{static_cast<std::int64_t>(gap_ns)},
-                        *episode, sim::EventPriority::kFault);
-  };
-  sim_.schedule_at(start, *episode, sim::EventPriority::kFault);
+        const double gap_ns = rng->exponential(
+            1.0 / static_cast<double>(mean_episode_gap.ns()));
+        return episode_len + sim::Duration{static_cast<std::int64_t>(gap_ns)};
+      },
+      sim::EventPriority::kFault);
 
   InjectedFault f;
   f.cls = FaultClass::kComponentBorderline;
@@ -167,21 +165,21 @@ FaultId FaultInjector::inject_wearout(platform::ComponentId component,
                                       sim::Duration episode_len) {
   auto gap = std::make_shared<double>(static_cast<double>(initial_gap.ns()));
   auto active = std::make_shared<bool>(true);
-  std::function<void()>* episode =
-      own_chain(std::make_shared<std::function<void()>>());
-  *episode = [this, component, gap, gap_shrink, episode_len, episode, active] {
-    if (!*active) return;  // the cracked board was replaced
-    auto& node = system_.cluster().node(component);
-    node.faults().tx_corrupt_prob = 1.0;
-    sim_.schedule_after(episode_len, [&node] {
-      node.faults().tx_corrupt_prob = 0.0;
-    }, sim::EventPriority::kFault);
+  new_chain().start(
+      sim_, start,
+      [this, component, gap, gap_shrink, episode_len,
+       active]() -> std::optional<sim::Duration> {
+        if (!*active) return std::nullopt;  // the cracked board was replaced
+        auto& node = system_.cluster().node(component);
+        node.faults().tx_corrupt_prob = 1.0;
+        sim_.schedule_after(episode_len, [&node] {
+          node.faults().tx_corrupt_prob = 0.0;
+        }, sim::EventPriority::kFault);
 
-    *gap *= gap_shrink;  // increasing frequency as time progresses (Fig. 8)
-    const auto next = sim::Duration{static_cast<std::int64_t>(*gap)} + episode_len;
-    sim_.schedule_after(next, *episode, sim::EventPriority::kFault);
-  };
-  sim_.schedule_at(start, *episode, sim::EventPriority::kFault);
+        *gap *= gap_shrink;  // increasing frequency as time progresses (Fig. 8)
+        return sim::Duration{static_cast<std::int64_t>(*gap)} + episode_len;
+      },
+      sim::EventPriority::kFault);
 
   InjectedFault f;
   f.cls = FaultClass::kComponentInternal;
@@ -253,18 +251,18 @@ FaultId FaultInjector::inject_babbling(platform::ComponentId component,
       sim_.fork_rng("babble." + std::to_string(component)));
   auto active = std::make_shared<bool>(true);
   const sim::SimTime end = start + duration;
-  std::function<void()>* attempt =
-      own_chain(std::make_shared<std::function<void()>>());
-  *attempt = [this, component, mean_attempt_gap, rng, end, attempt, active] {
-    if (!*active) return;  // the defective controller was replaced
-    if (sim_.now() >= end) return;
-    system_.cluster().node(component).attempt_transmit_now();
-    const double gap_ns = rng->exponential(
-        1.0 / static_cast<double>(mean_attempt_gap.ns()));
-    sim_.schedule_after(sim::Duration{static_cast<std::int64_t>(gap_ns)},
-                        *attempt, sim::EventPriority::kFault);
-  };
-  sim_.schedule_at(start, *attempt, sim::EventPriority::kFault);
+  new_chain().start(
+      sim_, start,
+      [this, component, mean_attempt_gap, rng, end,
+       active]() -> std::optional<sim::Duration> {
+        if (!*active) return std::nullopt;  // the controller was replaced
+        if (sim_.now() >= end) return std::nullopt;
+        system_.cluster().node(component).attempt_transmit_now();
+        const double gap_ns = rng->exponential(
+            1.0 / static_cast<double>(mean_attempt_gap.ns()));
+        return sim::Duration{static_cast<std::int64_t>(gap_ns)};
+      },
+      sim::EventPriority::kFault);
 
   InjectedFault f;
   f.cls = FaultClass::kComponentInternal;
@@ -282,17 +280,19 @@ FaultId FaultInjector::inject_brownout(platform::ComponentId component,
                                        sim::Duration outage,
                                        sim::Duration uptime) {
   auto active = std::make_shared<bool>(true);
-  std::function<void()>* cycle =
-      own_chain(std::make_shared<std::function<void()>>());
-  *cycle = [this, component, outage, uptime, cycle, active] {
-    if (!*active) return;  // the supply was repaired
-    auto& node = system_.cluster().node(component);
-    node.faults().fail_silent = true;
-    sim_.schedule_after(outage, [&node] { node.faults().fail_silent = false; },
-                        sim::EventPriority::kFault);
-    sim_.schedule_after(outage + uptime, *cycle, sim::EventPriority::kFault);
-  };
-  sim_.schedule_at(start, *cycle, sim::EventPriority::kFault);
+  new_chain().start(
+      sim_, start,
+      [this, component, outage, uptime,
+       active]() -> std::optional<sim::Duration> {
+        if (!*active) return std::nullopt;  // the supply was repaired
+        auto& node = system_.cluster().node(component);
+        node.faults().fail_silent = true;
+        sim_.schedule_after(outage,
+                            [&node] { node.faults().fail_silent = false; },
+                            sim::EventPriority::kFault);
+        return outage + uptime;
+      },
+      sim::EventPriority::kFault);
 
   InjectedFault f;
   f.cls = FaultClass::kComponentInternal;

@@ -19,6 +19,7 @@
 #include "fault/taxonomy.hpp"
 #include "platform/system.hpp"
 #include "sim/simulator.hpp"
+#include "sim/timer.hpp"
 
 namespace decos::fault {
 
@@ -194,17 +195,16 @@ class FaultInjector {
 
  private:
   FaultId record(InjectedFault f);
-  /// Takes ownership of a self-rescheduling episode chain and returns the
-  /// stable address its events capture. Owning the chain here (instead of
-  /// the lambda capturing its own shared_ptr) avoids a reference cycle
-  /// that would leak the closure.
-  std::function<void()>* own_chain(std::shared_ptr<std::function<void()>> f);
+  /// Creates a new owned episode-chain timer with a stable address (the
+  /// injector outlives every chain; a repaired fault just stops firing).
+  sim::AperiodicTimer& new_chain();
 
   sim::Simulator& sim_;
   platform::System& system_;
   SpatialLayout layout_;
   std::vector<InjectedFault> ledger_;
-  std::vector<std::shared_ptr<std::function<void()>>> chains_;
+  /// Ongoing episode chains (connector, wearout, babbling, brownout).
+  std::vector<std::unique_ptr<sim::AperiodicTimer>> chains_;
 };
 
 }  // namespace decos::fault

@@ -30,11 +30,11 @@ void MaintenanceExecutor::start() {
   if (started_) return;
   started_ = true;
   sim_.metrics().gauge("maint.spare_pool").set(static_cast<double>(spares_));
-  sim::schedule_periodic(sim_, sim_.now() + p_.poll_period, p_.poll_period,
-                         [this] {
-                           poll();
-                           return true;
-                         });
+  poll_timer_.start(sim_, sim_.now() + p_.poll_period, p_.poll_period,
+                    [this] {
+                      poll();
+                      return true;
+                    });
 }
 
 bool MaintenanceExecutor::has_open_order(

@@ -35,6 +35,7 @@
 #include "fault/taxonomy.hpp"
 #include "platform/system.hpp"
 #include "sim/simulator.hpp"
+#include "sim/timer.hpp"
 #include "vnet/network_plan.hpp"
 
 namespace decos::maintenance {
@@ -179,6 +180,9 @@ class MaintenanceExecutor {
   std::uint64_t spares_consumed_ = 0;
   std::uint64_t quarantines_ = 0;
   bool started_ = false;
+  /// Maintenance-report polling loop (intrusive: must outlive its pending
+  /// tick, which holding it as a member guarantees).
+  sim::PeriodicTimer poll_timer_;
 };
 
 }  // namespace decos::maintenance

@@ -18,18 +18,21 @@ void Component::host(Job& job) {
 void Component::host_port(PortId port) { mux_.host_port(port); }
 
 void Component::bind() {
-  node_.payload_provider = [this](tta::RoundId round) {
-    return build_payload(round);
+  node_.payload_provider = [this](tta::RoundId round,
+                                  std::vector<std::uint8_t>& out) {
+    build_payload(round, out);
   };
   node_.delivery_handler = [this](tta::NodeId, const std::vector<std::uint8_t>& payload,
                                   tta::RoundId) {
-    for (const vnet::Message& m : mux_.unpack_arrival(payload)) {
+    mux_.unpack_arrival(payload, arrival_scratch_);
+    for (const vnet::Message& m : arrival_scratch_) {
       route_local(m);
     }
   };
 }
 
-std::vector<std::uint8_t> Component::build_payload(tta::RoundId round) {
+void Component::build_payload(tta::RoundId round,
+                              std::vector<std::uint8_t>& out) {
   // Application layer first: dispatch partitions scheduled this round.
   const sim::SimTime now = sim_.now();
   for (auto& [jid, job] : jobs_) {
@@ -53,12 +56,12 @@ std::vector<std::uint8_t> Component::build_payload(tta::RoundId round) {
   }
 
   // Then the encapsulation service: drain under the vnet budgets.
-  const auto msgs = mux_.drain_messages(round);
-  for (const vnet::Message& m : msgs) {
+  mux_.drain_messages(round, drain_scratch_);
+  for (const vnet::Message& m : drain_scratch_) {
     if (on_message_sent) on_message_sent(m, round);
     route_local(m);  // loopback for co-hosted subscribers (no self-reception)
   }
-  return vnet::pack(msgs, round);
+  vnet::pack_into(drain_scratch_, round, out);
 }
 
 void Component::route_local(const vnet::Message& msg) {

@@ -59,7 +59,7 @@ class Component {
   std::function<void(JobId, double, tta::RoundId)> on_transducer_anomaly;
 
  private:
-  std::vector<std::uint8_t> build_payload(tta::RoundId round);
+  void build_payload(tta::RoundId round, std::vector<std::uint8_t>& out);
   void route_local(const vnet::Message& msg);
 
   sim::Simulator& sim_;
@@ -67,6 +67,10 @@ class Component {
   const vnet::NetworkPlan& plan_;
   vnet::Multiplexer mux_;
   std::map<JobId, Job*> jobs_;  // ordered: deterministic dispatch order
+  /// Round-scratch buffers: cleared every use, capacity kept, so the
+  /// steady-state TDMA round allocates nothing on this component.
+  std::vector<vnet::Message> drain_scratch_;
+  std::vector<vnet::Message> arrival_scratch_;
 };
 
 }  // namespace decos::platform

@@ -22,9 +22,8 @@ Actuator& Job::add_actuator(Actuator::Params ap, ControlledObject& plant) {
   return *actuators_.back();
 }
 
-void Job::dispatch(tta::RoundId round, sim::SimTime now,
-                   std::function<bool(PortId, double, std::uint8_t, std::uint32_t)> send_fn,
-                   std::function<void(double)> anomaly_fn) {
+void Job::dispatch(tta::RoundId round, sim::SimTime now, SendFn send_fn,
+                   AnomalyFn anomaly_fn) {
   if (sw_faults_.crashed) {
     inbox_.clear();
     return;
@@ -60,10 +59,14 @@ void Job::dispatch(tta::RoundId round, sim::SimTime now,
     return send_fn(port, value, kind, aux);
   };
 
-  JobContext ctx(*this, round, now, std::exchange(inbox_, {}), wrapped_send,
-                 std::move(anomaly_fn));
+  // The context views the inbox in place; nothing delivers to this job
+  // while its own dispatch runs (arrivals are routed after all dispatches
+  // of the round), so clearing afterwards — keeping the capacity — is
+  // safe and makes the steady-state dispatch allocation-free.
+  JobContext ctx(*this, round, now, inbox_, wrapped_send, anomaly_fn);
   ++dispatches_;
   if (behavior_) behavior_(ctx);
+  inbox_.clear();
 }
 
 }  // namespace decos::platform

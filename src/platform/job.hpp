@@ -20,6 +20,7 @@
 #include "platform/controlled_object.hpp"
 #include "platform/transducer.hpp"
 #include "platform/types.hpp"
+#include "sim/function_ref.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
 #include "tta/types.hpp"
@@ -29,15 +30,24 @@ namespace decos::platform {
 
 class Job;
 
-/// Execution context handed to the job's behaviour at each dispatch.
+/// Callback types of one dispatch. Non-owning views (see function_ref.hpp):
+/// the referenced callables live on the dispatching component's stack for
+/// the duration of the dispatch, and taking them by reference keeps the
+/// per-dispatch path free of std::function heap traffic.
+using SendFn =
+    sim::FunctionRef<bool(PortId, double, std::uint8_t, std::uint32_t)>;
+using AnomalyFn = sim::FunctionRef<void(double)>;
+
+/// Execution context handed to the job's behaviour at each dispatch. Valid
+/// only for the duration of the dispatch call (it views the job's inbox
+/// and the caller's callbacks); behaviours must not retain it.
 class JobContext {
  public:
   JobContext(Job& job, tta::RoundId round, sim::SimTime now,
-             std::vector<vnet::Message> inbox,
-             std::function<bool(PortId, double, std::uint8_t, std::uint32_t)> send_fn,
-             std::function<void(double)> anomaly_fn = {})
-      : job_(job), round_(round), now_(now), inbox_(std::move(inbox)),
-        send_fn_(std::move(send_fn)), anomaly_fn_(std::move(anomaly_fn)) {}
+             const std::vector<vnet::Message>& inbox, SendFn send_fn,
+             AnomalyFn anomaly_fn = {})
+      : job_(job), round_(round), now_(now), inbox_(inbox),
+        send_fn_(send_fn), anomaly_fn_(anomaly_fn) {}
 
   [[nodiscard]] tta::RoundId round() const { return round_; }
   [[nodiscard]] sim::SimTime now() const { return now_; }
@@ -67,9 +77,9 @@ class JobContext {
   Job& job_;
   tta::RoundId round_;
   sim::SimTime now_;
-  std::vector<vnet::Message> inbox_;
-  std::function<bool(PortId, double, std::uint8_t, std::uint32_t)> send_fn_;
-  std::function<void(double)> anomaly_fn_;
+  const std::vector<vnet::Message>& inbox_;
+  SendFn send_fn_;
+  AnomalyFn anomaly_fn_;
 };
 
 /// Software fault controls of one job (set by the fault injector).
@@ -123,10 +133,10 @@ class Job {
 
   /// Runs one dispatch (called by the component when scheduled). The
   /// send_fn routes to the component's multiplexer; sends may be mutated
-  /// here by active software faults before they reach the port.
-  void dispatch(tta::RoundId round, sim::SimTime now,
-                std::function<bool(PortId, double, std::uint8_t, std::uint32_t)> send_fn,
-                std::function<void(double)> anomaly_fn = {});
+  /// here by active software faults before they reach the port. The
+  /// callbacks are borrowed for the duration of the call only.
+  void dispatch(tta::RoundId round, sim::SimTime now, SendFn send_fn,
+                AnomalyFn anomaly_fn = {});
 
   /// Software update / restart: clears the crashed flag (the maintenance
   /// action for an identified software fault).

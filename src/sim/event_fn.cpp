@@ -1,0 +1,51 @@
+#include "sim/event_fn.hpp"
+
+#include <cassert>
+#include <new>
+
+namespace decos::sim {
+
+SpillArena::~SpillArena() = default;
+
+int SpillArena::size_class(std::size_t size) noexcept {
+  for (int c = 0; c < 4; ++c) {
+    if (size <= kClassSize[c]) return c;
+  }
+  return -1;
+}
+
+void* SpillArena::allocate(std::size_t size) {
+  const int c = size_class(size);
+  if (c < 0) return ::operator new(size);  // oversize: rare, heap-backed
+  if (FreeBlock* b = free_[c]) {
+    free_[c] = b->next;
+    return b;
+  }
+  // Carve a fresh chunk into blocks of this class and thread them onto
+  // the free list; hand out the first.
+  auto chunk = std::make_unique<unsigned char[]>(kChunkBytes);
+  unsigned char* base = chunk.get();
+  chunks_.push_back(std::move(chunk));
+  const std::size_t block = kClassSize[c];
+  const std::size_t count = kChunkBytes / block;
+  assert(count >= 2);
+  for (std::size_t i = 1; i < count; ++i) {
+    auto* fb = reinterpret_cast<FreeBlock*>(base + i * block);
+    fb->next = free_[c];
+    free_[c] = fb;
+  }
+  return base;
+}
+
+void SpillArena::release(void* p, std::size_t size) noexcept {
+  const int c = size_class(size);
+  if (c < 0) {
+    ::operator delete(p);
+    return;
+  }
+  auto* fb = static_cast<FreeBlock*>(p);
+  fb->next = free_[c];
+  free_[c] = fb;
+}
+
+}  // namespace decos::sim

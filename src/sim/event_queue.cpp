@@ -5,43 +5,75 @@
 
 namespace decos::sim {
 
-EventId EventQueue::push(SimTime when, EventPriority prio, EventFn fn) {
-  const EventId id = next_id_++;
-  heap_.push(Entry{when, prio, next_seq_++, id, std::move(fn)});
+std::uint32_t EventQueue::acquire_slot() {
+  if (!free_.empty()) {
+    const std::uint32_t slot = free_.back();
+    free_.pop_back();
+    return slot;
+  }
+  pool_.emplace_back();
+  return static_cast<std::uint32_t>(pool_.size() - 1);
+}
+
+EventId EventQueue::finish_push(std::uint32_t slot, SimTime when,
+                                EventPriority prio) {
+  Node& n = pool_[slot];
+  n.time = when;
+  n.seq = next_seq_++;
+  n.prio = prio;
+  n.cancelled = false;
+  heap_.push_back(HeapEntry{n.time, n.seq, slot, n.prio});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_;
-  return id;
+  return EventId{slot, n.gen};
 }
 
-void EventQueue::cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return;
-  cancelled_.push_back(id);
-  if (live_ > 0) --live_;
+bool EventQueue::cancel(EventId id) {
+  if (!id.valid() || id.slot >= pool_.size()) return false;
+  Node& n = pool_[id.slot];
+  // A recycled slot has a bumped generation, so a stale handle can only
+  // mismatch; an already-cancelled node is tombstoned exactly once.
+  if (n.gen != id.gen || n.cancelled) return false;
+  n.cancelled = true;
+  n.fn.reset();  // release the capture (and any spill block) right away
+  assert(live_ > 0);
+  --live_;
+  return true;
 }
 
-void EventQueue::drop_cancelled() {
+void EventQueue::free_slot(std::uint32_t slot) {
+  Node& n = pool_[slot];
+  n.fn.reset();
+  n.cancelled = false;
+  if (++n.gen == 0) n.gen = 1;  // skip the reserved invalid generation
+  free_.push_back(slot);
+}
+
+void EventQueue::drop_dead() {
   while (!heap_.empty()) {
-    const EventId id = heap_.top().id;
-    auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    heap_.pop();
+    const std::uint32_t slot = heap_.front().slot;
+    if (!pool_[slot].cancelled) return;
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+    free_slot(slot);
   }
 }
 
 SimTime EventQueue::next_time() {
-  drop_cancelled();
+  drop_dead();
   assert(!heap_.empty());
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 EventQueue::Fired EventQueue::pop() {
-  drop_cancelled();
+  drop_dead();
   assert(!heap_.empty());
-  // priority_queue::top() is const; the entry is about to be discarded, so
-  // moving the callable out is safe.
-  Entry& top = const_cast<Entry&>(heap_.top());
-  Fired fired{top.time, std::move(top.fn)};
-  heap_.pop();
+  const std::uint32_t slot = heap_.front().slot;
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.pop_back();
+  Node& n = pool_[slot];
+  Fired fired{n.time, std::move(n.fn)};
+  free_slot(slot);
   --live_;
   return fired;
 }

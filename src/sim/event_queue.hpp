@@ -4,13 +4,21 @@
 // order, so two events scheduled for the same instant at the same priority
 // fire in the order they were scheduled — a property the TDMA bus model and
 // the determinism tests both rely on.
+//
+// Storage is a slab of free-listed event nodes addressed by a small binary
+// heap of (time, prio, seq, slot) entries, so the steady-state push/pop
+// cycle allocates nothing: nodes and their (inline or arena-spilled)
+// closures are recycled, and the heap vector stops growing once it has seen
+// the high-water mark. Handles are generation-tagged: cancelling an event
+// that already fired, was already cancelled, or whose slot has since been
+// reused is a detectable no-op, and cancellation itself is O(1) — the node
+// is tombstoned and its heap entry discarded lazily when it surfaces.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/event_fn.hpp"
 #include "sim/time.hpp"
 
 namespace decos::sim {
@@ -24,18 +32,35 @@ enum class EventPriority : std::uint8_t {
   kDiagnosis = 4, // observers run after everything else at an instant
 };
 
-using EventFn = std::function<void()>;
+/// Handle to a scheduled event: slot index + generation. The generation is
+/// bumped every time the slot is recycled, so a stale handle (fired,
+/// cancelled, or reused slot) can never hit a different event. The
+/// default-constructed id is invalid and safe to cancel.
+struct EventId {
+  std::uint32_t slot = 0;
+  std::uint32_t gen = 0;
 
-/// Token identifying a scheduled event, usable for cancellation.
-using EventId = std::uint64_t;
+  [[nodiscard]] constexpr bool valid() const { return gen != 0; }
+  friend constexpr bool operator==(const EventId&, const EventId&) = default;
+};
 
 class EventQueue {
  public:
-  /// Adds an event; returns its id.
-  EventId push(SimTime when, EventPriority prio, EventFn fn);
+  /// Adds an event; returns its id. The callable's capture is stored
+  /// inline in the event node (or in the spill arena when oversized) —
+  /// no heap allocation in steady state.
+  template <typename F>
+  EventId push(SimTime when, EventPriority prio, F&& fn) {
+    const std::uint32_t slot = acquire_slot();
+    pool_[slot].fn = EventFn(std::forward<F>(fn), &arena_);
+    return finish_push(slot, when, prio);
+  }
 
-  /// Lazily cancels the event with the given id (no-op if already fired).
-  void cancel(EventId id);
+  /// Cancels the event in O(1). Returns true iff the handle named a
+  /// pending event; stale handles (already fired, already cancelled,
+  /// default-constructed, or recycled slot) are rejected without touching
+  /// any counter — empty()/size() stay truthful either way.
+  bool cancel(EventId id);
 
   [[nodiscard]] bool empty() const { return live_ == 0; }
   [[nodiscard]] std::size_t size() const { return live_; }
@@ -51,27 +76,47 @@ class EventQueue {
   Fired pop();
 
  private:
-  struct Entry {
+  /// One slab slot. Either holds a pending event (its slot is referenced
+  /// by exactly one heap entry) or sits on the free list with its
+  /// generation already bumped.
+  struct Node {
     SimTime time;
-    EventPriority prio;
-    std::uint64_t seq;
-    EventId id;
+    std::uint64_t seq = 0;
     EventFn fn;
+    std::uint32_t gen = 1;  // 0 is reserved for the invalid EventId
+    EventPriority prio = EventPriority::kApplication;
+    bool cancelled = false;
   };
+  struct HeapEntry {
+    SimTime time;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    EventPriority prio;
+  };
+  /// Heap comparator: the entry that fires last sorts first-removed-last.
   struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.time != b.time) return a.time > b.time;
       if (a.prio != b.prio) return a.prio > b.prio;
       return a.seq > b.seq;
     }
   };
 
-  void drop_cancelled();
+  [[nodiscard]] std::uint32_t acquire_slot();
+  EventId finish_push(std::uint32_t slot, SimTime when, EventPriority prio);
+  /// Recycles a slot: bumps the generation (invalidating outstanding
+  /// handles) and returns it to the free list.
+  void free_slot(std::uint32_t slot);
+  /// Discards tombstoned entries sitting on top of the heap.
+  void drop_dead();
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::vector<EventId> cancelled_;  // sorted lazily on lookup
+  // Declared before pool_: nodes release their spilled closures back into
+  // the arena during pool_'s destruction.
+  SpillArena arena_;
+  std::vector<Node> pool_;
+  std::vector<std::uint32_t> free_;
+  std::vector<HeapEntry> heap_;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
   std::size_t live_ = 0;
 };
 

@@ -1,0 +1,47 @@
+// Non-owning callable view, for hot paths that take a callback per call.
+//
+// std::function on a per-dispatch parameter heap-allocates whenever the
+// closure outgrows the small-buffer slot — which the job-dispatch send/
+// anomaly hooks did every TDMA round. A FunctionRef is two words (object
+// pointer + trampoline), never allocates, and is safe exactly when the
+// referenced callable outlives the call — the dispatch pattern here: the
+// lambda lives on the caller's stack for the duration of the dispatch.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace decos::sim {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  FunctionRef() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f)  // NOLINT(google-explicit-constructor): drop-in for callables
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return call_ != nullptr; }
+
+ private:
+  void* obj_ = nullptr;
+  R (*call_)(void*, Args...) = nullptr;
+};
+
+}  // namespace decos::sim

@@ -2,7 +2,6 @@
 
 #include <cassert>
 #include <chrono>
-#include <memory>
 #include <stdexcept>
 
 namespace decos::sim {
@@ -13,16 +12,6 @@ Simulator::Simulator(std::uint64_t seed)
       events_counter_(metrics_.counter("sim.events_executed")),
       queue_depth_hwm_(metrics_.gauge("sim.queue_depth_hwm")),
       events_per_sec_(metrics_.gauge("sim.events_per_sec")) {}
-
-EventId Simulator::schedule_at(SimTime when, EventFn fn, EventPriority prio) {
-  assert(when >= now_ && "cannot schedule into the past");
-  return queue_.push(when, prio, std::move(fn));
-}
-
-EventId Simulator::schedule_after(Duration delay, EventFn fn, EventPriority prio) {
-  assert(delay.ns() >= 0);
-  return queue_.push(now_ + delay, prio, std::move(fn));
-}
 
 void Simulator::execute_one() {
   const std::size_t depth = queue_.size();
@@ -81,32 +70,6 @@ bool Simulator::step() {
   if (queue_.empty()) return false;
   execute_one();
   return true;
-}
-
-namespace {
-
-// Each queued tick holds a share of `fn`; the last tick to run (or to be
-// discarded with the queue) frees it. Never let the closure own a
-// shared_ptr to itself — that cycle leaks the closure.
-void periodic_tick(Simulator& sim, Duration period,
-                   const std::shared_ptr<std::function<bool()>>& fn,
-                   EventPriority prio) {
-  if (!(*fn)()) return;
-  sim.schedule_after(
-      period, [&sim, period, fn, prio] { periodic_tick(sim, period, fn, prio); },
-      prio);
-}
-
-}  // namespace
-
-void schedule_periodic(Simulator& sim, SimTime first, Duration period,
-                       std::function<bool()> fn, EventPriority prio) {
-  assert(period.ns() > 0);
-  auto shared = std::make_shared<std::function<bool()>>(std::move(fn));
-  sim.schedule_at(
-      first,
-      [&sim, period, shared, prio] { periodic_tick(sim, period, shared, prio); },
-      prio);
 }
 
 }  // namespace decos::sim

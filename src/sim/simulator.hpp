@@ -9,10 +9,11 @@
 // exactly.
 #pragma once
 
+#include <cassert>
 #include <chrono>
 #include <cstdint>
-#include <functional>
 #include <string>
+#include <utility>
 
 #include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
@@ -37,16 +38,26 @@ class Simulator {
     return master_rng_.fork(stream);
   }
 
-  /// Schedules `fn` at the absolute instant `when` (>= now()).
-  EventId schedule_at(SimTime when, EventFn fn,
-                      EventPriority prio = EventPriority::kApplication);
+  /// Schedules `fn` at the absolute instant `when` (>= now()). The capture
+  /// is stored allocation-free in the event node (see event_fn.hpp).
+  template <typename F>
+  EventId schedule_at(SimTime when, F&& fn,
+                      EventPriority prio = EventPriority::kApplication) {
+    assert(when >= now_ && "cannot schedule into the past");
+    return queue_.push(when, prio, std::forward<F>(fn));
+  }
 
   /// Schedules `fn` after the given delay (>= 0).
-  EventId schedule_after(Duration delay, EventFn fn,
-                         EventPriority prio = EventPriority::kApplication);
+  template <typename F>
+  EventId schedule_after(Duration delay, F&& fn,
+                         EventPriority prio = EventPriority::kApplication) {
+    assert(delay.ns() >= 0);
+    return queue_.push(now_ + delay, prio, std::forward<F>(fn));
+  }
 
-  /// Cancels a previously scheduled event (no-op if it already fired).
-  void cancel(EventId id) { queue_.cancel(id); }
+  /// Cancels a previously scheduled event in O(1). Returns true iff the
+  /// handle named a still-pending event; stale handles are rejected.
+  bool cancel(EventId id) { return queue_.cancel(id); }
 
   /// Runs events until the queue is empty or `until` is passed. Events at
   /// exactly `until` still fire. Returns the number of events executed.
@@ -96,11 +107,5 @@ class Simulator {
   obs::Gauge events_per_sec_;
   std::size_t queue_hwm_ = 0;  // cached so the hot path is one compare
 };
-
-/// Repeating helper: schedules `fn` every `period`, starting at `first`,
-/// until it returns false. Owns no state beyond the closure chain.
-void schedule_periodic(Simulator& sim, SimTime first, Duration period,
-                       std::function<bool()> fn,
-                       EventPriority prio = EventPriority::kApplication);
 
 }  // namespace decos::sim

@@ -1,0 +1,97 @@
+#include "sim/timer.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace decos::sim {
+
+void PeriodicTimer::start(Simulator& sim, SimTime first, Duration period,
+                          TickFn fn, EventPriority prio) {
+  assert(period.ns() > 0);
+  cancel();
+  sim_ = &sim;
+  period_ = period;
+  prio_ = prio;
+  if (in_tick_) {
+    // The executing tick callback owns fn_'s frame right now; stage the
+    // replacement and let on_tick() install it at the new first tick.
+    staged_fn_ = std::move(fn);
+  } else {
+    fn_ = std::move(fn);
+    staged_fn_.reset();
+  }
+  pending_ = sim_->schedule_at(first, [this] { on_tick(); }, prio_);
+}
+
+bool PeriodicTimer::cancel() {
+  if (!sim_) return false;
+  // fn_ is deliberately left alone: cancel() may run from inside the tick
+  // callback, and destroying the currently-executing std::function would
+  // pull the frame out from under it. It is released on restart/dtor.
+  const bool had = pending_.valid() && sim_->cancel(pending_);
+  sim_ = nullptr;
+  pending_ = {};
+  return had;
+}
+
+void PeriodicTimer::on_tick() {
+  if (staged_fn_) {
+    fn_ = std::move(*staged_fn_);
+    staged_fn_.reset();
+  }
+  pending_ = {};
+  in_tick_ = true;
+  const bool keep = fn_();
+  in_tick_ = false;
+  // The callback may have cancelled or restarted this timer from within;
+  // in either case the re-arm is no longer ours to do (and a restart
+  // overrides the old callback's return value).
+  if (staged_fn_ || pending_.valid() || !sim_) return;
+  if (!keep) {
+    sim_ = nullptr;
+    return;
+  }
+  pending_ = sim_->schedule_after(period_, [this] { on_tick(); }, prio_);
+}
+
+void AperiodicTimer::start(Simulator& sim, SimTime first, NextFn fn,
+                           EventPriority prio) {
+  cancel();
+  sim_ = &sim;
+  prio_ = prio;
+  if (in_tick_) {
+    staged_fn_ = std::move(fn);
+  } else {
+    fn_ = std::move(fn);
+    staged_fn_.reset();
+  }
+  pending_ = sim_->schedule_at(first, [this] { on_fire(); }, prio_);
+}
+
+bool AperiodicTimer::cancel() {
+  if (!sim_) return false;
+  const bool had = pending_.valid() && sim_->cancel(pending_);
+  sim_ = nullptr;
+  pending_ = {};
+  return had;
+}
+
+void AperiodicTimer::on_fire() {
+  if (staged_fn_) {
+    fn_ = std::move(*staged_fn_);
+    staged_fn_.reset();
+  }
+  pending_ = {};
+  in_tick_ = true;
+  const std::optional<Duration> next = fn_();
+  in_tick_ = false;
+  if (staged_fn_ || pending_.valid() || !sim_) return;
+  if (!next) {
+    sim_ = nullptr;
+    return;
+  }
+  assert(next->ns() >= 0);
+  pending_ = sim_->schedule_after(*next, [this] { on_fire(); }, prio_);
+}
+
+}  // namespace decos::sim

@@ -16,7 +16,7 @@ Bus::Bus(sim::Simulator& sim, TdmaSchedule schedule, Params params)
 
 void Bus::attach(BusReceiver& receiver) { receivers_.push_back(&receiver); }
 
-bool Bus::transmit(NodeId sender, Frame frame) {
+bool Bus::transmit(NodeId sender, const Frame& frame) {
   const sim::SimTime now = sim_.now();
 
   if (params_.guardian_enabled) {

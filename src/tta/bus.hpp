@@ -60,8 +60,9 @@ class Bus {
   void attach(BusReceiver& receiver);
 
   /// Transmission attempt by `sender` starting at the current instant.
-  /// Returns false if the guardian blocked it.
-  bool transmit(NodeId sender, Frame frame);
+  /// Returns false if the guardian blocked it. The frame is copied per
+  /// receiver (channel faults are receiver-local), never taken over.
+  bool transmit(NodeId sender, const Frame& frame);
 
   /// Installs a channel fault hook; returns an id for removal.
   std::uint64_t add_channel_fault(ChannelFaultHook hook);

@@ -120,18 +120,20 @@ void TtaNode::do_transmit(RoundId round) {
     return;
   }
 
-  Frame frame;
+  Frame& frame = tx_frame_;
   frame.sender = params_.id;
   frame.slot = bus_.schedule().slot_of(params_.id);
   frame.round = round;
   frame.membership = membership_;
-  frame.payload = payload_provider
-                      ? payload_provider(round)
-                      : std::vector<std::uint8_t>{
-                            static_cast<std::uint8_t>(round & 0xFF),
-                            static_cast<std::uint8_t>((round >> 8) & 0xFF),
-                            static_cast<std::uint8_t>((round >> 16) & 0xFF),
-                            static_cast<std::uint8_t>((round >> 24) & 0xFF)};
+  frame.payload.clear();
+  if (payload_provider) {
+    payload_provider(round, frame.payload);
+  } else {
+    frame.payload.push_back(static_cast<std::uint8_t>(round & 0xFF));
+    frame.payload.push_back(static_cast<std::uint8_t>((round >> 8) & 0xFF));
+    frame.payload.push_back(static_cast<std::uint8_t>((round >> 16) & 0xFF));
+    frame.payload.push_back(static_cast<std::uint8_t>((round >> 24) & 0xFF));
+  }
   frame.seal();
 
   if (faults_.tx_corrupt_prob > 0.0 && rng_.bernoulli(faults_.tx_corrupt_prob) &&
@@ -142,13 +144,13 @@ void TtaNode::do_transmit(RoundId round) {
   }
 
   if (faults_.tx_delay.ns() > 0) {
+    // Fault path: the scratch frame will be overwritten next round, so the
+    // delayed transmission owns a copy.
     sim_.schedule_after(faults_.tx_delay,
-                        [this, frame = std::move(frame)]() mutable {
-                          bus_.transmit(params_.id, std::move(frame));
-                        },
+                        [this, copy = frame]() { bus_.transmit(params_.id, copy); },
                         sim::EventPriority::kApplication);
   } else {
-    bus_.transmit(params_.id, std::move(frame));
+    bus_.transmit(params_.id, frame);
   }
 }
 
@@ -160,7 +162,7 @@ bool TtaNode::attempt_transmit_now() {
   frame.membership = membership_;
   frame.payload = {0xBA, 0xBB, 0x1E};
   frame.seal();
-  return bus_.transmit(params_.id, std::move(frame));
+  return bus_.transmit(params_.id, frame);
 }
 
 void TtaNode::on_frame(const Frame& frame, sim::SimTime arrival) {

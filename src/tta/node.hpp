@@ -102,8 +102,11 @@ class TtaNode final : public BusReceiver {
   [[nodiscard]] RoundId current_round() const { return round_; }
 
   // --- hooks -------------------------------------------------------------
-  /// Supplies the payload for round `r`. Unset => 8-byte round counter.
-  std::function<std::vector<std::uint8_t>(RoundId r)> payload_provider;
+  /// Fills `out` with the payload for round `r` (the buffer is cleared by
+  /// the node and its capacity reused every round, so a steady-state
+  /// transmission allocates nothing). Unset => 4-byte round counter.
+  std::function<void(RoundId r, std::vector<std::uint8_t>& out)>
+      payload_provider;
   /// Called for every correct frame (after CRC and timing checks).
   std::function<void(NodeId sender, const std::vector<std::uint8_t>& payload,
                      RoundId round)> delivery_handler;
@@ -163,6 +166,10 @@ class TtaNode final : public BusReceiver {
     bool timely = false;
   };
   std::optional<Pending> pending_;
+
+  /// Scratch frame reused across transmissions: its payload buffer keeps
+  /// its capacity, so do_transmit allocates nothing in steady state.
+  Frame tx_frame_;
 };
 
 }  // namespace decos::tta

@@ -29,9 +29,9 @@ std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t at) {
 
 }  // namespace
 
-std::vector<std::uint8_t> pack(const std::vector<Message>& msgs,
-                               tta::RoundId round) {
-  std::vector<std::uint8_t> out;
+void pack_into(const std::vector<Message>& msgs, tta::RoundId round,
+               std::vector<std::uint8_t>& out) {
+  out.clear();
   out.reserve(2 + msgs.size() * kWireRecordSize);
   put_u16(out, static_cast<std::uint16_t>(msgs.size()));
   for (const Message& m : msgs) {
@@ -49,17 +49,17 @@ std::vector<std::uint8_t> pack(const std::vector<Message>& msgs,
     put_u32(out, m.aux);
   }
   (void)round;
-  return out;
 }
 
-std::optional<std::vector<Message>> unpack(std::span<const std::uint8_t> payload) {
-  if (payload.size() < 2) return std::nullopt;
+bool unpack_into(std::span<const std::uint8_t> payload,
+                 std::vector<Message>& out) {
+  out.clear();
+  if (payload.size() < 2) return false;
   const std::uint16_t count = get_u16(payload, 0);
   if (payload.size() != 2 + static_cast<std::size_t>(count) * kWireRecordSize) {
-    return std::nullopt;
+    return false;
   }
-  std::vector<Message> msgs;
-  msgs.reserve(count);
+  out.reserve(count);
   for (std::uint16_t i = 0; i < count; ++i) {
     const std::size_t base = 2 + static_cast<std::size_t>(i) * kWireRecordSize;
     Message m;
@@ -74,8 +74,21 @@ std::optional<std::vector<Message>> unpack(std::span<const std::uint8_t> payload
     std::memcpy(&m.value, &bits, sizeof m.value);
     m.sent_round = get_u32(payload, base + 20);
     m.aux = get_u32(payload, base + 24);
-    msgs.push_back(m);
+    out.push_back(m);
   }
+  return true;
+}
+
+std::vector<std::uint8_t> pack(const std::vector<Message>& msgs,
+                               tta::RoundId round) {
+  std::vector<std::uint8_t> out;
+  pack_into(msgs, round, out);
+  return out;
+}
+
+std::optional<std::vector<Message>> unpack(std::span<const std::uint8_t> payload) {
+  std::vector<Message> msgs;
+  if (!unpack_into(payload, msgs)) return std::nullopt;
   return msgs;
 }
 

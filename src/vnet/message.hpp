@@ -39,13 +39,24 @@ struct Message {
 
 inline constexpr std::size_t kWireRecordSize = 28;
 
-/// Serialises `msgs` as a flat record array (count-prefixed, 2 bytes).
+/// Serialises `msgs` as a flat record array (count-prefixed, 2 bytes) into
+/// `out`. The buffer is cleared but its capacity is kept, so a caller that
+/// reuses one buffer per round packs without heap traffic in steady state.
+void pack_into(const std::vector<Message>& msgs, tta::RoundId round,
+               std::vector<std::uint8_t>& out);
+
+/// Parses a payload produced by pack() into `out` (cleared first, capacity
+/// kept). Returns false on malformed input (wrong length for its count
+/// prefix) — corrupted frames normally fail the CRC first, so this guards
+/// only against truncation bugs; `out` is left empty in that case.
+bool unpack_into(std::span<const std::uint8_t> payload,
+                 std::vector<Message>& out);
+
+/// Value-returning convenience over pack_into (tests, cold paths).
 [[nodiscard]] std::vector<std::uint8_t> pack(const std::vector<Message>& msgs,
                                              tta::RoundId round);
 
-/// Parses a payload produced by pack(). Returns nullopt on malformed input
-/// (wrong length for its count prefix) — corrupted frames normally fail the
-/// CRC first, so this guards only against truncation bugs.
+/// Value-returning convenience over unpack_into (tests, cold paths).
 [[nodiscard]] std::optional<std::vector<Message>> unpack(
     std::span<const std::uint8_t> payload);
 

@@ -69,8 +69,9 @@ bool Multiplexer::send(Message msg, tta::RoundId round) {
   return true;
 }
 
-std::vector<Message> Multiplexer::drain_messages(tta::RoundId round) {
-  std::vector<Message> out;
+void Multiplexer::drain_messages(tta::RoundId round,
+                                 std::vector<Message>& out) {
+  out.clear();
   for (auto& [vnet_id, ports] : by_vnet_) {
     const VnetConfig& vn = plan_.vnet(vnet_id);
     std::uint16_t budget = vn.msgs_per_round_per_node;
@@ -94,13 +95,24 @@ std::vector<Message> Multiplexer::drain_messages(tta::RoundId round) {
   }
   (void)round;
   relayed_metric_.inc(out.size());
+}
+
+std::vector<Message> Multiplexer::drain_messages(tta::RoundId round) {
+  std::vector<Message> out;
+  drain_messages(round, out);
   return out;
+}
+
+void Multiplexer::unpack_arrival(std::span<const std::uint8_t> payload,
+                                 std::vector<Message>& out) const {
+  if (!unpack_into(payload, out)) out.clear();
 }
 
 std::vector<Message> Multiplexer::unpack_arrival(
     std::span<const std::uint8_t> payload) const {
-  auto msgs = unpack(payload);
-  return msgs ? std::move(*msgs) : std::vector<Message>{};
+  std::vector<Message> out;
+  unpack_arrival(payload, out);
+  return out;
 }
 
 std::uint64_t Multiplexer::overflows(platform::PortId port) const {

@@ -9,7 +9,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <unordered_map>
@@ -18,6 +17,7 @@
 #include "obs/metrics.hpp"
 #include "vnet/message.hpp"
 #include "vnet/network_plan.hpp"
+#include "vnet/ring.hpp"
 
 namespace decos::vnet {
 
@@ -32,11 +32,16 @@ class Multiplexer {
   /// queue is at its configured depth.
   bool send(Message msg, tta::RoundId round);
 
-  /// Drains hosted queues for `round`: oldest first, round-robin across
-  /// ports within each vnet, up to the vnet's per-round budget. Messages
-  /// beyond the budget stay queued (and will overflow eventually if the
-  /// load persists). The caller packs the result into the frame payload
-  /// and performs local loopback delivery.
+  /// Drains hosted queues for `round` into `out` (cleared first, capacity
+  /// kept — a caller-owned scratch buffer makes the steady-state round
+  /// allocation-free): oldest first, round-robin across ports within each
+  /// vnet, up to the vnet's per-round budget. Messages beyond the budget
+  /// stay queued (and will overflow eventually if the load persists). The
+  /// caller packs the result into the frame payload and performs local
+  /// loopback delivery.
+  void drain_messages(tta::RoundId round, std::vector<Message>& out);
+
+  /// Value-returning convenience over the buffer-filling overload.
   [[nodiscard]] std::vector<Message> drain_messages(tta::RoundId round);
 
   /// Fault-injection hook applied to each drained message before it is
@@ -46,7 +51,12 @@ class Multiplexer {
   /// number, so receivers see an honest gap).
   std::function<bool(Message&, tta::RoundId)> drain_filter;
 
-  /// Unpacks an arriving payload. Malformed payloads yield an empty list.
+  /// Unpacks an arriving payload into `out` (cleared first, capacity
+  /// kept). Malformed payloads yield an empty list.
+  void unpack_arrival(std::span<const std::uint8_t> payload,
+                      std::vector<Message>& out) const;
+
+  /// Value-returning convenience over the buffer-filling overload.
   [[nodiscard]] std::vector<Message> unpack_arrival(
       std::span<const std::uint8_t> payload) const;
 
@@ -71,7 +81,9 @@ class Multiplexer {
   platform::ComponentId component_;
   struct PortQueue {
     platform::PortId id;
-    std::deque<Message> queue;
+    /// Ring, not deque: the steady send/drain cycle must not trickle
+    /// block allocations (see vnet/ring.hpp).
+    Ring<Message> queue;
     std::uint64_t overflows = 0;
     std::uint32_t next_seq = 0;
     /// Per-port labelled overflow counter ("port=<vnet>/<port>"), so obs

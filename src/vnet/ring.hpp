@@ -1,0 +1,62 @@
+// Grow-to-high-water ring queue.
+//
+// The mux's per-port queues are FIFO with a configured depth bound. A
+// std::deque pays a block allocation every time the steady push/pop cycle
+// crosses a block boundary — a perpetual allocation trickle on the
+// per-round hot path. This ring keeps one contiguous buffer that doubles
+// until it covers the high-water mark and then never touches the heap
+// again; elements are recycled in place.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace decos::vnet {
+
+template <typename T>
+class Ring {
+ public:
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+  /// Oldest element. Requires !empty().
+  [[nodiscard]] T& front() { return buf_[head_]; }
+  [[nodiscard]] const T& front() const { return buf_[head_]; }
+
+  /// Newest element. Requires !empty().
+  [[nodiscard]] T& back() { return buf_[index(count_ - 1)]; }
+
+  void push_back(T v) {
+    if (count_ == buf_.size()) grow();
+    buf_[index(count_)] = std::move(v);
+    ++count_;
+  }
+
+  /// Requires !empty().
+  void pop_front() {
+    head_ = head_ + 1 == buf_.size() ? 0 : head_ + 1;
+    --count_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(std::size_t offset) const {
+    const std::size_t i = head_ + offset;
+    return i >= buf_.size() ? i - buf_.size() : i;
+  }
+
+  void grow() {
+    std::vector<T> bigger(buf_.empty() ? 8 : buf_.size() * 2);
+    for (std::size_t i = 0; i < count_; ++i) {
+      bigger[i] = std::move(buf_[index(i)]);
+    }
+    buf_ = std::move(bigger);
+    head_ = 0;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace decos::vnet

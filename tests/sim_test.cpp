@@ -3,12 +3,17 @@
 // periodic scheduling, and determinism.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
+#include "sim/timer.hpp"
 
 namespace decos::sim {
 namespace {
@@ -209,20 +214,197 @@ TEST(Simulator, EventsScheduledDuringRunExecute) {
 TEST(Simulator, PeriodicRunsUntilFalse) {
   Simulator sim(1);
   int count = 0;
-  schedule_periodic(sim, SimTime{0}, Duration{10}, [&] {
+  PeriodicTimer timer;
+  timer.start(sim, SimTime{0}, Duration{10}, [&] {
     ++count;
     return count < 5;
   });
   sim.run_all();
   EXPECT_EQ(count, 5);
   EXPECT_EQ(sim.now(), SimTime{40});
+  EXPECT_FALSE(timer.active());
 }
 
 TEST(Simulator, EventLimitThrows) {
   Simulator sim(1);
   sim.set_event_limit(100);
-  schedule_periodic(sim, SimTime{0}, Duration{1}, [] { return true; });
+  PeriodicTimer timer;
+  timer.start(sim, SimTime{0}, Duration{1}, [] { return true; });
   EXPECT_THROW(sim.run_until(SimTime{10'000}), std::runtime_error);
+}
+
+// --- event handles: cancellation is a detectable no-op on stale ids --------
+
+TEST(EventQueue, DoubleCancelIsRejected) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id =
+      q.push(SimTime{10}, EventPriority::kApplication, [&] { ++fired; });
+  q.push(SimTime{20}, EventPriority::kApplication, [&] { ++fired; });
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_EQ(q.size(), 1u);
+  // Second cancel of the same handle: rejected, counters untouched (the
+  // old implementation decremented the live count again here).
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_FALSE(q.empty());
+  q.pop().fn();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelAfterFireIsRejected) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id =
+      q.push(SimTime{5}, EventPriority::kApplication, [&] { ++fired; });
+  q.pop().fn();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, StaleHandleCannotHitRecycledSlot) {
+  EventQueue q;
+  const EventId first =
+      q.push(SimTime{1}, EventPriority::kApplication, [] {});
+  q.pop().fn();  // frees the slot
+  int fired = 0;
+  const EventId second =
+      q.push(SimTime{2}, EventPriority::kApplication, [&] { ++fired; });
+  // Same slab slot, new generation: the stale handle must not cancel the
+  // new occupant.
+  EXPECT_EQ(first.slot, second.slot);
+  EXPECT_NE(first.gen, second.gen);
+  EXPECT_FALSE(q.cancel(first));
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().fn();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, DefaultHandleIsInvalidAndSafeToCancel) {
+  EventQueue q;
+  EXPECT_FALSE(EventId{}.valid());
+  EXPECT_FALSE(q.cancel(EventId{}));
+  q.push(SimTime{1}, EventPriority::kApplication, [] {});
+  EXPECT_FALSE(q.cancel(EventId{}));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, OversizedClosureSpillsAndRuns) {
+  EventQueue q;
+  // Capture well beyond the inline buffer so the closure takes the
+  // arena-spill path, then verify the payload survives the round trip.
+  std::array<std::uint8_t, 128> blob{};
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    blob[i] = static_cast<std::uint8_t>(i);
+  }
+  int sum = 0;
+  q.push(SimTime{1}, EventPriority::kApplication, [blob, &sum] {
+    for (const auto b : blob) sum += b;
+  });
+  q.pop().fn();
+  EXPECT_EQ(sum, 127 * 128 / 2);
+}
+
+TEST(Simulator, DoubleCancelViaSimulatorKeepsQueueTruthful) {
+  Simulator sim(1);
+  int fired = 0;
+  const EventId id = sim.schedule_at(SimTime{100}, [&] { ++fired; });
+  sim.schedule_at(SimTime{200}, [&] { ++fired; });
+  sim.schedule_at(SimTime{300}, [&] { ++fired; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+  sim.run_all();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), SimTime{300});
+}
+
+// --- timers ----------------------------------------------------------------
+
+TEST(PeriodicTimer, CancelStopsFutureTicks) {
+  Simulator sim(1);
+  int count = 0;
+  PeriodicTimer timer;
+  timer.start(sim, SimTime{0}, Duration{10}, [&] {
+    ++count;
+    return true;
+  });
+  sim.run_until(SimTime{25});  // ticks at 0, 10, 20
+  EXPECT_EQ(count, 3);
+  EXPECT_TRUE(timer.active());
+  EXPECT_TRUE(timer.cancel());
+  EXPECT_FALSE(timer.active());
+  EXPECT_FALSE(timer.cancel());  // already stopped: detectable no-op
+  sim.run_until(SimTime{100});
+  EXPECT_EQ(count, 3);
+}
+
+TEST(PeriodicTimer, CancelFromWithinCallback) {
+  Simulator sim(1);
+  int count = 0;
+  PeriodicTimer timer;
+  timer.start(sim, SimTime{0}, Duration{10}, [&] {
+    ++count;
+    timer.cancel();  // stop from inside the executing tick
+    return true;     // return value must lose against the explicit cancel
+  });
+  sim.run_all();
+  EXPECT_EQ(count, 1);
+  EXPECT_FALSE(timer.active());
+  EXPECT_EQ(sim.now(), SimTime{0});
+}
+
+TEST(PeriodicTimer, RestartFromWithinCallbackTakesNewPeriod) {
+  Simulator sim(1);
+  std::vector<std::int64_t> ticks;
+  PeriodicTimer timer;
+  timer.start(sim, SimTime{0}, Duration{10}, [&] {
+    ticks.push_back(sim.now().ns());
+    if (ticks.size() == 2) {
+      // Re-arm with a different phase and period mid-tick; the old chain
+      // must not double-schedule.
+      timer.start(sim, sim.now() + Duration{3}, Duration{100}, [&] {
+        ticks.push_back(sim.now().ns());
+        return ticks.size() < 5;
+      });
+    }
+    return true;
+  });
+  sim.run_all();
+  EXPECT_EQ(ticks, (std::vector<std::int64_t>{0, 10, 13, 113, 213}));
+  EXPECT_FALSE(timer.active());
+}
+
+TEST(PeriodicTimer, DestructionCancelsPendingTick) {
+  Simulator sim(1);
+  int count = 0;
+  {
+    PeriodicTimer timer;
+    timer.start(sim, SimTime{0}, Duration{10}, [&] {
+      ++count;
+      return true;
+    });
+  }  // timer destroyed with a tick pending
+  sim.run_until(SimTime{100});
+  EXPECT_EQ(count, 0);
+}
+
+TEST(AperiodicTimer, StopsWhenCallbackReturnsNullopt) {
+  Simulator sim(1);
+  std::vector<std::int64_t> fires;
+  AperiodicTimer timer;
+  timer.start(sim, SimTime{5}, [&]() -> std::optional<Duration> {
+    fires.push_back(sim.now().ns());
+    if (fires.size() >= 3) return std::nullopt;
+    return Duration{static_cast<std::int64_t>(10 * fires.size())};
+  });
+  sim.run_all();
+  EXPECT_EQ(fires, (std::vector<std::int64_t>{5, 15, 35}));
+  EXPECT_FALSE(timer.active());
 }
 
 TEST(Simulator, TraceRecordsCarryTimeAndCategory) {

@@ -393,9 +393,9 @@ TEST(Cluster, DeterministicTrajectories) {
 TEST(Cluster, PayloadDeliveredToHandler) {
   sim::Simulator sim(113);
   Cluster cluster(sim, small_cluster());
-  cluster.node(0).payload_provider = [](RoundId r) {
-    return std::vector<std::uint8_t>{0xDE, 0xAD,
-                                     static_cast<std::uint8_t>(r & 0xFF)};
+  cluster.node(0).payload_provider = [](RoundId r,
+                                        std::vector<std::uint8_t>& out) {
+    out = {0xDE, 0xAD, static_cast<std::uint8_t>(r & 0xFF)};
   };
   std::vector<std::uint8_t> last;
   cluster.node(2).delivery_handler = [&](NodeId sender,

@@ -3,6 +3,10 @@
 // fault manifestation), and drain fairness.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
+
+#include "sim/rng.hpp"
 #include "vnet/message.hpp"
 #include "vnet/multiplexer.hpp"
 #include "vnet/network_plan.hpp"
@@ -68,6 +72,138 @@ TEST(WireFormat, NegativeAndSpecialValuesSurvive) {
   m.value = 1e300;
   back = unpack(pack({m}, 0));
   EXPECT_DOUBLE_EQ((*back)[0].value, 1e300);
+}
+
+// --- wire-format properties (seeded, deterministic) ------------------------
+
+namespace {
+
+std::vector<Message> random_messages(sim::Rng& rng, std::size_t count) {
+  std::vector<Message> msgs;
+  msgs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Message m;
+    m.vnet = static_cast<platform::VnetId>(rng.uniform_int(0, 0xFFFF));
+    m.port = static_cast<platform::PortId>(rng.uniform_int(0, 0xFFFF));
+    m.sender = static_cast<platform::JobId>(rng.uniform_int(0, 0xFFFF));
+    m.kind = static_cast<std::uint8_t>(rng.uniform_int(0, 0xFF));
+    m.seq = static_cast<std::uint32_t>(rng.next_u64());
+    m.aux = static_cast<std::uint32_t>(rng.next_u64());
+    // Arbitrary bit patterns, not just representable doubles: the wire
+    // format must round-trip the raw 64 bits (NaNs, denormals, all of it).
+    const std::uint64_t bits = rng.next_u64();
+    std::memcpy(&m.value, &bits, sizeof m.value);
+    m.sent_round = static_cast<tta::RoundId>(rng.uniform_int(0, 0xFFFFFFFF));
+    msgs.push_back(m);
+  }
+  return msgs;
+}
+
+std::uint64_t value_bits(const Message& m) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &m.value, sizeof bits);
+  return bits;
+}
+
+}  // namespace
+
+TEST(WireFormatProperty, RandomMessagesRoundTripBitExact) {
+  sim::Rng rng(0xD5C05001);
+  std::vector<std::uint8_t> wire;
+  std::vector<Message> back;
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto msgs =
+        random_messages(rng, static_cast<std::size_t>(rng.uniform_int(0, 20)));
+    // Reused buffers, as on the hot path: correctness must not depend on
+    // starting from empty vectors.
+    pack_into(msgs, static_cast<tta::RoundId>(iter), wire);
+    ASSERT_EQ(wire.size(), 2 + msgs.size() * kWireRecordSize);
+    ASSERT_TRUE(unpack_into(wire, back));
+    ASSERT_EQ(back.size(), msgs.size());
+    for (std::size_t i = 0; i < msgs.size(); ++i) {
+      EXPECT_EQ(back[i].vnet, msgs[i].vnet);
+      EXPECT_EQ(back[i].port, msgs[i].port);
+      EXPECT_EQ(back[i].sender, msgs[i].sender);
+      EXPECT_EQ(back[i].kind, msgs[i].kind);
+      EXPECT_EQ(back[i].seq, msgs[i].seq);
+      EXPECT_EQ(back[i].aux, msgs[i].aux);
+      EXPECT_EQ(back[i].sent_round, msgs[i].sent_round & 0xFFFFFFFFu);
+      EXPECT_EQ(value_bits(back[i]), value_bits(msgs[i]));
+    }
+  }
+}
+
+TEST(WireFormatProperty, AnyTruncationIsRejectedAndLeavesOutputEmpty) {
+  sim::Rng rng(0xD5C05002);
+  std::vector<Message> back;
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto msgs =
+        random_messages(rng, static_cast<std::size_t>(rng.uniform_int(1, 8)));
+    auto wire = pack(msgs, 0);
+    const auto cut = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(wire.size()) - 1));
+    wire.resize(cut);
+    back.assign(1, Message{});  // stale content must be cleared on failure
+    EXPECT_FALSE(unpack_into(wire, back));
+    EXPECT_TRUE(back.empty());
+    EXPECT_FALSE(unpack(wire).has_value());
+  }
+}
+
+TEST(WireFormatProperty, CountPrefixMismatchIsRejected) {
+  sim::Rng rng(0xD5C05003);
+  std::vector<Message> back;
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto count = static_cast<std::uint16_t>(rng.uniform_int(0, 8));
+    const auto msgs = random_messages(rng, count);
+    auto wire = pack(msgs, 0);
+    // Any count prefix other than the true one contradicts the payload
+    // length and must be rejected — including counts whose record area
+    // would be a strict prefix of the real one.
+    auto wrong = static_cast<std::uint16_t>(rng.uniform_int(0, 0xFFFF));
+    if (wrong == count) ++wrong;
+    wire[0] = static_cast<std::uint8_t>(wrong & 0xFF);
+    wire[1] = static_cast<std::uint8_t>(wrong >> 8);
+    EXPECT_FALSE(unpack_into(wire, back));
+    EXPECT_TRUE(back.empty());
+  }
+}
+
+TEST(WireFormatProperty, ValueFieldBitFlipSurvivesAsValueDomainError) {
+  // A single-byte corruption inside a record's value field is exactly the
+  // fault the CRC sometimes misses: the payload must still parse (framing
+  // intact), every other field must be untouched, and the damage must
+  // surface as a changed value for the diagnostic layer to catch.
+  sim::Rng rng(0xD5C05004);
+  std::vector<Message> back;
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto count = static_cast<std::size_t>(rng.uniform_int(1, 8));
+    const auto msgs = random_messages(rng, count);
+    auto wire = pack(msgs, 0);
+    const auto victim = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(count) - 1));
+    // Value field: bytes 12..19 of the 28-byte record.
+    const std::size_t offset = 2 + victim * kWireRecordSize + 12 +
+                               static_cast<std::size_t>(rng.uniform_int(0, 7));
+    const auto flip =
+        static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+    wire[offset] ^= flip;
+    ASSERT_TRUE(unpack_into(wire, back));
+    ASSERT_EQ(back.size(), msgs.size());
+    for (std::size_t i = 0; i < msgs.size(); ++i) {
+      EXPECT_EQ(back[i].vnet, msgs[i].vnet);
+      EXPECT_EQ(back[i].port, msgs[i].port);
+      EXPECT_EQ(back[i].sender, msgs[i].sender);
+      EXPECT_EQ(back[i].kind, msgs[i].kind);
+      EXPECT_EQ(back[i].seq, msgs[i].seq);
+      EXPECT_EQ(back[i].aux, msgs[i].aux);
+      if (i == victim) {
+        EXPECT_NE(value_bits(back[i]), value_bits(msgs[i]));
+      } else {
+        EXPECT_EQ(value_bits(back[i]), value_bits(msgs[i]));
+      }
+    }
+  }
 }
 
 // --- network plan -----------------------------------------------------------
