@@ -49,8 +49,20 @@ int main(int argc, char** argv) {
   const auto baseline =
       scenario::run_campaign(archetypes, seeds, base, reporter.jobs());
 
-  const auto hardened = scenario::run_chaos_campaign(archetypes, seeds, chaos,
-                                                     {}, reporter.jobs());
+  // --trace arms provenance on the hardened sweep and dumps its merged
+  // NDJSON journey record (bit-identical for every --jobs value).
+  chaos.provenance = reporter.trace_requested();
+  scenario::Fig10Options hardened_base;
+  hardened_base.provenance_span_cap = reporter.trace_cap();
+  const auto hardened = scenario::run_chaos_campaign(
+      archetypes, seeds, chaos, hardened_base, reporter.jobs());
+  if (reporter.trace_requested()) {
+    reporter.set_trace_payload(hardened.provenance_ndjson);
+    reporter.set_info("journeys", static_cast<double>(hardened.journeys));
+    reporter.set_info("orphaned_journeys",
+                      static_cast<double>(hardened.orphaned_journeys));
+  }
+  chaos.provenance = false;
   scenario::ChaosOptions ablated_opts = chaos;
   ablated_opts.hardening = false;
   const auto ablated = scenario::run_chaos_campaign(archetypes, seeds,

@@ -16,6 +16,8 @@ Agent::Agent(platform::System& system, platform::DasId diag_das,
       component_(component),
       specs_(specs),
       p_(params),
+      prov_(&system.simulator().provenance()),
+      entity_("agent." + std::to_string(component)),
       heartbeats_metric_(
           system.simulator().metrics().counter("diag.agent.heartbeats")),
       retransmissions_metric_(
@@ -51,7 +53,20 @@ Agent::Agent(platform::System& system, platform::DasId diag_das,
       };
 }
 
+void Agent::trace_symptom(const Symptom& s, std::string_view detail) {
+  if (!prov_->enabled()) return;
+  // Attribute by subject FRU: job-level faults own the job mapping, every
+  // other symptom points at the subject component's journey.
+  obs::ProvenanceId j = obs::kNoJourney;
+  if (s.subject_job.has_value()) j = prov_->journey_for_job(*s.subject_job);
+  if (j == obs::kNoJourney) {
+    j = prov_->journey_for_component(s.subject_component);
+  }
+  prov_->event(j, obs::ProvStage::kSymptom, entity_, detail, s.round);
+}
+
 void Agent::note(Symptom s) {
+  trace_symptom(s, to_string(s.type));
   if (s.round > coalesce_round_) {
     for (auto& [key, sym] : this_round_) pending_.push_back(sym);
     this_round_.clear();
@@ -213,6 +228,7 @@ void Agent::flush(platform::JobContext& ctx) {
       if (r.sends > p_.max_resends || round < r.due) continue;
       const vnet::Message m = encode(r.s, round);
       if (!ctx.send(port_, m.value, m.kind, m.aux)) break;
+      trace_symptom(r.s, "resend");
       ++sent;
       ++resent_;
       retransmissions_metric_.inc();

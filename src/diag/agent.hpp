@@ -28,6 +28,7 @@
 #include "diag/port_spec.hpp"
 #include "diag/symptom.hpp"
 #include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
 #include "platform/system.hpp"
 
 namespace decos::diag {
@@ -78,11 +79,18 @@ class Agent {
   void on_sent(const vnet::Message& msg, tta::RoundId round);
   void flush(platform::JobContext& ctx);
   void note(Symptom s);
+  /// Records a kSymptom provenance event against the journey owning the
+  /// symptom's subject FRU (job first, else component). Single-branch
+  /// no-op when tracing is off.
+  void trace_symptom(const Symptom& s, std::string_view detail);
 
   platform::System& system_;
   platform::ComponentId component_;
   const SpecTable& specs_;
   Params p_;
+  obs::ProvenanceTracer* prov_ = nullptr;
+  /// Cached span entity label ("agent.N") so the hot path never builds it.
+  std::string entity_;
   platform::JobId job_id_ = platform::kInvalidJob;
   platform::PortId port_ = 0;
 

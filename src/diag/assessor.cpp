@@ -43,11 +43,25 @@ void Assessor::bind_metrics(obs::Registry& registry) {
   agent_drops_metric_ = registry.counter("diag.assessor.agent_drops_reported");
 }
 
+obs::ProvenanceId Assessor::journey_for(const Symptom& s) const {
+  if (!prov_ || !prov_->enabled()) return obs::kNoJourney;
+  obs::ProvenanceId j = obs::kNoJourney;
+  if (s.subject_job.has_value()) j = prov_->journey_for_job(*s.subject_job);
+  if (j == obs::kNoJourney) {
+    j = prov_->journey_for_component(s.subject_component);
+  }
+  return j;
+}
+
 void Assessor::note_component_trust(platform::ComponentId c) {
   if (component_trust_[c] < p_.trust.violation_threshold &&
       !component_violation_round_.contains(c)) {
     component_violation_round_[c] = round_;
     violations_metric_.inc();
+    if (prov_ && prov_->enabled()) {
+      prov_->event(prov_->journey_for_component(c), obs::ProvStage::kVerdict,
+                   "assessor", "trust-violation", round_);
+    }
   }
 }
 
@@ -56,6 +70,10 @@ void Assessor::note_job_trust(platform::JobId j) {
       !job_violation_round_.contains(j)) {
     job_violation_round_[j] = round_;
     violations_metric_.inc();
+    if (prov_ && prov_->enabled()) {
+      prov_->event(prov_->journey_for_job(j), obs::ProvStage::kVerdict,
+                   "assessor", "trust-violation", round_);
+    }
   }
 }
 
@@ -132,6 +150,10 @@ void Assessor::ingest_external(const Symptom& s) {
   if (recorder_) recorder_->record(s);
   store_.ingest(s);
   symptoms_metric_.inc();
+  if (prov_ && prov_->enabled()) {
+    prov_->event(journey_for(s), obs::ProvStage::kEvidence, "assessor",
+                 to_string(s.type), s.round);
+  }
   if (s.subject_component < component_trust_.size()) {
     component_trust_[s.subject_component] = std::max(
         0.0, component_trust_[s.subject_component] - p_.trust.drop);
@@ -181,6 +203,10 @@ void Assessor::process(platform::JobContext& ctx) {
     if (recorder_) recorder_->record(*symptom);
     store_.ingest(*symptom);
     symptoms_metric_.inc();
+    if (prov_ && prov_->enabled()) {
+      prov_->event(journey_for(*symptom), obs::ProvStage::kEvidence,
+                   "assessor", to_string(symptom->type), symptom->round);
+    }
     // Trust is kept per FRU: job-level symptoms (value, gap, overflow)
     // charge the software FRU — a misconfigured job must not erode
     // confidence in the healthy board it runs on. Transport symptoms are
@@ -351,6 +377,10 @@ Diagnosis Assessor::diagnose_component(platform::ComponentId c) const {
                   std::string("cls=") + fault::to_string(d.cls))
         .inc();
   }
+  if (prov_ && prov_->enabled() && d.cls != fault::FaultClass::kNone) {
+    prov_->event(prov_->journey_for_component(c), obs::ProvStage::kVerdict,
+                 "assessor", fault::to_string(d.cls), round_);
+  }
   return d;
 }
 
@@ -369,6 +399,10 @@ Diagnosis Assessor::diagnose_job(platform::JobId j) const {
         ->counter("diag.classifications",
                   std::string("cls=") + fault::to_string(d.cls))
         .inc();
+  }
+  if (prov_ && prov_->enabled() && d.cls != fault::FaultClass::kNone) {
+    prov_->event(prov_->journey_for_job(j), obs::ProvStage::kVerdict,
+                 "assessor", fault::to_string(d.cls), round_);
   }
   return d;
 }

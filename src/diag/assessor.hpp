@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
 #include "diag/classifier.hpp"
 #include "diag/evidence.hpp"
 #include "diag/log.hpp"
@@ -117,6 +118,13 @@ class Assessor {
   /// must outlive the assessor. DiagnosticService binds to the
   /// simulator's registry automatically.
   void bind_metrics(obs::Registry& registry);
+
+  /// Attaches the provenance tracer (not owned; nullptr detaches): every
+  /// ingested symptom appends a kEvidence span, the first trust violation
+  /// per FRU and each classification append kVerdict spans — all linked to
+  /// the injected fault's journey via the subject FRU. DiagnosticService
+  /// binds the simulator's tracer automatically.
+  void bind_provenance(obs::ProvenanceTracer* prov) { prov_ = prov; }
 
   /// Max-staleness state merge from a fresher replica, used on failback:
   /// per FRU, whichever side heard that FRU's agent later contributes the
@@ -226,6 +234,11 @@ class Assessor {
 
   void note_component_trust(platform::ComponentId c);
   void note_job_trust(platform::JobId j);
+
+  /// Journey owning the symptom's subject FRU (job first, else component);
+  /// kNoJourney when tracing is off or the FRU has no active journey.
+  [[nodiscard]] obs::ProvenanceId journey_for(const Symptom& s) const;
+  obs::ProvenanceTracer* prov_ = nullptr;
 
   /// Updates the agent's channel state (liveness + wire-seq gap check)
   /// for one inbox message.

@@ -30,6 +30,10 @@ DiagnosticService::DiagnosticService(platform::System& system, SpecTable specs,
     // Only the primary feeds the metrics registry: replicas ingest the
     // same multicast symptom stream and would double-count it.
     if (i == 0) assessor->bind_metrics(system_.simulator().metrics());
+    // Every replica traces provenance: spans carry the journey id, so a
+    // failover's replacement assessor keeps the journey record seamless
+    // (the tracer dedupes repeats by coalescing, not by source).
+    assessor->bind_provenance(&system_.simulator().provenance());
     platform::Job& job = system_.add_job(
         das_, i == 0 ? "diag.assessor" : "diag.assessor.r" + std::to_string(i),
         hosts_[i],

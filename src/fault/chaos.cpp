@@ -1,12 +1,41 @@
 #include "fault/chaos.hpp"
 
+#include <cstdio>
+
 namespace decos::fault {
 
 ChaosInjector::ChaosInjector(sim::Simulator& sim, platform::System& system)
     : sim_(sim), system_(system), rng_(sim.fork_rng("fault.chaos")) {}
 
+obs::ProvenanceId ChaosInjector::open_journey(std::string_view entity,
+                                              std::string_view kind,
+                                              sim::SimTime start) {
+  auto& prov = sim_.provenance();
+  if (!prov.enabled()) return obs::kNoJourney;
+  return prov.begin_journey(entity, kind, kind, start.ns(), /*chaos=*/true);
+}
+
 void ChaosInjector::kill_host(platform::ComponentId c, sim::SimTime start) {
-  sim_.schedule_at(start, [this, c] {
+  char ent[24];
+  std::snprintf(ent, sizeof ent, "component.%u", c);
+  const obs::ProvenanceId j = open_journey(ent, "chaos-kill-host", start);
+  if (j != obs::kNoJourney) {
+    host_journeys_.emplace_back(c, j);
+    // Attribute the host's symptoms to the attack only when no ledger
+    // fault already owns the FRU — chaos must not steal a scorable
+    // journey's downstream spans.
+    auto& prov = sim_.provenance();
+    if (prov.journey_for_component(c) == obs::kNoJourney) {
+      prov.map_component(c, j);
+    }
+  }
+  sim_.schedule_at(start, [this, c, j] {
+    if (j != obs::kNoJourney) {
+      char e[24];
+      std::snprintf(e, sizeof e, "component.%u", c);
+      sim_.provenance().event(j, obs::ProvStage::kManifestation, e,
+                              "host killed (fail-silent + deaf)");
+    }
     auto& faults = system_.cluster().node(c).faults();
     faults.fail_silent = true;
     faults.rx_drop_prob = 1.0;
@@ -15,6 +44,15 @@ void ChaosInjector::kill_host(platform::ComponentId c, sim::SimTime start) {
 
 void ChaosInjector::revive_host(platform::ComponentId c, sim::SimTime when) {
   sim_.schedule_at(when, [this, c] {
+    for (const auto& [host, j] : host_journeys_) {
+      if (host == c) {
+        char e[24];
+        std::snprintf(e, sizeof e, "component.%u", c);
+        sim_.provenance().event(j, obs::ProvStage::kManifestation, e,
+                                "host revived (restart)");
+        sim_.provenance().set_terminal(j, obs::ProvOutcome::kChaosCleared);
+      }
+    }
     auto& node = system_.cluster().node(c);
     node.faults().fail_silent = false;
     node.faults().rx_drop_prob = 0.0;
@@ -23,7 +61,20 @@ void ChaosInjector::revive_host(platform::ComponentId c, sim::SimTime when) {
 }
 
 void ChaosInjector::silence_job(platform::JobId job, sim::SimTime start) {
-  sim_.schedule_at(start, [this, job] {
+  char ent[24];
+  std::snprintf(ent, sizeof ent, "job.%u", static_cast<unsigned>(job));
+  const obs::ProvenanceId j = open_journey(ent, "chaos-silence-job", start);
+  if (j != obs::kNoJourney &&
+      sim_.provenance().journey_for_job(job) == obs::kNoJourney) {
+    sim_.provenance().map_job(job, j);
+  }
+  sim_.schedule_at(start, [this, job, j] {
+    if (j != obs::kNoJourney) {
+      char e[24];
+      std::snprintf(e, sizeof e, "job.%u", static_cast<unsigned>(job));
+      sim_.provenance().event(j, obs::ProvStage::kManifestation, e,
+                              "job silenced (crash)");
+    }
     system_.job(job).sw_faults().crashed = true;
   }, sim::EventPriority::kFault);
 }
@@ -33,20 +84,27 @@ void ChaosInjector::degrade_diagnostic_channel(double drop_prob,
                                                sim::SimTime start) {
   drop_prob_ = drop_prob;
   corrupt_prob_ = corrupt_prob;
+  channel_journey_ = open_journey("vnet.0", "chaos-degrade-channel", start);
   sim_.schedule_at(start, [this] { channel_degraded_ = true; },
                    sim::EventPriority::kFault);
   for (platform::ComponentId c = 0; c < system_.component_count(); ++c) {
     system_.component(c).mux().drain_filter = [this](vnet::Message& m,
-                                                     tta::RoundId) {
+                                                     tta::RoundId round) {
       if (!channel_degraded_ || m.vnet != platform::kDiagnosticVnet) {
         return true;
       }
       if (drop_prob_ > 0.0 && rng_.bernoulli(drop_prob_)) {
         ++dropped_;
+        sim_.provenance().event(channel_journey_,
+                                obs::ProvStage::kManifestation, "vnet.0",
+                                "diag message dropped", round);
         return false;
       }
       if (corrupt_prob_ > 0.0 && rng_.bernoulli(corrupt_prob_)) {
         ++corrupted_;
+        sim_.provenance().event(channel_journey_,
+                                obs::ProvStage::kManifestation, "vnet.0",
+                                "diag message corrupted", round);
         m.kind ^= 0x40;  // receiver decode rejects the unknown kind
       }
       return true;

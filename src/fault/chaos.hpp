@@ -16,6 +16,8 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "platform/system.hpp"
 #include "sim/rng.hpp"
@@ -55,9 +57,19 @@ class ChaosInjector {
   [[nodiscard]] std::uint64_t messages_corrupted() const { return corrupted_; }
 
  private:
+  /// Opens an audit-exempt chaos journey (provenance tracing enabled only).
+  /// Chaos attacks stay out of the ground-truth ledger, but their journeys
+  /// still show *why* the diagnostic path misbehaved in a trace dump.
+  obs::ProvenanceId open_journey(std::string_view entity,
+                                 std::string_view kind, sim::SimTime start);
+
   sim::Simulator& sim_;
   platform::System& system_;
   sim::Rng rng_;
+  /// Kill journeys per host, so revive_host can close them.
+  std::vector<std::pair<platform::ComponentId, obs::ProvenanceId>>
+      host_journeys_;
+  obs::ProvenanceId channel_journey_ = obs::kNoJourney;
   bool channel_degraded_ = false;
   double drop_prob_ = 0.0;
   double corrupt_prob_ = 0.0;

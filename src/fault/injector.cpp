@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <memory>
 
 namespace decos::fault {
@@ -34,15 +35,51 @@ FaultInjector::FaultInjector(sim::Simulator& sim, platform::System& system,
 
 FaultId FaultInjector::record(InjectedFault f) {
   f.id = ledger_.size();
+  auto& prov = sim_.provenance();
+  std::uint32_t root = obs::kNoSpan;
+  if (prov.enabled()) {
+    char ent[24];
+    if (f.job.has_value()) {
+      std::snprintf(ent, sizeof ent, "job.%u", static_cast<unsigned>(*f.job));
+    } else {
+      std::snprintf(ent, sizeof ent, "component.%u", f.component);
+    }
+    f.provenance =
+        prov.begin_journey(ent, to_string(f.cls), f.description, f.start.ns());
+    // FRU -> journey wiring lets every later stage (agents, assessor,
+    // executor) attribute its observations without wire-format changes.
+    prov.map_component(f.component, f.provenance);
+    if (f.job.has_value()) prov.map_job(*f.job, f.provenance);
+    for (auto c : f.affected) prov.map_component(c, f.provenance);
+    if (const auto* jr = prov.journey(f.provenance)) root = jr->root;
+  }
   sim_.log(sim::TraceCategory::kFault,
            "component." + std::to_string(f.component),
-           std::string(to_string(f.cls)) + ": " + f.description);
+           std::string(to_string(f.cls)) + ": " + f.description, root);
   // Injections are rare; the registration lookup off the hot path is fine.
   sim_.metrics()
       .counter("fault.injections", std::string("cls=") + to_string(f.cls))
       .inc();
   ledger_.push_back(std::move(f));
   return ledger_.back().id;
+}
+
+void FaultInjector::manifest(platform::ComponentId c, std::string_view detail) {
+  auto& prov = sim_.provenance();
+  if (!prov.enabled()) return;
+  char ent[24];
+  std::snprintf(ent, sizeof ent, "component.%u", c);
+  prov.event(prov.journey_for_component(c), obs::ProvStage::kManifestation, ent,
+             detail);
+}
+
+void FaultInjector::manifest_job(platform::JobId j, std::string_view detail) {
+  auto& prov = sim_.provenance();
+  if (!prov.enabled()) return;
+  char ent[24];
+  std::snprintf(ent, sizeof ent, "job.%u", static_cast<unsigned>(j));
+  prov.event(prov.journey_for_job(j), obs::ProvStage::kManifestation, ent,
+             detail);
 }
 
 sim::AperiodicTimer& FaultInjector::new_chain() {
@@ -60,6 +97,7 @@ FaultId FaultInjector::inject_emi_burst(double center, double radius,
   const sim::SimTime end = start + duration;
 
   sim_.schedule_at(start, [this, affected, corrupt_prob, rng, end] {
+    for (auto c : affected) manifest(c, "emi burst coupling");
     auto hook_id = std::make_shared<std::uint64_t>(0);
     *hook_id = system_.cluster().bus().add_channel_fault(
         [affected, corrupt_prob, rng](tta::Frame& copy, tta::NodeId receiver,
@@ -101,6 +139,7 @@ FaultId FaultInjector::inject_seu(platform::ComponentId component,
                                   sim::SimTime start) {
   sim_.schedule_at(start, [this, component] {
     // One corrupted transmission, then back to healthy.
+    manifest(component, "seu bit flip");
     auto& node = system_.cluster().node(component);
     node.faults().tx_corrupt_prob = 1.0;
     sim_.schedule_after(system_.cluster().schedule().round_length(),
@@ -134,6 +173,7 @@ FaultId FaultInjector::inject_connector_fault(platform::ComponentId component,
       [this, component, mean_episode_gap, episode_len, drop_prob, rng,
        active]() -> std::optional<sim::Duration> {
         if (!*active) return std::nullopt;  // the connector was repaired
+        manifest(component, "connector episode (rx drop/corrupt)");
         auto& node = system_.cluster().node(component);
         node.faults().rx_drop_prob = drop_prob;
         node.faults().rx_corrupt_prob = (1.0 - drop_prob);
@@ -170,6 +210,7 @@ FaultId FaultInjector::inject_wearout(platform::ComponentId component,
       [this, component, gap, gap_shrink, episode_len,
        active]() -> std::optional<sim::Duration> {
         if (!*active) return std::nullopt;  // the cracked board was replaced
+        manifest(component, "wearout episode (tx corrupt)");
         auto& node = system_.cluster().node(component);
         node.faults().tx_corrupt_prob = 1.0;
         sim_.schedule_after(episode_len, [&node] {
@@ -194,6 +235,7 @@ FaultId FaultInjector::inject_wearout(platform::ComponentId component,
 FaultId FaultInjector::inject_permanent_failure(platform::ComponentId component,
                                                 sim::SimTime start) {
   sim_.schedule_at(start, [this, component] {
+    manifest(component, "permanent fail-silent");
     system_.cluster().node(component).faults().fail_silent = true;
   }, sim::EventPriority::kFault);
 
@@ -210,6 +252,7 @@ FaultId FaultInjector::inject_quartz_fault(platform::ComponentId component,
                                            sim::SimTime start,
                                            double drift_ppm) {
   sim_.schedule_at(start, [this, component, drift_ppm] {
+    manifest(component, "quartz drift out of spec");
     system_.cluster().node(component).clock().set_drift_ppm(drift_ppm);
   }, sim::EventPriority::kFault);
 
@@ -226,6 +269,7 @@ FaultId FaultInjector::inject_transient_outage(platform::ComponentId component,
                                                sim::SimTime start,
                                                sim::Duration duration) {
   sim_.schedule_at(start, [this, component, duration] {
+    manifest(component, "transient outage begin");
     auto& node = system_.cluster().node(component);
     node.faults().fail_silent = true;
     sim_.schedule_after(duration, [&node] { node.faults().fail_silent = false; },
@@ -257,6 +301,7 @@ FaultId FaultInjector::inject_babbling(platform::ComponentId component,
        active]() -> std::optional<sim::Duration> {
         if (!*active) return std::nullopt;  // the controller was replaced
         if (sim_.now() >= end) return std::nullopt;
+        manifest(component, "babble tx attempt");
         system_.cluster().node(component).attempt_transmit_now();
         const double gap_ns = rng->exponential(
             1.0 / static_cast<double>(mean_attempt_gap.ns()));
@@ -285,6 +330,7 @@ FaultId FaultInjector::inject_brownout(platform::ComponentId component,
       [this, component, outage, uptime,
        active]() -> std::optional<sim::Duration> {
         if (!*active) return std::nullopt;  // the supply was repaired
+        manifest(component, "brownout reset");
         auto& node = system_.cluster().node(component);
         node.faults().fail_silent = true;
         sim_.schedule_after(outage,
@@ -309,6 +355,12 @@ FaultId FaultInjector::inject_config_fault(platform::VnetId vnet,
                                            std::uint16_t wrong_budget,
                                            std::uint16_t wrong_depth) {
   sim_.schedule_at(start, [this, vnet, wrong_budget, wrong_depth] {
+    for (const auto& pc : system_.plan().ports()) {
+      if (pc.vnet == vnet) {
+        manifest_job(pc.owner, "vnet misconfiguration applied");
+        break;
+      }
+    }
     auto& cfg = system_.plan().mutable_vnet(vnet);
     cfg.msgs_per_round_per_node = wrong_budget;
     cfg.queue_depth = wrong_depth;
@@ -336,6 +388,7 @@ FaultId FaultInjector::inject_config_fault(platform::VnetId vnet,
 FaultId FaultInjector::inject_heisenbug(platform::JobId job, sim::SimTime start,
                                         double prob, double value_error) {
   sim_.schedule_at(start, [this, job, prob, value_error] {
+    manifest_job(job, "heisenbug armed");
     auto& sw = system_.job(job).sw_faults();
     sw.heisenbug_prob = prob;
     sw.manifestation = platform::SoftwareFaultControls::Manifestation::kValueError;
@@ -355,6 +408,7 @@ FaultId FaultInjector::inject_heisenbug(platform::JobId job, sim::SimTime start,
 FaultId FaultInjector::inject_bohrbug(platform::JobId job, sim::SimTime start,
                                       std::uint64_t modulo, std::uint64_t phase) {
   sim_.schedule_at(start, [this, job, modulo, phase] {
+    manifest_job(job, "bohrbug armed");
     auto& sw = system_.job(job).sw_faults();
     sw.bohrbug_trigger = [modulo, phase](tta::RoundId r,
                                          const std::vector<vnet::Message>&) {
@@ -377,6 +431,7 @@ FaultId FaultInjector::inject_bohrbug(platform::JobId job, sim::SimTime start,
 FaultId FaultInjector::inject_software_crash(platform::JobId job,
                                              sim::SimTime start) {
   sim_.schedule_at(start, [this, job] {
+    manifest_job(job, "job crashed");
     system_.job(job).sw_faults().crashed = true;
   }, sim::EventPriority::kFault);
 
@@ -395,6 +450,7 @@ FaultId FaultInjector::inject_sensor_fault(platform::JobId job,
                                            platform::SensorFaultMode mode,
                                            sim::SimTime start) {
   sim_.schedule_at(start, [this, job, sensor_index, mode] {
+    manifest_job(job, "sensor fault active");
     system_.job(job).sensor(sensor_index).set_fault(mode, sim_.now());
   }, sim::EventPriority::kFault);
 
@@ -441,6 +497,7 @@ FaultId FaultInjector::inject_actuator_fault(platform::JobId job,
                                              platform::ActuatorFaultMode mode,
                                              sim::SimTime start) {
   sim_.schedule_at(start, [this, job, actuator_index, mode] {
+    manifest_job(job, "actuator fault active");
     system_.job(job).actuator(actuator_index).set_fault(mode);
   }, sim::EventPriority::kFault);
 

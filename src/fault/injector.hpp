@@ -40,6 +40,10 @@ struct InjectedFault {
   /// For spatially correlated faults (EMI): every component in range.
   std::vector<platform::ComponentId> affected;
   std::string description;
+  /// Journey opened for this fault when provenance tracing is enabled
+  /// (obs::kNoJourney otherwise). Every downstream stage span —
+  /// manifestation, symptom, evidence, verdict, action — links back here.
+  obs::ProvenanceId provenance = obs::kNoJourney;
   /// Ongoing fault processes (connector, wearout) poll this flag; a
   /// physical repair of the FRU clears it and the process stops.
   std::shared_ptr<bool> active = std::make_shared<bool>(true);
@@ -198,6 +202,11 @@ class FaultInjector {
   /// Creates a new owned episode-chain timer with a stable address (the
   /// injector outlives every chain; a repaired fault just stops firing).
   sim::AperiodicTimer& new_chain();
+  /// Records a kManifestation provenance event for the journey owning the
+  /// FRU — called from episode chains / activation events at fire time, so
+  /// the journey map is already populated. No-ops when tracing is off.
+  void manifest(platform::ComponentId c, std::string_view detail);
+  void manifest_job(platform::JobId j, std::string_view detail);
 
   sim::Simulator& sim_;
   platform::System& system_;

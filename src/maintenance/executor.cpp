@@ -77,6 +77,15 @@ void MaintenanceExecutor::poll() {
     o.job = row.job;
     o.first_diagnosis = row.diagnosis.cls;
     o.opened = sim_.now();
+    auto& prov = sim_.provenance();
+    if (prov.enabled()) {
+      if (o.job) o.provenance = prov.journey_for_job(*o.job);
+      if (o.provenance == obs::kNoJourney) {
+        o.provenance = prov.journey_for_component(o.component);
+      }
+      prov.event(o.provenance, obs::ProvStage::kAction, o.fru,
+                 "work order opened");
+    }
     const std::size_t idx = orders_.size();
     orders_.push_back(std::move(o));
     sim_.metrics().counter("maint.work_orders").inc();
@@ -125,6 +134,8 @@ void MaintenanceExecutor::execute(std::size_t idx) {
     sim_.metrics().gauge("maint.spare_pool").set(static_cast<double>(spares_));
   }
 
+  o.open_span = sim_.provenance().begin_span(
+      o.provenance, obs::ProvStage::kAction, o.fru, fault::to_string(action));
   o.actions.push_back(action);
   ++attempted_;
   sim_.metrics()
@@ -144,6 +155,8 @@ void MaintenanceExecutor::execute(std::size_t idx) {
     sim_.metrics().counter("maint.nff_removals").inc();
     sim_.log(sim::TraceCategory::kMaintenance, o.fru,
              "removed hardware retests OK (NFF removal)");
+    sim_.provenance().event(o.provenance, obs::ProvStage::kAction, o.fru,
+                            "nff removal");
   }
 
   perform(o, action);
@@ -238,6 +251,8 @@ void MaintenanceExecutor::verify(std::size_t idx) {
   if (trust >= p_.verify_trust) {
     o.state = WorkOrderState::kVerified;
     o.closed = sim_.now();
+    sim_.provenance().end_span(o.open_span, obs::ProvOutcome::kRepaired);
+    sim_.provenance().set_terminal(o.provenance, obs::ProvOutcome::kRepaired);
     ++verified_;
     sim_.metrics().counter("maint.repairs_verified").inc();
     sim_.metrics().histogram("maint.ttr_us").record((o.closed - o.opened).ns() /
@@ -247,6 +262,8 @@ void MaintenanceExecutor::verify(std::size_t idx) {
     return;
   }
   ++failed_;
+  sim_.provenance().end_span(o.open_span, o.nff ? obs::ProvOutcome::kNff
+                                                : obs::ProvOutcome::kRetried);
   sim_.metrics().counter("maint.repair_failures").inc();
   sim_.log(sim::TraceCategory::kMaintenance, o.fru,
            "repair did not take (trust " + std::to_string(trust) + ")");
@@ -266,6 +283,8 @@ void MaintenanceExecutor::verify(std::size_t idx) {
 void MaintenanceExecutor::quarantine(WorkOrder& o) {
   o.state = WorkOrderState::kQuarantined;
   o.closed = sim_.now();
+  sim_.provenance().end_span(o.open_span, obs::ProvOutcome::kQuarantined);
+  sim_.provenance().set_terminal(o.provenance, obs::ProvOutcome::kQuarantined);
   ++quarantines_;
   sim_.metrics().counter("maint.quarantined").inc();
   service_.assert_external_ona(o.component, "maintenance-degraded");

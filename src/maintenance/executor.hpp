@@ -68,6 +68,11 @@ struct WorkOrder {
   sim::SimTime opened{};
   sim::SimTime closed{};
   WorkOrderState state = WorkOrderState::kScheduled;
+  /// Journey of the injected fault this order discharges (kNoJourney when
+  /// tracing is off or no ledger fault owns the FRU).
+  obs::ProvenanceId provenance = obs::kNoJourney;
+  /// Action span of the attempt currently executing/verifying.
+  obs::SpanId open_span = obs::kNoSpan;
 
   [[nodiscard]] bool is_open() const {
     return state == WorkOrderState::kScheduled ||

@@ -43,14 +43,35 @@ BenchReporter::BenchReporter(std::string bench_name, int argc, char** argv)
     : bench_(std::move(bench_name)) {
   for (int i = 0; i < argc; ++i) {
     const std::string_view arg = argv[i];
-    if (arg == "--json" || arg == "--csv") {
+    if (arg == "--json" || arg == "--csv" || arg == "--trace") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error: %.*s requires a path\n",
                      static_cast<int>(arg.size()), arg.data());
         bad_args_ = true;
         continue;
       }
-      (arg == "--json" ? json_path_ : csv_path_) = argv[i + 1];
+      (arg == "--json" ? json_path_ : arg == "--csv" ? csv_path_
+                                                     : trace_path_) =
+          argv[i + 1];
+      ++i;
+      continue;
+    }
+    if (arg == "--trace-cap") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --trace-cap requires a value\n");
+        bad_args_ = true;
+        continue;
+      }
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long v = std::strtoul(argv[i + 1], &end, 10);
+      if (end == argv[i + 1] || *end != '\0' || errno == ERANGE || v == 0) {
+        std::fprintf(stderr, "error: --trace-cap wants a number >= 1, got '%s'\n",
+                     argv[i + 1]);
+        bad_args_ = true;
+      } else {
+        trace_cap_ = static_cast<std::size_t>(v);
+      }
       ++i;
       continue;
     }
@@ -136,8 +157,12 @@ int BenchReporter::finish() const {
       if (i) json += ",";
       json += std::to_string(seeds_[i]);
     }
-    json += "],\"jobs\":" + std::to_string(jobs()) +
-            ",\"metrics\":" + to_json(snapshot_) + "}\n";
+    json += "],\"jobs\":" + std::to_string(jobs());
+    if (!trace_path_.empty()) {
+      json += ",\"trace\":\"" + json_escape(trace_path_) +
+              "\",\"trace_cap\":" + std::to_string(trace_cap_);
+    }
+    json += ",\"metrics\":" + to_json(snapshot_) + "}\n";
     if (!write_file(json_path_, json)) {
       std::fprintf(stderr, "error: could not write %s\n", json_path_.c_str());
       ok = false;
@@ -149,6 +174,14 @@ int BenchReporter::finish() const {
     if (!write_file(csv_path_, to_csv(snapshot_))) {
       std::fprintf(stderr, "error: could not write %s\n", csv_path_.c_str());
       ok = false;
+    }
+  }
+  if (!trace_path_.empty()) {
+    if (!write_file(trace_path_, trace_payload_)) {
+      std::fprintf(stderr, "error: could not write %s\n", trace_path_.c_str());
+      ok = false;
+    } else {
+      std::fprintf(stderr, "wrote journey trace to %s\n", trace_path_.c_str());
     }
   }
   return ok ? 0 : 1;

@@ -23,9 +23,10 @@ namespace decos::obs {
 class BenchReporter {
  public:
   /// Parses and strips `--json <path>`, `--csv <path>`, `--seed <n>`,
-  /// `--seeds <n,n,...>` and `--jobs <n>` from argv. The remaining
-  /// arguments stay visible through argc()/argv() for benches that
-  /// forward them (google-benchmark).
+  /// `--seeds <n,n,...>`, `--jobs <n>`, `--trace <path>` and
+  /// `--trace-cap <n>` from argv. The remaining arguments stay visible
+  /// through argc()/argv() for benches that forward them
+  /// (google-benchmark).
   BenchReporter(std::string bench_name, int argc, char** argv);
 
   /// Folds a registry (or pre-built snapshot) into the bench snapshot.
@@ -54,6 +55,18 @@ class BenchReporter {
   [[nodiscard]] bool json_requested() const { return !json_path_.empty(); }
   [[nodiscard]] const Snapshot& snapshot() const { return snapshot_; }
 
+  /// Standardized trace export: `--trace <path>` asks the bench to run
+  /// with provenance tracing and dump the NDJSON journey record there;
+  /// `--trace-cap <n>` bounds the per-run span arena (default 1<<16).
+  /// The bench hands the payload over via set_trace_payload(); finish()
+  /// writes it and echoes "trace"/"trace_cap" in the --json export.
+  [[nodiscard]] bool trace_requested() const { return !trace_path_.empty(); }
+  [[nodiscard]] const std::string& trace_path() const { return trace_path_; }
+  [[nodiscard]] std::size_t trace_cap() const { return trace_cap_; }
+  void set_trace_payload(std::string ndjson) {
+    trace_payload_ = std::move(ndjson);
+  }
+
   /// argv with the reporter's own flags removed (argv()[argc()] == nullptr).
   [[nodiscard]] int argc() const { return static_cast<int>(args_.size()) - 1; }
   [[nodiscard]] char** argv() { return args_.data(); }
@@ -67,6 +80,9 @@ class BenchReporter {
   std::string bench_;
   std::string json_path_;
   std::string csv_path_;
+  std::string trace_path_;
+  std::string trace_payload_;
+  std::size_t trace_cap_ = 1 << 16;
   std::vector<char*> args_;  // non-owning views into the original argv
   std::vector<std::uint64_t> seeds_;  // resolved by seeds_or()
   unsigned jobs_ = 0;  // 0 = hardware concurrency

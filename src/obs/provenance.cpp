@@ -1,0 +1,347 @@
+#include "obs/provenance.hpp"
+
+#include <cstdio>
+
+#include "obs/export.hpp"
+
+namespace decos::obs {
+
+const char* to_string(ProvStage s) {
+  switch (s) {
+    case ProvStage::kInjection: return "injection";
+    case ProvStage::kManifestation: return "manifestation";
+    case ProvStage::kSymptom: return "symptom";
+    case ProvStage::kEvidence: return "evidence";
+    case ProvStage::kVerdict: return "verdict";
+    case ProvStage::kAction: return "action";
+  }
+  return "?";
+}
+
+const char* to_string(ProvOutcome o) {
+  switch (o) {
+    case ProvOutcome::kNone: return "none";
+    case ProvOutcome::kClassified: return "classified";
+    case ProvOutcome::kRepaired: return "repaired";
+    case ProvOutcome::kRetried: return "retried";
+    case ProvOutcome::kNff: return "nff";
+    case ProvOutcome::kQuarantined: return "quarantined";
+    case ProvOutcome::kChaosCleared: return "chaos-cleared";
+  }
+  return "?";
+}
+
+void ProvenanceTracer::enable(std::size_t span_cap) {
+  enabled_ = true;
+  span_cap_ = span_cap == 0 ? 1 : span_cap;
+  spans_.reserve(span_cap_);
+  journeys_.reserve(64);
+}
+
+void ProvenanceTracer::bind_metrics(Registry& registry) {
+  spans_metric_ = registry.counter("prov.spans");
+  journeys_metric_ = registry.counter("prov.journeys");
+  dropped_metric_ = registry.counter("prov.spans_dropped");
+  for (int s = 0; s < kProvStageCount; ++s) {
+    stage_latency_[s] = registry.histogram(
+        "prov.stage_latency_us",
+        std::string("stage=") + to_string(static_cast<ProvStage>(s)));
+  }
+}
+
+SpanId ProvenanceTracer::push_span(ProvSpan s) {
+  if (spans_.size() >= span_cap_) {
+    ++spans_dropped_;
+    dropped_metric_.inc();
+    return kNoSpan;
+  }
+  s.id = static_cast<SpanId>(spans_.size() + 1);
+  spans_.push_back(s);
+  spans_metric_.inc();
+  return s.id;
+}
+
+void ProvenanceTracer::note_stage(ProvJourney& jr, ProvStage stage,
+                                  std::int64_t t) {
+  const int idx = static_cast<int>(stage);
+  if (jr.first_stage_ns[idx] >= 0) return;
+  jr.first_stage_ns[idx] = t;
+  stage_latency_[idx].record((t - jr.injected_ns) / 1000);
+}
+
+ProvenanceId ProvenanceTracer::begin_journey(std::string_view entity,
+                                             std::string_view cls,
+                                             std::string_view description,
+                                             std::int64_t injected_ns,
+                                             bool chaos) {
+  if (!enabled_) return kNoJourney;
+  ProvJourney jr;
+  jr.id = static_cast<ProvenanceId>(journeys_.size() + 1);
+  jr.injected_ns = injected_ns;
+  jr.chaos = chaos;
+  jr.entity.assign(entity);
+  jr.cls.assign(cls);
+  for (int s = 0; s < kProvStageCount; ++s) {
+    jr.first_stage_ns[s] = -1;
+    jr.last_span[s] = kNoSpan;
+  }
+
+  ProvSpan root;
+  root.journey = jr.id;
+  root.stage = ProvStage::kInjection;
+  root.entity.assign(entity);
+  root.detail.assign(description);
+  root.start_ns = injected_ns;
+  root.end_ns = injected_ns;
+  jr.root = push_span(root);
+  jr.last_span[static_cast<int>(ProvStage::kInjection)] = jr.root;
+  jr.first_stage_ns[static_cast<int>(ProvStage::kInjection)] = injected_ns;
+  stage_latency_[static_cast<int>(ProvStage::kInjection)].record(0);
+
+  journeys_.push_back(jr);
+  journeys_metric_.inc();
+  return jr.id;
+}
+
+void ProvenanceTracer::map_component(std::uint32_t component, ProvenanceId j) {
+  if (!enabled_) return;
+  if (component >= component_journey_.size()) {
+    component_journey_.resize(component + 1, kNoJourney);
+  }
+  component_journey_[component] = j;
+}
+
+void ProvenanceTracer::map_job(std::uint16_t job, ProvenanceId j) {
+  if (!enabled_) return;
+  if (job >= job_journey_.size()) job_journey_.resize(job + 1, kNoJourney);
+  job_journey_[job] = j;
+}
+
+void ProvenanceTracer::event(ProvenanceId j, ProvStage stage,
+                             std::string_view entity, std::string_view detail,
+                             std::uint64_t round) {
+  if (!enabled_ || j == kNoJourney || j > journeys_.size()) return;
+  ProvJourney& jr = journeys_[j - 1];
+  const std::int64_t t = clock_now();
+  const int idx = static_cast<int>(stage);
+
+  // Coalesce with the journey's most recent span of this stage when the
+  // producer and description repeat — the common case for an intermittent
+  // fault re-reporting the same symptom every round.
+  if (const SpanId last = jr.last_span[idx]; last != kNoSpan) {
+    ProvSpan& prev = spans_[last - 1];
+    if (prev.entity.equals(entity) && prev.detail.equals(detail)) {
+      ++prev.occurrences;
+      prev.end_ns = t;
+      note_stage(jr, stage, t);
+      return;
+    }
+  }
+
+  ProvSpan s;
+  s.journey = j;
+  s.stage = stage;
+  s.entity.assign(entity);
+  s.detail.assign(detail);
+  s.start_ns = t;
+  s.end_ns = t;
+  s.round = round;
+  s.parent = idx > 0 && jr.last_span[idx - 1] != kNoSpan
+                 ? jr.last_span[idx - 1]
+                 : jr.root;
+  const SpanId id = push_span(s);
+  if (id != kNoSpan) jr.last_span[idx] = id;
+  note_stage(jr, stage, t);
+}
+
+SpanId ProvenanceTracer::begin_span(ProvenanceId j, ProvStage stage,
+                                    std::string_view entity,
+                                    std::string_view detail,
+                                    std::uint64_t round) {
+  if (!enabled_ || j == kNoJourney || j > journeys_.size()) return kNoSpan;
+  ProvJourney& jr = journeys_[j - 1];
+  const std::int64_t t = clock_now();
+  const int idx = static_cast<int>(stage);
+
+  ProvSpan s;
+  s.journey = j;
+  s.stage = stage;
+  s.entity.assign(entity);
+  s.detail.assign(detail);
+  s.start_ns = t;
+  s.end_ns = -1;
+  s.round = round;
+  s.parent = idx > 0 && jr.last_span[idx - 1] != kNoSpan
+                 ? jr.last_span[idx - 1]
+                 : jr.root;
+  const SpanId id = push_span(s);
+  if (id != kNoSpan) jr.last_span[idx] = id;
+  note_stage(jr, stage, t);
+  return id;
+}
+
+void ProvenanceTracer::end_span(SpanId s, ProvOutcome outcome) {
+  if (!enabled_ || s == kNoSpan || s > spans_.size()) return;
+  ProvSpan& sp = spans_[s - 1];
+  if (sp.end_ns >= 0) return;  // already closed; first close wins
+  sp.end_ns = clock_now();
+  sp.outcome = outcome;
+}
+
+void ProvenanceTracer::set_terminal(ProvenanceId j, ProvOutcome outcome) {
+  if (!enabled_ || j == kNoJourney || j > journeys_.size()) return;
+  ProvJourney& jr = journeys_[j - 1];
+  if (jr.terminal != ProvOutcome::kNone) return;  // first terminal wins
+  jr.terminal = outcome;
+  jr.terminal_ns = clock_now();
+}
+
+JourneyAudit ProvenanceTracer::audit() const {
+  JourneyAudit a;
+  a.spans = spans_.size();
+  a.spans_dropped = spans_dropped_;
+  for (const ProvJourney& jr : journeys_) {
+    if (jr.chaos) {
+      ++a.chaos_journeys;
+      continue;
+    }
+    ++a.journeys;
+    switch (jr.terminal) {
+      case ProvOutcome::kClassified: ++a.classified; break;
+      case ProvOutcome::kRepaired: ++a.repaired; break;
+      case ProvOutcome::kQuarantined: ++a.quarantined; break;
+      default: ++a.orphans; break;
+    }
+  }
+  return a;
+}
+
+std::string ProvenanceTracer::ndjson() const {
+  std::string out;
+  out.reserve(journeys_.size() * 256 + spans_.size() * 160);
+  char num[32];
+  auto add_i64 = [&](std::int64_t v) {
+    std::snprintf(num, sizeof num, "%lld", static_cast<long long>(v));
+    out += num;
+  };
+  for (const ProvJourney& jr : journeys_) {
+    out += "{\"journey\":";
+    add_i64(jr.id);
+    out += ",\"entity\":\"" + json_escape(jr.entity.view()) + "\"";
+    out += ",\"cls\":\"" + json_escape(jr.cls.view()) + "\"";
+    out += ",\"chaos\":";
+    out += jr.chaos ? "true" : "false";
+    out += ",\"injected_ns\":";
+    add_i64(jr.injected_ns);
+    out += ",\"terminal\":\"";
+    out += to_string(jr.terminal);
+    out += "\",\"terminal_ns\":";
+    add_i64(jr.terminal_ns);
+    out += ",\"stage_first_ns\":{";
+    bool first = true;
+    for (int s = 0; s < kProvStageCount; ++s) {
+      if (jr.first_stage_ns[s] < 0) continue;
+      if (!first) out += ",";
+      first = false;
+      out += "\"";
+      out += to_string(static_cast<ProvStage>(s));
+      out += "\":";
+      add_i64(jr.first_stage_ns[s]);
+    }
+    out += "},\"spans\":[";
+    first = true;
+    for (const ProvSpan& sp : spans_) {
+      if (sp.journey != jr.id) continue;
+      if (!first) out += ",";
+      first = false;
+      out += "{\"id\":";
+      add_i64(sp.id);
+      out += ",\"parent\":";
+      add_i64(sp.parent);
+      out += ",\"stage\":\"";
+      out += to_string(sp.stage);
+      out += "\",\"entity\":\"" + json_escape(sp.entity.view()) + "\"";
+      out += ",\"detail\":\"" + json_escape(sp.detail.view()) + "\"";
+      out += ",\"start_ns\":";
+      add_i64(sp.start_ns);
+      out += ",\"end_ns\":";
+      add_i64(sp.end_ns);
+      out += ",\"round\":";
+      add_i64(static_cast<std::int64_t>(sp.round));
+      out += ",\"occurrences\":";
+      add_i64(sp.occurrences);
+      if (sp.outcome != ProvOutcome::kNone) {
+        out += ",\"outcome\":\"";
+        out += to_string(sp.outcome);
+        out += "\"";
+      }
+      out += "}";
+    }
+    out += "]}\n";
+  }
+  return out;
+}
+
+std::string ProvenanceTracer::chrome_trace_json() const {
+  std::string out;
+  out.reserve(128 + spans_.size() * 220);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+
+  bool first = true;
+  for (int s = 0; s < kProvStageCount; ++s) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"ph\":\"M\",\"pid\":2,\"tid\":" + std::to_string(s) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"prov:" +
+           std::string(to_string(static_cast<ProvStage>(s))) + "\"}}";
+  }
+
+  char ts[40];
+  auto add_ts = [&](const char* key, std::int64_t ns) {
+    std::snprintf(ts, sizeof ts, ",\"%s\":%.3f", key,
+                  static_cast<double>(ns) / 1e3);
+    out += ts;
+  };
+  for (const ProvSpan& sp : spans_) {
+    const std::int64_t end = sp.end_ns < 0 ? sp.start_ns : sp.end_ns;
+    out += ",{\"ph\":\"X\",\"pid\":2,\"tid\":" +
+           std::to_string(static_cast<int>(sp.stage));
+    add_ts("ts", sp.start_ns);
+    add_ts("dur", end - sp.start_ns);
+    out += ",\"cat\":\"";
+    out += to_string(sp.stage);
+    out += "\",\"name\":\"" + json_escape(sp.detail.view()) +
+           "\",\"args\":{\"entity\":\"" + json_escape(sp.entity.view()) +
+           "\",\"journey\":" + std::to_string(sp.journey) +
+           ",\"occurrences\":" + std::to_string(sp.occurrences) + "}}";
+    // Flow arrow from the parent span: the causal edge of the journey,
+    // rendered across the per-stage tracks.
+    if (sp.parent != kNoSpan && sp.parent != sp.id) {
+      const ProvSpan& par = spans_[sp.parent - 1];
+      out += ",{\"ph\":\"s\",\"pid\":2,\"tid\":" +
+             std::to_string(static_cast<int>(par.stage));
+      add_ts("ts", par.end_ns < 0 ? par.start_ns : par.end_ns);
+      out += ",\"id\":" + std::to_string(sp.id) +
+             ",\"cat\":\"journey\",\"name\":\"journey." +
+             std::to_string(sp.journey) + "\"}";
+      out += ",{\"ph\":\"t\",\"pid\":2,\"tid\":" +
+             std::to_string(static_cast<int>(sp.stage));
+      add_ts("ts", sp.start_ns);
+      out += ",\"id\":" + std::to_string(sp.id) +
+             ",\"cat\":\"journey\",\"name\":\"journey." +
+             std::to_string(sp.journey) + "\"}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+bool ProvenanceTracer::write_ndjson(const std::string& path) const {
+  return write_file(path, ndjson());
+}
+
+bool ProvenanceTracer::write_chrome_trace(const std::string& path) const {
+  return write_file(path, chrome_trace_json());
+}
+
+}  // namespace decos::obs

@@ -1,0 +1,271 @@
+// Causal provenance tracing: span-linked fault journeys.
+//
+// The paper's argument is a causal chain — a physical fault manifests as
+// out-of-norm behaviour, is condensed into symptoms, classified by the
+// assessor and discharged by a Fig. 11 maintenance action. This module
+// records that chain as data: every injected fault opens a *journey*
+// (root span carrying a ProvenanceId), and each layer the fault
+// physically traverses appends stage spans — manifestation episodes,
+// symptom emissions, evidence ingests, verdicts, maintenance actions —
+// until the journey reaches a terminal outcome (classified / repaired /
+// quarantined). One misclassification or NFF removal then reads off as a
+// single machine-readable record instead of a grep through flat logs.
+//
+// Storage is an arena of fixed-size spans with inline small-string
+// entity/detail buffers: appending a span is a bump into a reserved
+// vector, no per-span heap traffic. Repeated identical events (the same
+// agent re-reporting the same symptom type round after round) coalesce
+// into the previous span's occurrence count, so a seconds-long
+// intermittent fault stays a handful of spans, not thousands.
+//
+// The tracer is DISABLED by default and every mutator early-returns on a
+// single flag test, so instrumented hot paths pay one predictable branch
+// and zero allocations when tracing is off. Enabling reserves the arena
+// up front.
+//
+// Deliberately free of sim/ dependencies (obs sits below sim in the
+// layering): timestamps are raw nanoseconds fed by a clock callback the
+// simulator installs.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace decos::obs {
+
+/// Identifies one fault journey, threaded from injection to repair.
+/// 0 = "no journey" — every tracer call accepts and ignores it.
+using ProvenanceId = std::uint32_t;
+inline constexpr ProvenanceId kNoJourney = 0;
+
+/// Identifies one span inside the arena. 0 = none.
+using SpanId = std::uint32_t;
+inline constexpr SpanId kNoSpan = 0;
+
+/// The stages of the causal chain, in traversal order. Stage latency
+/// histograms (`prov.stage_latency_us{stage=...}`) decompose the
+/// end-to-end `diag.detection_latency_us` along exactly these stages.
+enum class ProvStage : std::uint8_t {
+  kInjection = 0,      // fault::FaultInjector / ChaosInjector root span
+  kManifestation = 1,  // physical disturbance episodes (vnet/tta level)
+  kSymptom = 2,        // diag::Agent detection + resend
+  kEvidence = 3,       // diag::Assessor ingest
+  kVerdict = 4,        // trust violation / classification
+  kAction = 5,         // maintenance::Executor work-order attempts
+};
+inline constexpr int kProvStageCount = 6;
+
+[[nodiscard]] const char* to_string(ProvStage s);
+
+/// Span / journey outcomes. A journey's terminal outcome must be one of
+/// kClassified / kRepaired / kQuarantined; anything else counts as an
+/// orphan in the completeness audit (kChaos journeys are exempt — attacks
+/// on the diagnostic path are deliberately not scorable truths).
+enum class ProvOutcome : std::uint8_t {
+  kNone = 0,
+  kClassified = 1,   // a final diagnosis was taken over this journey
+  kRepaired = 2,     // maintenance verified the repair
+  kRetried = 3,      // an action attempt failed verification (span-level)
+  kNff = 4,          // the attempt pulled healthy hardware (span-level)
+  kQuarantined = 5,  // spares/attempts exhausted, FRU retired
+  kChaosCleared = 6, // a chaos attack was lifted (revive/horizon end)
+};
+
+[[nodiscard]] const char* to_string(ProvOutcome o);
+
+namespace detail {
+
+/// Inline bounded string for arena records: assignment truncates, never
+/// allocates. N includes no terminator; len is kept separately.
+template <std::size_t N>
+struct InlineStr {
+  char data[N];
+  std::uint8_t len = 0;
+
+  void assign(std::string_view s) {
+    len = static_cast<std::uint8_t>(s.size() > N ? N : s.size());
+    if (len != 0) std::memcpy(data, s.data(), len);
+  }
+  [[nodiscard]] std::string_view view() const { return {data, len}; }
+  [[nodiscard]] bool equals(std::string_view s) const { return view() == s; }
+};
+
+}  // namespace detail
+
+/// One arena span: fixed size, inline strings, no heap.
+struct ProvSpan {
+  SpanId id = kNoSpan;
+  SpanId parent = kNoSpan;
+  ProvenanceId journey = kNoJourney;
+  ProvStage stage = ProvStage::kInjection;
+  ProvOutcome outcome = ProvOutcome::kNone;
+  /// Who produced the span ("component.3", "agent.1", "assessor", ...).
+  detail::InlineStr<22> entity;
+  /// What happened ("wearout: ...", "slot-crc", "replace-component", ...).
+  detail::InlineStr<46> detail;
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = -1;  // -1 while open
+  std::uint64_t round = 0;   // round of the first occurrence (0 if n/a)
+  /// Identical consecutive events coalesce: this counts the repeats.
+  std::uint32_t occurrences = 1;
+};
+
+/// Journey header: the injected fault this chain traces.
+struct ProvJourney {
+  ProvenanceId id = kNoJourney;
+  SpanId root = kNoSpan;
+  std::int64_t injected_ns = 0;
+  ProvOutcome terminal = ProvOutcome::kNone;
+  std::int64_t terminal_ns = -1;
+  /// Chaos journeys attack the diagnostic path itself and are exempt from
+  /// the completeness audit (they are not scorable ground truth).
+  bool chaos = false;
+  detail::InlineStr<22> entity;  // FRU label ("component.3" / "job.7")
+  detail::InlineStr<30> cls;     // fault class / attack kind
+  /// First time each stage was reached (-1 = never) — the per-stage
+  /// latency decomposition.
+  std::int64_t first_stage_ns[kProvStageCount];
+  /// Most recent span per stage (coalescing anchor + parent linking).
+  SpanId last_span[kProvStageCount];
+};
+
+/// Journey-completeness audit over everything the tracer recorded.
+struct JourneyAudit {
+  std::uint64_t journeys = 0;        // non-chaos journeys
+  std::uint64_t chaos_journeys = 0;  // audit-exempt
+  std::uint64_t classified = 0;
+  std::uint64_t repaired = 0;
+  std::uint64_t quarantined = 0;
+  /// Non-chaos journeys with no terminal outcome: faults that fell out of
+  /// the diagnostic/maintenance pipeline unnoticed.
+  std::uint64_t orphans = 0;
+  std::uint64_t spans = 0;
+  std::uint64_t spans_dropped = 0;
+};
+
+class ProvenanceTracer {
+ public:
+  ProvenanceTracer() = default;
+  ProvenanceTracer(const ProvenanceTracer&) = delete;
+  ProvenanceTracer& operator=(const ProvenanceTracer&) = delete;
+
+  /// Arms the tracer and reserves the span arena. Until enable() is
+  /// called every mutator is a single-branch no-op with zero allocations.
+  void enable(std::size_t span_cap = 1 << 16);
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Clock used to stamp spans (the simulator installs its now().ns()).
+  void set_clock(std::function<std::int64_t()> clock) {
+    clock_ = std::move(clock);
+  }
+
+  /// Registers span/journey counters and the per-stage latency
+  /// histograms (`prov.stage_latency_us{stage=...}`) on `registry`.
+  void bind_metrics(Registry& registry);
+
+  // --- recording ---------------------------------------------------------
+  /// Opens a journey with its root injection span. `injected_ns` is the
+  /// instant the fault becomes active (may lie in the future at call
+  /// time). The FRU maps (component/job -> journey) are updated so later
+  /// stages can attribute their observations; the latest journey per FRU
+  /// wins.
+  ProvenanceId begin_journey(std::string_view entity, std::string_view cls,
+                             std::string_view description,
+                             std::int64_t injected_ns, bool chaos = false);
+
+  /// Maps FRUs to `j` for journey_for_* lookups (injection-time wiring).
+  void map_component(std::uint32_t component, ProvenanceId j);
+  void map_job(std::uint16_t job, ProvenanceId j);
+
+  /// The journey currently owning a FRU, or kNoJourney. O(1) array read.
+  [[nodiscard]] ProvenanceId journey_for_component(std::uint32_t c) const {
+    return c < component_journey_.size() ? component_journey_[c] : kNoJourney;
+  }
+  [[nodiscard]] ProvenanceId journey_for_job(std::uint16_t j) const {
+    return j < job_journey_.size() ? job_journey_[j] : kNoJourney;
+  }
+
+  /// Records an instantaneous stage event. Consecutive events with the
+  /// same (stage, entity, detail) coalesce into one span whose occurrence
+  /// count grows and whose end time extends — an intermittent fault's
+  /// thousands of identical symptoms stay one span per episode of sameness.
+  /// Parent: the journey's most recent span of the *previous* stage (the
+  /// causal edge), falling back to the root span.
+  void event(ProvenanceId j, ProvStage stage, std::string_view entity,
+             std::string_view detail, std::uint64_t round = 0);
+
+  /// Opens an explicit duration span (maintenance action attempts,
+  /// manifestation episodes with a known end). Returns kNoSpan when
+  /// disabled or j == kNoJourney.
+  SpanId begin_span(ProvenanceId j, ProvStage stage, std::string_view entity,
+                    std::string_view detail, std::uint64_t round = 0);
+
+  /// Closes an open span with its outcome. Unknown/closed ids are ignored.
+  void end_span(SpanId s, ProvOutcome outcome = ProvOutcome::kNone);
+
+  /// Sets the journey's terminal outcome. First terminal wins: a repair
+  /// verified by the executor is not overwritten by the campaign's final
+  /// classification sweep.
+  void set_terminal(ProvenanceId j, ProvOutcome outcome);
+
+  // --- results -----------------------------------------------------------
+  [[nodiscard]] const std::vector<ProvJourney>& journeys() const {
+    return journeys_;
+  }
+  [[nodiscard]] const std::vector<ProvSpan>& spans() const { return spans_; }
+  [[nodiscard]] const ProvJourney* journey(ProvenanceId j) const {
+    return (j == kNoJourney || j > journeys_.size()) ? nullptr
+                                                     : &journeys_[j - 1];
+  }
+  [[nodiscard]] const ProvSpan* span(SpanId s) const {
+    return (s == kNoSpan || s > spans_.size()) ? nullptr : &spans_[s - 1];
+  }
+  [[nodiscard]] std::uint64_t spans_dropped() const { return spans_dropped_; }
+
+  [[nodiscard]] JourneyAudit audit() const;
+
+  // --- export ------------------------------------------------------------
+  /// Newline-delimited JSON: one object per journey, spans inlined in
+  /// arena order. Deterministic (simulated time only), so parallel
+  /// campaign runs merge bit-identically.
+  [[nodiscard]] std::string ndjson() const;
+
+  /// Chrome trace_event JSON: one "thread" per stage, complete ("X")
+  /// events per span, and flow arrows ("s"/"t" with id = journey) linking
+  /// each journey's consecutive spans across stages. Drop on
+  /// chrome://tracing or ui.perfetto.dev.
+  [[nodiscard]] std::string chrome_trace_json() const;
+
+  bool write_ndjson(const std::string& path) const;
+  bool write_chrome_trace(const std::string& path) const;
+
+ private:
+  [[nodiscard]] std::int64_t clock_now() const {
+    return clock_ ? clock_() : 0;
+  }
+  /// Appends to the arena; returns kNoSpan (and counts the drop) at cap.
+  SpanId push_span(ProvSpan s);
+  void note_stage(ProvJourney& jr, ProvStage stage, std::int64_t t);
+
+  bool enabled_ = false;
+  std::size_t span_cap_ = 0;
+  std::function<std::int64_t()> clock_;
+  std::vector<ProvSpan> spans_;
+  std::vector<ProvJourney> journeys_;
+  std::vector<ProvenanceId> component_journey_;
+  std::vector<ProvenanceId> job_journey_;
+  std::uint64_t spans_dropped_ = 0;
+
+  Counter spans_metric_;
+  Counter journeys_metric_;
+  Counter dropped_metric_;
+  Histogram stage_latency_[kProvStageCount];
+};
+
+}  // namespace decos::obs

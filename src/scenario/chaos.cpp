@@ -26,6 +26,8 @@ struct ChaosRun {
   std::uint64_t chaos_dropped = 0;
   std::uint64_t chaos_corrupted = 0;
   obs::Snapshot metrics;
+  obs::JourneyAudit audit;
+  std::string ndjson;
 };
 
 ChaosRun run_one_chaos(const Archetype& arch, std::uint64_t seed,
@@ -37,6 +39,7 @@ ChaosRun run_one_chaos(const Archetype& arch, std::uint64_t seed,
   opts.assessor_host = chaos.assessor_host;
   opts.assessor_replicas = {chaos.replica_host};
   opts.assessor.hardening = chaos.hardening;
+  opts.provenance = opts.provenance || chaos.provenance;
   Fig10System rig(opts);
   arch.inject(rig);
 
@@ -77,6 +80,40 @@ ChaosRun run_one_chaos(const Archetype& arch, std::uint64_t seed,
   out.chaos_dropped = storm.messages_dropped();
   out.chaos_corrupted = storm.messages_corrupted();
   out.metrics = rig.sim().metrics().snapshot();
+
+  auto& tracer = rig.sim().provenance();
+  if (tracer.enabled()) {
+    // The campaign's final diagnosis closes ledger journeys whose chain
+    // actually reached the verdict stage: those terminate kClassified
+    // (first terminal wins, so repaired/quarantined outcomes persist). A
+    // journey that never produced a verdict stays open and is counted as
+    // an orphan by the audit — the completeness criterion is earned, not
+    // declared.
+    const auto verdict_reached = [&](obs::ProvenanceId id) {
+      const obs::ProvJourney* jr = tracer.journey(id);
+      return jr != nullptr &&
+             jr->first_stage_ns[static_cast<int>(obs::ProvStage::kVerdict)] >=
+                 0;
+    };
+    for (const fault::InjectedFault& f : rig.injector().ledger()) {
+      bool discharged = verdict_reached(f.provenance);
+      if (!discharged) {
+        // Overlapping faults on one FRU: the latest injection takes over
+        // the FRU map, so downstream stages land on the owning journey.
+        // A verdict discharges the FRU as a whole — credit every ledger
+        // journey that fed the same evidence stream.
+        const obs::ProvenanceId owner =
+            f.job.has_value() ? tracer.journey_for_job(*f.job)
+                              : tracer.journey_for_component(f.component);
+        discharged = owner != f.provenance && verdict_reached(owner);
+      }
+      if (discharged) {
+        tracer.set_terminal(f.provenance, obs::ProvOutcome::kClassified);
+      }
+    }
+    out.audit = tracer.audit();
+    out.ndjson = tracer.ndjson();
+  }
   return out;
 }
 
@@ -127,6 +164,13 @@ ChaosCampaignResult run_chaos_campaign(const std::vector<Archetype>& archetypes,
         result.chaos_dropped += r.chaos_dropped;
         result.chaos_corrupted += r.chaos_corrupted;
         result.metrics.merge(r.metrics);
+        result.journeys += r.audit.journeys;
+        result.chaos_journeys += r.audit.chaos_journeys;
+        result.journeys_classified += r.audit.classified;
+        result.orphaned_journeys += r.audit.orphans;
+        result.spans += r.audit.spans;
+        result.spans_dropped += r.audit.spans_dropped;
+        result.provenance_ndjson += r.ndjson;
       });
   return result;
 }

@@ -43,6 +43,11 @@ struct ChaosOptions {
   std::uint32_t components = 7;
   platform::ComponentId assessor_host = 5;
   platform::ComponentId replica_host = 6;
+  /// Arms provenance tracing on every rig: each run closes its ledger
+  /// faults' journeys with a kClassified terminal after the final
+  /// diagnosis, and the campaign result carries the merged NDJSON dump
+  /// plus the journey-completeness audit totals.
+  bool provenance = false;
 };
 
 struct ChaosCampaignResult {
@@ -66,6 +71,18 @@ struct ChaosCampaignResult {
   /// `diag.assessor.symptom_gaps`, `diag.assessor.failovers`,
   /// `diag.evidence_staleness{fru=...}` — survive into bench exports.
   obs::Snapshot metrics;
+  // Journey-completeness audit totals (provenance option only). Orphans
+  // are non-chaos journeys that never reached a terminal outcome — faults
+  // the diagnostic/maintenance pipeline lost track of.
+  std::uint64_t journeys = 0;
+  std::uint64_t chaos_journeys = 0;
+  std::uint64_t journeys_classified = 0;
+  std::uint64_t orphaned_journeys = 0;
+  std::uint64_t spans = 0;
+  std::uint64_t spans_dropped = 0;
+  /// Concatenated per-run NDJSON journey dumps, folded in submission
+  /// order: bit-identical for every --jobs value (simulated time only).
+  std::string provenance_ndjson;
 
   [[nodiscard]] double accuracy() const {
     return runs == 0 ? 0.0

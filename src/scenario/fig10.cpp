@@ -19,6 +19,7 @@ platform::System::Params system_params(const Fig10Options& opts) {
 Fig10System::Fig10System(Fig10Options opts)
     : opts_(opts), sim_(opts.seed), system_(sim_, system_params(opts)) {
   assert(opts_.components >= 5 && "Fig. 10 needs at least five components");
+  if (opts_.provenance) sim_.enable_provenance(opts_.provenance_span_cap);
   auto& sys = system_;
 
   const auto das_s = sys.add_das("S", platform::Criticality::kSafetyCritical);

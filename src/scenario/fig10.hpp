@@ -45,6 +45,12 @@ struct Fig10Options {
   /// Additional components hosting replica assessors.
   std::vector<platform::ComponentId> assessor_replicas;
   diag::Assessor::Params assessor{};
+  /// Arms causal provenance tracing (sim().provenance()) before any wiring,
+  /// so every injected fault opens a journey. Off by default: the tracer's
+  /// disabled mode is a single branch on the instrumented paths.
+  bool provenance = false;
+  /// Span arena capacity when provenance is enabled.
+  std::size_t provenance_span_cap = 1 << 16;
 };
 
 class Fig10System {

@@ -16,6 +16,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
@@ -85,8 +86,25 @@ class Simulator {
   [[nodiscard]] const obs::Registry& metrics() const { return metrics_; }
 
   /// Convenience wrapper for trace appends stamped with now().
-  void log(TraceCategory c, std::string entity, std::string message) {
-    trace_.append(now_, c, std::move(entity), std::move(message));
+  void log(TraceCategory c, std::string_view entity, std::string_view message,
+           std::uint32_t span = 0) {
+    trace_.append(now_, c, entity, message, span);
+  }
+
+  /// Causal provenance tracer (disabled by default; see obs/provenance.hpp).
+  /// Instrumented layers grab this reference at setup — calls are
+  /// single-branch no-ops until enable_provenance().
+  [[nodiscard]] obs::ProvenanceTracer& provenance() { return provenance_; }
+  [[nodiscard]] const obs::ProvenanceTracer& provenance() const {
+    return provenance_;
+  }
+
+  /// Arms journey tracing: enables the tracer, stamps spans with simulated
+  /// time, and registers prov.* metrics on this simulation's registry.
+  void enable_provenance(std::size_t span_cap = 1 << 16) {
+    provenance_.enable(span_cap);
+    provenance_.set_clock([this] { return now_.ns(); });
+    provenance_.bind_metrics(metrics_);
   }
 
  private:
@@ -99,6 +117,7 @@ class Simulator {
   Rng master_rng_;
   std::uint64_t seed_;
   TraceLog trace_;
+  obs::ProvenanceTracer provenance_;
   std::uint64_t events_executed_ = 0;
   std::uint64_t event_limit_ = 500'000'000;
   obs::Registry metrics_;

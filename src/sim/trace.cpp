@@ -20,16 +20,22 @@ const char* to_string(TraceCategory c) {
   return "?";
 }
 
-void TraceLog::append(SimTime t, TraceCategory c, std::string entity,
-                      std::string message) {
+void TraceLog::append(SimTime t, TraceCategory c, std::string_view entity,
+                      std::string_view message, std::uint32_t span) {
   if (echo_) {
-    std::fprintf(stderr, "[%12s] %-10s %-18s %s\n", to_string(t).c_str(),
-                 to_string(c), entity.c_str(), message.c_str());
+    std::fprintf(stderr, "[%12s] %-10s %-18.*s %.*s\n", to_string(t).c_str(),
+                 to_string(c), static_cast<int>(entity.size()), entity.data(),
+                 static_cast<int>(message.size()), message.data());
   }
   if (capacity_ != 0 && records_.size() >= capacity_) {
     evict_oldest(std::max<std::size_t>(1, capacity_ / 8));
   }
-  records_.push_back(TraceRecord{t, c, std::move(entity), std::move(message)});
+  TraceRecord& r = records_.emplace_back();
+  r.time = t;
+  r.span = span;
+  r.category = c;
+  r.set_entity(entity);
+  r.set_message(message);
 }
 
 void TraceLog::set_capacity(std::size_t cap) {
@@ -57,7 +63,7 @@ std::vector<TraceRecord> TraceLog::by_category(TraceCategory c) const {
 std::size_t TraceLog::count_containing(std::string_view needle) const {
   std::size_t n = 0;
   for (const auto& r : records_) {
-    if (r.message.find(needle) != std::string::npos) ++n;
+    if (r.message().find(needle) != std::string_view::npos) ++n;
   }
   return n;
 }

@@ -1,13 +1,21 @@
-// Structured trace log.
+// Structured trace log, arena-backed.
 //
 // Components append TraceRecords (category + entity + message) instead of
-// printing; tests and the bench harness query the records afterwards. Kept
-// deliberately simple — a vector with category filters — because traces are
-// also the audit trail the maintenance analysis replays.
+// printing; tests and the bench harness query the records afterwards.
+// Records are fixed-size arena slots with inline small-string buffers for
+// entity and message — append never touches the heap beyond the arena
+// vector's own amortised growth, which is what keeps the campaign hot
+// path allocation-free (ROADMAP: "TraceLog::append builds std::strings on
+// the hot path"). Oversize entity/message text truncates to the inline
+// capacity; the record keeps what fits.
+//
+// A record may carry the obs::provenance span id that produced it, so the
+// flat audit trail and the causal journey view cross-reference.
 #pragma once
 
 #include <cstdint>
-#include <string>
+#include <cstring>
+#include <string_view>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -29,15 +37,45 @@ enum class TraceCategory : std::uint8_t {
 [[nodiscard]] const char* to_string(TraceCategory c);
 
 struct TraceRecord {
+  /// Inline capacities (chosen so one record is 128 bytes): longer text
+  /// truncates at append time.
+  static constexpr std::size_t kEntityCapacity = 23;
+  static constexpr std::size_t kMessageCapacity = 88;
+
   SimTime time;
-  TraceCategory category;
-  std::string entity;   // e.g. "component.3", "job.brake1"
-  std::string message;
+  /// obs::provenance span this record belongs to (0 = none).
+  std::uint32_t span = 0;
+  TraceCategory category = TraceCategory::kKernel;
+
+  [[nodiscard]] std::string_view entity() const {
+    return {entity_, entity_len_};
+  }
+  [[nodiscard]] std::string_view message() const {
+    return {message_, message_len_};
+  }
+
+  void set_entity(std::string_view s) {
+    entity_len_ = static_cast<std::uint8_t>(
+        s.size() > kEntityCapacity ? kEntityCapacity : s.size());
+    if (entity_len_ != 0) std::memcpy(entity_, s.data(), entity_len_);
+  }
+  void set_message(std::string_view s) {
+    message_len_ = static_cast<std::uint8_t>(
+        s.size() > kMessageCapacity ? kMessageCapacity : s.size());
+    if (message_len_ != 0) std::memcpy(message_, s.data(), message_len_);
+  }
+
+ private:
+  std::uint8_t entity_len_ = 0;
+  std::uint8_t message_len_ = 0;
+  char entity_[kEntityCapacity];
+  char message_[kMessageCapacity];
 };
 
 class TraceLog {
  public:
-  void append(SimTime t, TraceCategory c, std::string entity, std::string message);
+  void append(SimTime t, TraceCategory c, std::string_view entity,
+              std::string_view message, std::uint32_t span = 0);
 
   [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
 

@@ -31,8 +31,8 @@ std::string chrome_trace_json(const TraceLog& log) {
     out += ",{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" +
            std::to_string(static_cast<int>(r.category)) + ",\"ts\":" + ts +
            ",\"cat\":\"" + obs::json_escape(to_string(r.category)) +
-           "\",\"name\":\"" + obs::json_escape(r.message) +
-           "\",\"args\":{\"entity\":\"" + obs::json_escape(r.entity) + "\"}}";
+           "\",\"name\":\"" + obs::json_escape(r.message()) +
+           "\",\"args\":{\"entity\":\"" + obs::json_escape(r.entity()) + "\"}}";
   }
   out += "]}";
   return out;

@@ -434,7 +434,7 @@ TEST(TraceLog, CapacityCapDropsOldest) {
   EXPECT_LE(log.records().size(), 64u);
   EXPECT_EQ(log.records().size() + log.dropped(), 200u);
   // Survivors are the newest records, still in time order.
-  EXPECT_EQ(log.records().back().message, "msg 199");
+  EXPECT_EQ(log.records().back().message(), "msg 199");
   EXPECT_GT(log.records().front().time.ns(),
             static_cast<std::int64_t>(log.dropped()) - 1);
 }

@@ -1,0 +1,94 @@
+# Perf-smoke gate: compares a fresh `bench_kernel_hotpath --json` snapshot
+# against the checked-in baseline (bench/baselines/) and fails on
+#
+#   * a throughput regression beyond TOLERANCE_PCT (default 10 %) on
+#     events_per_sec and rounds_per_sec, and
+#   * any allocation on the hot paths (allocs_per_event / allocs_per_round
+#     must stay exactly 0 — this one is machine-independent).
+#
+# Usage:
+#   cmake -DCURRENT=<fresh.json> -DBASELINE=<baseline.json>
+#         [-DTOLERANCE_PCT=10] -P tools/check_perf.cmake
+#
+# The throughput floor is relative to the checked-in baseline, which was
+# recorded on a deliberately modest reference box — faster CI runners clear
+# it with margin, so the gate catches collapses (an accidental O(n) scan,
+# re-introduced per-event allocation), not percent-level jitter. Refresh
+# the baseline (bench/baselines/README.md) when the reference hardware or
+# the bench shape changes.
+if(NOT DEFINED CURRENT OR NOT DEFINED BASELINE)
+  message(FATAL_ERROR
+    "usage: cmake -DCURRENT=<json> -DBASELINE=<json> -P check_perf.cmake")
+endif()
+if(NOT DEFINED TOLERANCE_PCT)
+  set(TOLERANCE_PCT 10)
+endif()
+
+file(READ "${CURRENT}" current_json)
+file(READ "${BASELINE}" baseline_json)
+
+# Reads info.<key> from a snapshot; FATAL if missing or malformed.
+function(read_info out json_text key)
+  string(JSON v ERROR_VARIABLE err GET "${json_text}" info ${key})
+  if(err)
+    message(FATAL_ERROR "snapshot lacks info.${key}: ${err}")
+  endif()
+  set(${out} "${v}" PARENT_SCOPE)
+endfunction()
+
+# Scales a decimal number string by 100 into a 64-bit integer (truncating),
+# so regressions can be judged with CMake's integer math() regardless of
+# how the bench formatted the double. Scientific notation (only produced
+# for non-integral values >= 1e15 or tiny fractions — neither occurs for
+# sane throughput numbers) is rejected loudly rather than misparsed.
+function(to_centi out value)
+  if(value MATCHES "[eE]")
+    message(FATAL_ERROR "cannot parse scientific notation: ${value}")
+  endif()
+  if(NOT value MATCHES "^(-?)([0-9]+)(\\.([0-9]+))?$")
+    message(FATAL_ERROR "not a number: ${value}")
+  endif()
+  set(sign "${CMAKE_MATCH_1}")
+  set(int_part "${CMAKE_MATCH_2}")
+  set(frac "${CMAKE_MATCH_4}00")
+  string(SUBSTRING "${frac}" 0 2 frac)
+  math(EXPR scaled "${sign}(${int_part} * 100 + ${frac})")
+  set(${out} "${scaled}" PARENT_SCOPE)
+endfunction()
+
+set(failures 0)
+
+# Throughput keys: current must stay within TOLERANCE_PCT of baseline.
+foreach(key events_per_sec rounds_per_sec)
+  read_info(cur "${current_json}" ${key})
+  read_info(base "${baseline_json}" ${key})
+  to_centi(cur_c "${cur}")
+  to_centi(base_c "${base}")
+  math(EXPR floor_c "${base_c} * (100 - ${TOLERANCE_PCT}) / 100")
+  if(cur_c LESS floor_c)
+    message(SEND_ERROR
+      "perf regression: ${key} = ${cur} < ${TOLERANCE_PCT}% floor of "
+      "baseline ${base}")
+    math(EXPR failures "${failures} + 1")
+  else()
+    message(STATUS "${key}: ${cur} (baseline ${base}) ok")
+  endif()
+endforeach()
+
+# Allocation keys: the hot paths are allocation-free by design (DESIGN.md
+# §12); any nonzero count is a hard failure independent of machine speed.
+foreach(key allocs_per_event allocs_per_round)
+  read_info(cur "${current_json}" ${key})
+  to_centi(cur_c "${cur}")
+  if(cur_c GREATER 0)
+    message(SEND_ERROR "hot path allocates: ${key} = ${cur} (want 0)")
+    math(EXPR failures "${failures} + 1")
+  else()
+    message(STATUS "${key}: ${cur} ok")
+  endif()
+endforeach()
+
+if(failures GREATER 0)
+  message(FATAL_ERROR "perf smoke failed: ${failures} check(s)")
+endif()
+message(STATUS "perf smoke passed")
