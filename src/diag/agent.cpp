@@ -193,16 +193,22 @@ void Agent::flush(platform::JobContext& ctx) {
   // fed even when the component is perfectly healthy — its absence is the
   // one signal that survives every agent-death mode.
   if (p_.hardening && (last_heartbeat_ == 0 || round >= last_heartbeat_ + p_.heartbeat_period)) {
-    Heartbeat hb;
-    hb.symptoms_detected = detected_;
-    hb.symptoms_dropped = static_cast<std::uint32_t>(
-        dropped_ > 0xFFFFFFFFu ? 0xFFFFFFFFu : dropped_);
-    const vnet::Message m = encode_heartbeat(hb, round);
-    if (ctx.send(port_, m.value, m.kind, m.aux)) {
+    if (fp_ && fp_->hit(fault::FaultSite::kHeartbeatSend)) {
+      // Heartbeat lost at the send instant: the agent believes it fed the
+      // watchdog (the period restarts) but nothing reaches the wire.
       last_heartbeat_ = round;
-      ++heartbeats_;
-      heartbeats_metric_.inc();
-      ++sent;
+    } else {
+      Heartbeat hb;
+      hb.symptoms_detected = detected_;
+      hb.symptoms_dropped = static_cast<std::uint32_t>(
+          dropped_ > 0xFFFFFFFFu ? 0xFFFFFFFFu : dropped_);
+      const vnet::Message m = encode_heartbeat(hb, round);
+      if (ctx.send(port_, m.value, m.kind, m.aux)) {
+        last_heartbeat_ = round;
+        ++heartbeats_;
+        heartbeats_metric_.inc();
+        ++sent;
+      }
     }
   }
 
@@ -211,7 +217,10 @@ void Agent::flush(platform::JobContext& ctx) {
     const Symptom& s = pending_.front();
     const vnet::Message m = encode(s, round);
     if (!ctx.send(port_, m.value, m.kind, m.aux)) break;  // queue full
-    if (p_.hardening && p_.max_resends > 0) {
+    // Resend-push fault site: firing means this symptom never enters the
+    // retransmission buffer — its original send is its only chance.
+    if (p_.hardening && p_.max_resends > 0 &&
+        !(fp_ && fp_->hit(fault::FaultSite::kResendPush))) {
       resend_.push_back(Resend{s, round + p_.resend_backoff, 1});
       while (resend_.size() > p_.resend_buffer) resend_.pop_front();
     }

@@ -27,6 +27,7 @@
 
 #include "diag/port_spec.hpp"
 #include "diag/symptom.hpp"
+#include "fault/faultpoint.hpp"
 #include "obs/metrics.hpp"
 #include "obs/provenance.hpp"
 #include "platform/system.hpp"
@@ -73,6 +74,11 @@ class Agent {
   [[nodiscard]] std::uint64_t retransmissions() const { return resent_; }
   [[nodiscard]] const Params& params() const { return p_; }
 
+  /// Attaches the fault-point registry (not owned; nullptr detaches): the
+  /// heartbeat-send and resend-push edges become enumerable injection
+  /// sites. DiagnosticService::bind_fault_points wires every agent.
+  void bind_fault_points(fault::FaultPointRegistry* fp) { fp_ = fp; }
+
  private:
   void on_observation(const tta::SlotObservation& obs);
   void on_overflow(platform::PortId port, tta::RoundId round);
@@ -89,6 +95,7 @@ class Agent {
   const SpecTable& specs_;
   Params p_;
   obs::ProvenanceTracer* prov_ = nullptr;
+  fault::FaultPointRegistry* fp_ = nullptr;
   /// Cached span entity label ("agent.N") so the hot path never builds it.
   std::string entity_;
   platform::JobId job_id_ = platform::kInvalidJob;

@@ -14,6 +14,7 @@ Assessor::Assessor(Params p, fault::SpatialLayout layout,
       component_count_(component_count),
       component_trust_(component_count, p.trust.initial),
       component_trajectories_(component_count),
+      was_stale_(component_count, false),
       channels_(component_count),
       component_hits_(component_count, 0),
       mask_words_((component_count + 63) / 64) {
@@ -176,8 +177,14 @@ void Assessor::process(platform::JobContext& ctx) {
     auto agent_it = agent_component_.find(m.sender);
     if (agent_it == agent_component_.end()) continue;  // not a known agent
     const platform::ComponentId agent = agent_it->second;
-    if (p_.hardening) track_channel(agent, m);
     if (const auto hb = decode_heartbeat(m)) {
+      if (fp_ && fp_->hit(fault::FaultSite::kHeartbeatReceive)) {
+        // Heartbeat dropped at the inbox: neither liveness nor the wire
+        // sequence advances, so the loss surfaces later as staleness plus
+        // a sequence gap — exactly like a frame lost in flight.
+        continue;
+      }
+      if (p_.hardening) track_channel(agent, m);
       ++heartbeats_;
       AgentChannel& ch = channels_[agent];
       ch.reported_detected = hb->symptoms_detected;
@@ -190,6 +197,7 @@ void Assessor::process(platform::JobContext& ctx) {
       }
       continue;
     }
+    if (p_.hardening) track_channel(agent, m);
     const auto symptom = decode(m, agent);
     if (!symptom) continue;
     // Retransmissions arrive as duplicates of an already-ingested
@@ -250,6 +258,22 @@ void Assessor::process(platform::JobContext& ctx) {
                             static_cast<std::size_t>(std::countr_zero(word))];
         }
       }
+    }
+  }
+
+  // Staleness-expiry fault site: reached once per fresh->stale transition
+  // of an agent channel. Firing models a watchdog glitch — the expiry
+  // tick is missed and the channel reads fresh for another full window,
+  // so trust keeps recovering on absent evidence.
+  if (fp_ && p_.hardening) {
+    for (platform::ComponentId c = 0; c < component_count_; ++c) {
+      bool stale = evidence_age(c) > p_.stale_after;
+      if (stale && !was_stale_[c] &&
+          fp_->hit(fault::FaultSite::kStalenessExpiry)) {
+        channels_[c].last_heard = round_;
+        stale = false;
+      }
+      was_stale_[c] = stale;
     }
   }
 

@@ -27,6 +27,7 @@
 #include <set>
 #include <vector>
 
+#include "fault/faultpoint.hpp"
 #include "obs/metrics.hpp"
 #include "obs/provenance.hpp"
 #include "diag/classifier.hpp"
@@ -125,6 +126,12 @@ class Assessor {
   /// the injected fault's journey via the subject FRU. DiagnosticService
   /// binds the simulator's tracer automatically.
   void bind_provenance(obs::ProvenanceTracer* prov) { prov_ = prov; }
+
+  /// Attaches the fault-point registry (not owned; nullptr detaches): the
+  /// heartbeat-receive and staleness-expiry edges become enumerable
+  /// injection sites. DiagnosticService::bind_fault_points wires every
+  /// assessor replica.
+  void bind_fault_points(fault::FaultPointRegistry* fp) { fp_ = fp; }
 
   /// Max-staleness state merge from a fresher replica, used on failback:
   /// per FRU, whichever side heard that FRU's agent later contributes the
@@ -239,6 +246,11 @@ class Assessor {
   /// kNoJourney when tracing is off or the FRU has no active journey.
   [[nodiscard]] obs::ProvenanceId journey_for(const Symptom& s) const;
   obs::ProvenanceTracer* prov_ = nullptr;
+  fault::FaultPointRegistry* fp_ = nullptr;
+  /// Per-component staleness edge detector for the staleness-expiry fault
+  /// site: hit() is reached only on a fresh->stale transition, keeping the
+  /// site's occurrence space proportional to expiry *events*, not rounds.
+  std::vector<bool> was_stale_;
 
   /// Updates the agent's channel state (liveness + wire-seq gap check)
   /// for one inbox message.

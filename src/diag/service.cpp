@@ -125,6 +125,15 @@ void DiagnosticService::check_failover() const {
     }
     if ((now - failback_candidate_since_).ns() < failback_hold_.ns()) return;
   }
+  // Failover/failback fault sites: firing defers the transition by one
+  // evaluation (the decision logic glitches, the next assessment round
+  // re-evaluates from scratch). Placed before any state mutation so the
+  // deferred transition replays cleanly.
+  const bool is_failback = chosen < active_;
+  if (fp_ && fp_->hit(is_failback ? fault::FaultSite::kFailback
+                                  : fault::FaultSite::kFailover)) {
+    return;
+  }
   // A dead active assessor serves nobody: promote immediately.
   failback_candidate_ = SIZE_MAX;
   // The newly active assessor adopts whatever fresher state the outgoing
@@ -164,6 +173,12 @@ void DiagnosticService::reset_component_trust(platform::ComponentId c) {
 
 void DiagnosticService::reset_job_trust(platform::JobId j) {
   for (auto& assessor : assessors_) assessor->reset_job_trust(j);
+}
+
+void DiagnosticService::bind_fault_points(fault::FaultPointRegistry* fp) {
+  fp_ = fp;
+  for (auto& assessor : assessors_) assessor->bind_fault_points(fp);
+  for (auto& agent : agents_) agent->bind_fault_points(fp);
 }
 
 std::size_t DiagnosticService::record_detection_latency(

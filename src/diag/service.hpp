@@ -141,6 +141,12 @@ class DiagnosticService {
   void reset_component_trust(platform::ComponentId c);
   void reset_job_trust(platform::JobId j);
 
+  /// Attaches the fault-point registry (not owned; nullptr detaches) to
+  /// the whole diagnostic path: every agent (heartbeat-send, resend-push),
+  /// every assessor replica (heartbeat-receive, staleness-expiry) and the
+  /// service's own failover/failback decision edges.
+  void bind_fault_points(fault::FaultPointRegistry* fp);
+
   /// Maintenance report over all FRUs: components first, then application
   /// jobs. Only FRUs whose trust fell below the report threshold carry a
   /// non-kNone diagnosis request, but every FRU is listed. Rows whose
@@ -180,6 +186,7 @@ class DiagnosticService {
   std::map<platform::ComponentId, std::vector<std::string>> external_onas_;
   bool hardening_ = true;
   sim::Duration failback_hold_ = sim::milliseconds(50);
+  fault::FaultPointRegistry* fp_ = nullptr;
   mutable std::size_t active_ = 0;
   mutable std::size_t failback_candidate_ = SIZE_MAX;
   mutable sim::SimTime failback_candidate_since_{};

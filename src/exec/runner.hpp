@@ -39,6 +39,34 @@ struct RunOutcome {
   [[nodiscard]] bool ok() const { return result.has_value(); }
 };
 
+/// Thrown by run_and_merge when a run failed: carries the failing run's
+/// submission index, its human-readable descriptor (empty when the caller
+/// provided no labeller) and the original exception text as structured
+/// fields, so batch drivers can report *which* experiment died without
+/// parsing what().
+class ExperimentError : public std::runtime_error {
+ public:
+  ExperimentError(std::size_t index, std::string label, std::string message)
+      : std::runtime_error("experiment run " + std::to_string(index) +
+                           (label.empty() ? "" : " [" + label + "]") +
+                           " failed: " + message),
+        index_(index),
+        label_(std::move(label)),
+        message_(std::move(message)) {}
+
+  /// Submission index of the failed run.
+  [[nodiscard]] std::size_t index() const { return index_; }
+  /// Caller-supplied descriptor of the failed run ("" without labeller).
+  [[nodiscard]] const std::string& label() const { return label_; }
+  /// what() of the exception the run threw.
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+ private:
+  std::size_t index_;
+  std::string label_;
+  std::string message_;
+};
+
 class ExperimentRunner {
  public:
   /// `jobs` worker threads; 0 means default_jobs() (hardware concurrency).
@@ -81,16 +109,18 @@ class ExperimentRunner {
 
   /// run() + ordered fold: `merge(i, result)` is invoked on the calling
   /// thread in submission order. A failed run aborts the fold with
-  /// std::runtime_error — but only after all runs have finished, so one
-  /// bad seed cannot tear down its siblings mid-flight.
+  /// ExperimentError (index + optional label + original message) — but
+  /// only after all runs have finished, so one bad seed cannot tear down
+  /// its siblings mid-flight. `label(i)` — when provided — names run `i`
+  /// in the error (e.g. a sweep's replay token).
   template <typename Result, typename Merge>
-  void run_and_merge(std::vector<std::function<Result()>> runs,
-                     Merge&& merge) {
+  void run_and_merge(std::vector<std::function<Result()>> runs, Merge&& merge,
+                     const std::function<std::string(std::size_t)>& label = {}) {
     auto outcomes = run<Result>(std::move(runs));
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
       if (!outcomes[i].ok()) {
-        throw std::runtime_error("experiment run " + std::to_string(i) +
-                                 " failed: " + outcomes[i].error);
+        throw ExperimentError(i, label ? label(i) : std::string(),
+                              outcomes[i].error);
       }
       merge(i, *outcomes[i].result);
     }

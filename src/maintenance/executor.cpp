@@ -122,6 +122,17 @@ void MaintenanceExecutor::execute(std::size_t idx) {
   }
 
   if (action == fault::MaintenanceAction::kReplaceComponent) {
+    // Spare-allocation fault site: reached once per real allocation.
+    // Firing means the pulled unit is dead on arrival — it is discarded
+    // (consumed without being installed) and the technician pulls again,
+    // so a DOA on the last spare turns into a quarantine below.
+    if (spares_ > 0 && fp_ && fp_->hit(fault::FaultSite::kSpareAlloc)) {
+      --spares_;
+      ++spares_consumed_;
+      sim_.metrics().gauge("maint.spare_pool").set(static_cast<double>(spares_));
+      sim_.log(sim::TraceCategory::kMaintenance, o.fru,
+               "spare dead on arrival, pulling another");
+    }
     if (spares_ == 0) {
       sim_.metrics().counter("maint.spares_exhausted").inc();
       sim_.log(sim::TraceCategory::kMaintenance, o.fru,
@@ -171,6 +182,11 @@ void MaintenanceExecutor::execute(std::size_t idx) {
   sim_.schedule_after(p_.settle, [this, idx] {
     WorkOrder& order = orders_[idx];
     if (order.state != WorkOrderState::kVerifying) return;
+    // Repair-settle fault site: firing loses the post-settle trust reset,
+    // so the verification window judges the repair on the FRU's
+    // pre-repair trust trajectory (it recovers the slow way or fails and
+    // retries).
+    if (fp_ && fp_->hit(fault::FaultSite::kRepairSettle)) return;
     if (order.job) {
       service_.reset_job_trust(*order.job);
     } else {
@@ -247,6 +263,13 @@ void MaintenanceExecutor::perform(WorkOrder& o,
 void MaintenanceExecutor::verify(std::size_t idx) {
   WorkOrder& o = orders_[idx];
   if (o.state != WorkOrderState::kVerifying) return;
+  // Repair-verify fault site: firing defers the verdict by one more full
+  // verification window (the technician's conformance check is postponed,
+  // the repair stays in kVerifying meanwhile).
+  if (fp_ && fp_->hit(fault::FaultSite::kRepairVerify)) {
+    sim_.schedule_after(p_.verify_window, [this, idx] { verify(idx); });
+    return;
+  }
   const double trust = fru_trust(o);
   if (trust >= p_.verify_trust) {
     o.state = WorkOrderState::kVerified;

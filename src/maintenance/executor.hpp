@@ -147,6 +147,11 @@ class MaintenanceExecutor {
   [[nodiscard]] const analysis::NffAccounting& nff() const { return nff_; }
   [[nodiscard]] const Params& params() const { return p_; }
 
+  /// Attaches the fault-point registry (not owned; nullptr detaches): the
+  /// spare-allocation, repair-settle and repair-verify edges become
+  /// enumerable injection sites.
+  void bind_fault_points(fault::FaultPointRegistry* fp) { fp_ = fp; }
+
  private:
   void poll();
   /// Performs attempt `attempts_+1` of order `idx` (technician arrives).
@@ -166,6 +171,7 @@ class MaintenanceExecutor {
   fault::FaultInjector& injector_;
   Params p_;
   sim::Simulator& sim_;
+  fault::FaultPointRegistry* fp_ = nullptr;
   /// Network-plan state as configured (before any configuration fault);
   /// kUpdateConfiguration restores from here.
   std::vector<vnet::VnetConfig> pristine_vnets_;

@@ -37,6 +37,20 @@ bool parse_seed_list(std::string_view text, std::vector<std::uint64_t>& out) {
   return true;
 }
 
+/// Shape check for a replay token: `<nonempty-name>:<integer>`. The site
+/// name's validity is the sweep layer's business.
+bool replay_token_shape_ok(std::string_view token) {
+  const std::size_t colon = token.find(':');
+  if (colon == 0 || colon == std::string_view::npos ||
+      colon + 1 >= token.size()) {
+    return false;
+  }
+  for (std::size_t i = colon + 1; i < token.size(); ++i) {
+    if (token[i] < '0' || token[i] > '9') return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 BenchReporter::BenchReporter(std::string bench_name, int argc, char** argv)
@@ -95,6 +109,44 @@ BenchReporter::BenchReporter(std::string bench_name, int argc, char** argv)
         bad_args_ = true;
       } else {
         jobs_ = static_cast<unsigned>(v);
+      }
+      ++i;
+      continue;
+    }
+    if (arg == "--replay") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --replay requires a fault point\n");
+        bad_args_ = true;
+        continue;
+      }
+      if (!replay_token_shape_ok(argv[i + 1])) {
+        std::fprintf(stderr,
+                     "error: --replay wants '<site>:<occurrence>' "
+                     "(e.g. heartbeat-send:17), got '%s'\n",
+                     argv[i + 1]);
+        bad_args_ = true;
+      } else {
+        replay_token_ = argv[i + 1];
+      }
+      ++i;
+      continue;
+    }
+    if (arg == "--max-points") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --max-points requires a value\n");
+        bad_args_ = true;
+        continue;
+      }
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long v = std::strtoul(argv[i + 1], &end, 10);
+      if (end == argv[i + 1] || *end != '\0' || errno == ERANGE || v == 0) {
+        std::fprintf(stderr,
+                     "error: --max-points wants a number >= 1, got '%s'\n",
+                     argv[i + 1]);
+        bad_args_ = true;
+      } else {
+        max_points_ = static_cast<std::size_t>(v);
       }
       ++i;
       continue;
@@ -161,6 +213,12 @@ int BenchReporter::finish() const {
     if (!trace_path_.empty()) {
       json += ",\"trace\":\"" + json_escape(trace_path_) +
               "\",\"trace_cap\":" + std::to_string(trace_cap_);
+    }
+    if (!replay_token_.empty()) {
+      json += ",\"replay\":\"" + json_escape(replay_token_) + "\"";
+    }
+    if (max_points_ != 0) {
+      json += ",\"max_points\":" + std::to_string(max_points_);
     }
     json += ",\"metrics\":" + to_json(snapshot_) + "}\n";
     if (!write_file(json_path_, json)) {

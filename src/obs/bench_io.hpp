@@ -23,8 +23,9 @@ namespace decos::obs {
 class BenchReporter {
  public:
   /// Parses and strips `--json <path>`, `--csv <path>`, `--seed <n>`,
-  /// `--seeds <n,n,...>`, `--jobs <n>`, `--trace <path>` and
-  /// `--trace-cap <n>` from argv. The remaining arguments stay visible
+  /// `--seeds <n,n,...>`, `--jobs <n>`, `--trace <path>`,
+  /// `--trace-cap <n>`, `--replay <site:occurrence>` and
+  /// `--max-points <n>` from argv. The remaining arguments stay visible
   /// through argc()/argv() for benches that forward them
   /// (google-benchmark).
   BenchReporter(std::string bench_name, int argc, char** argv);
@@ -67,6 +68,20 @@ class BenchReporter {
     trace_payload_ = std::move(ndjson);
   }
 
+  /// Fault-space sweep controls (bench_fault_space, bench_chaos_diag):
+  /// `--replay <site:occurrence>` asks the bench to re-execute exactly one
+  /// enumerated fault point, `--max-points <n>` caps the sweep at the
+  /// first n discovered points. The reporter validates only the token
+  /// *shape* (`name:integer`) — site-name resolution lives with the
+  /// sweep's fault::parse_fault_point, which knows the registry. Both
+  /// values are echoed in the --json export.
+  [[nodiscard]] bool replay_requested() const { return !replay_token_.empty(); }
+  [[nodiscard]] const std::string& replay_token() const {
+    return replay_token_;
+  }
+  [[nodiscard]] bool has_max_points() const { return max_points_ != 0; }
+  [[nodiscard]] std::size_t max_points() const { return max_points_; }
+
   /// argv with the reporter's own flags removed (argv()[argc()] == nullptr).
   [[nodiscard]] int argc() const { return static_cast<int>(args_.size()) - 1; }
   [[nodiscard]] char** argv() { return args_.data(); }
@@ -83,6 +98,8 @@ class BenchReporter {
   std::string trace_path_;
   std::string trace_payload_;
   std::size_t trace_cap_ = 1 << 16;
+  std::string replay_token_;
+  std::size_t max_points_ = 0;  // 0 = unbounded
   std::vector<char*> args_;  // non-owning views into the original argv
   std::vector<std::uint64_t> seeds_;  // resolved by seeds_or()
   unsigned jobs_ = 0;  // 0 = hardware concurrency

@@ -68,7 +68,9 @@ void Component::route_local(const vnet::Message& msg) {
   const vnet::PortConfig& pc = plan_.port(msg.port);
   for (JobId receiver : pc.receivers) {
     auto it = jobs_.find(receiver);
-    if (it != jobs_.end()) it->second->deliver(msg);
+    if (it == jobs_.end()) continue;
+    if (delivery_filter && !delivery_filter(msg, receiver)) continue;
+    it->second->deliver(msg);
   }
 }
 

@@ -58,6 +58,13 @@ class Component {
   /// subscribes here.
   std::function<void(JobId, double, tta::RoundId)> on_transducer_anomaly;
 
+  /// Last-hop delivery gate: when set, a message reaches a hosted
+  /// receiver job only if the filter returns true. Null (the default)
+  /// delivers everything. Scenario-level fault instrumentation installs
+  /// per-receiver drops here; the platform layer itself stays fault-model
+  /// agnostic.
+  std::function<bool(const vnet::Message&, JobId receiver)> delivery_filter;
+
  private:
   void build_payload(tta::RoundId round, std::vector<std::uint8_t>& out);
   void route_local(const vnet::Message& msg);

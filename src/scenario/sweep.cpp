@@ -1,0 +1,216 @@
+#include "scenario/sweep.hpp"
+
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "exec/runner.hpp"
+#include "scenario/fig10.hpp"
+
+namespace decos::scenario {
+namespace {
+
+Fig10Options rig_options(const SweepOptions& opts) {
+  Fig10Options fo;
+  fo.seed = opts.seed;
+  // The no-orphans leg of the oracle audits the provenance ledger, so
+  // every sweep run traces.
+  fo.provenance = true;
+  if (opts.rig == SweepOptions::Rig::kChaosRig) {
+    fo.components = 7;
+    fo.assessor_host = 5;
+    fo.assessor_replicas = {6};
+  }
+  return fo;
+}
+
+/// What one run (discovery or armed) hands back.
+struct PointRun {
+  ConvergenceVerdict verdict;
+  FaultPointManifest manifest;
+};
+
+/// Executes one deterministic run. Discovery and armed runs share this
+/// one code path — including the harvest below, whose lazy-failover
+/// accessors also reach fault sites — so the counting run's tallies are
+/// exactly the occurrence space every armed run replays.
+PointRun run_one(const SweepOptions& opts,
+                 std::optional<fault::FaultPoint> armed) {
+  Fig10Options fo = rig_options(opts);
+  Fig10System rig(fo);
+
+  fault::FaultPointRegistry reg;
+  if (armed) {
+    reg.arm(*armed);
+  } else {
+    reg.count();
+  }
+  rig.diag().bind_fault_points(&reg);
+
+  maintenance::MaintenanceExecutor executor(rig.system(), rig.diag(),
+                                            rig.injector(), opts.executor);
+  executor.bind_fault_points(&reg);
+
+  // Last-hop gate on every component: one diagnostic-vnet delivery (per
+  // receiver) is an enumerable drop. Application vnets pass untouched.
+  for (platform::ComponentId c = 0; c < fo.components; ++c) {
+    rig.system().component(c).delivery_filter =
+        [&reg](const vnet::Message& m, platform::JobId) {
+          if (m.vnet != platform::kDiagnosticVnet) return true;
+          return !reg.hit(fault::FaultSite::kDiagDeliver);
+        };
+  }
+
+  const platform::ComponentId victim = sweep_victim(opts);
+  rig.injector().inject_permanent_failure(victim,
+                                          sim::SimTime::zero() + opts.inject_at);
+  executor.start();
+  rig.run(opts.horizon);
+
+  PointRun out;
+  ConvergenceVerdict& v = out.verdict;
+  v.seed = opts.seed;
+  if (armed) {
+    v.site = armed->site;
+    v.occurrence = armed->occurrence;
+    v.fired = reg.fired();
+  } else {
+    // The baseline has no point to fire; satisfy the oracle's firing leg
+    // so converged() judges the pipeline alone.
+    v.fired = true;
+  }
+
+  // Harvest in a fixed order (the accessors below lazily re-evaluate
+  // failover, which itself reaches fault sites).
+  diag::DiagnosticService& service = rig.diag();
+  const diag::Assessor& active = service.assessor();
+  const fault::FaultClass truth = rig.injector().truth_for_component(victim);
+
+  v.final_trust = active.component_trust(victim);
+  v.trust_reconverged = v.final_trust >= opts.executor.verify_trust ||
+                        executor.quarantined_component(victim);
+
+  bool classified = false;
+  bool all_closed = true;
+  bool victim_order = false;
+  bool victim_terminal = false;
+  for (const maintenance::WorkOrder& o : executor.work_orders()) {
+    if (o.is_open()) all_closed = false;
+    if (o.job || o.component != victim) continue;
+    victim_order = true;
+    if (o.first_diagnosis == truth) classified = true;
+    if (o.state == maintenance::WorkOrderState::kVerified ||
+        o.state == maintenance::WorkOrderState::kQuarantined) {
+      victim_terminal = true;
+    }
+  }
+  if (!classified) {
+    classified = active.diagnose_component(victim).cls == truth;
+  }
+  v.classified = classified;
+  v.terminal_outcome = all_closed && victim_terminal;
+  // A verified repair erases the FRU's violation instant by design
+  // (reset_component_trust), so a work order on the victim is itself
+  // proof of detection — orders only open on a trust violation.
+  v.detected = victim_order || active.first_component_violation(victim).has_value();
+
+  // Close ledger journeys whose chain reached the verdict stage (same
+  // discharge rule as the chaos campaign), then audit: any remaining
+  // orphan is an injected fault the pipeline lost track of.
+  obs::ProvenanceTracer& tracer = rig.sim().provenance();
+  const auto verdict_reached = [&tracer](obs::ProvenanceId id) {
+    const obs::ProvJourney* jr = tracer.journey(id);
+    return jr != nullptr &&
+           jr->first_stage_ns[static_cast<int>(obs::ProvStage::kVerdict)] >= 0;
+  };
+  for (const fault::InjectedFault& f : rig.injector().ledger()) {
+    bool discharged = verdict_reached(f.provenance);
+    if (!discharged) {
+      const obs::ProvenanceId owner =
+          f.job.has_value() ? tracer.journey_for_job(*f.job)
+                            : tracer.journey_for_component(f.component);
+      discharged = owner != f.provenance && verdict_reached(owner);
+    }
+    if (discharged) {
+      tracer.set_terminal(f.provenance, obs::ProvOutcome::kClassified);
+    }
+  }
+  v.no_orphans = tracer.audit().orphans == 0;
+
+  for (int i = 0; i < fault::kFaultSiteCount; ++i) {
+    out.manifest.counts[static_cast<std::size_t>(i)] =
+        reg.reached(static_cast<fault::FaultSite>(i));
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(SweepOptions::Rig rig) {
+  return rig == SweepOptions::Rig::kFig10 ? "fig10" : "chaos-rig";
+}
+
+platform::ComponentId sweep_victim(const SweepOptions& opts) {
+  // Fig. 10: component 1 hosts jobs of several DASs — the integrated
+  // sharing the spatial judgement cares about. Chaos rig: the primary
+  // assessor's own host dies, so the diagnostic DAS must survive the
+  // fault it is diagnosing (failover, repair, debounced failback).
+  return opts.rig == SweepOptions::Rig::kFig10 ? 1 : 5;
+}
+
+std::vector<fault::FaultPoint> FaultPointManifest::points(
+    std::size_t max) const {
+  std::vector<fault::FaultPoint> out;
+  const std::size_t cap = max == 0 ? SIZE_MAX : max;
+  for (int s = 0; s < fault::kFaultSiteCount; ++s) {
+    for (std::uint64_t occ = 0; occ < counts[static_cast<std::size_t>(s)];
+         ++occ) {
+      if (out.size() >= cap) return out;
+      out.push_back(fault::FaultPoint{static_cast<fault::FaultSite>(s), occ});
+    }
+  }
+  return out;
+}
+
+DiscoveryResult discover_fault_space(const SweepOptions& opts) {
+  PointRun run = run_one(opts, std::nullopt);
+  return DiscoveryResult{run.manifest, run.verdict};
+}
+
+SweepResult run_fault_space_sweep(const SweepOptions& opts,
+                                  std::size_t max_points, unsigned jobs) {
+  SweepResult result;
+  const DiscoveryResult discovery = discover_fault_space(opts);
+  result.manifest = discovery.manifest;
+  result.baseline = discovery.baseline;
+  result.space_size = result.manifest.total();
+
+  const std::vector<fault::FaultPoint> points =
+      result.manifest.points(max_points);
+  result.truncated = points.size() < result.space_size;
+  result.verdicts.reserve(points.size());
+
+  std::vector<std::function<ConvergenceVerdict()>> runs;
+  runs.reserve(points.size());
+  for (const fault::FaultPoint& p : points) {
+    runs.push_back([&opts, p] { return run_one(opts, p).verdict; });
+  }
+
+  exec::ExperimentRunner runner(jobs);
+  runner.run_and_merge<ConvergenceVerdict>(
+      std::move(runs),
+      [&result](std::size_t, const ConvergenceVerdict& v) {
+        result.verdicts.push_back(v);
+        if (!v.converged()) result.counterexamples.push_back(v);
+        ++result.executed;
+      },
+      [&points](std::size_t i) { return points[i].token(); });
+  return result;
+}
+
+ConvergenceVerdict replay_fault_point(const SweepOptions& opts,
+                                      fault::FaultPoint point) {
+  return run_one(opts, point).verdict;
+}
+
+}  // namespace decos::scenario

@@ -87,6 +87,30 @@ TEST(ExperimentRunner, RunAndMergeReportsTheFailedRunIndex) {
   }
 }
 
+TEST(ExperimentRunner, ExperimentErrorCarriesIndexLabelAndMessage) {
+  // The sweep drivers label runs with replay tokens; a mid-batch failure
+  // must surface the structured triple, not just a flattened string.
+  exec::ExperimentRunner runner(2);
+  std::vector<std::function<int()>> runs;
+  runs.push_back([] { return 1; });
+  runs.push_back([]() -> int { throw std::runtime_error("bad seed"); });
+  runs.push_back([] { return 3; });
+  try {
+    runner.run_and_merge<int>(
+        std::move(runs), [](std::size_t, int) {},
+        [](std::size_t i) { return "resend-push:" + std::to_string(i); });
+    FAIL() << "expected ExperimentError";
+  } catch (const exec::ExperimentError& e) {
+    EXPECT_EQ(e.index(), 1u);
+    EXPECT_EQ(e.label(), "resend-push:1");
+    EXPECT_EQ(e.message(), "bad seed");
+    const std::string what = e.what();
+    EXPECT_NE(what.find("run 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("resend-push:1"), std::string::npos) << what;
+    EXPECT_NE(what.find("bad seed"), std::string::npos) << what;
+  }
+}
+
 TEST(ExperimentRunner, MergesInSubmissionOrderRegardlessOfFinishOrder) {
   exec::ExperimentRunner runner(4);
   std::vector<std::function<std::size_t()>> runs;

@@ -494,10 +494,48 @@ TEST(BenchReporter, DuplicateSeedsAreRejected) {
 }
 
 TEST(BenchReporter, MissingFlagValuesAreRejected) {
-  for (const char* flag : {"--seeds", "--jobs", "--json", "--csv"}) {
+  for (const char* flag :
+       {"--seeds", "--jobs", "--json", "--csv", "--replay", "--max-points"}) {
     FakeArgv args({"bench", flag});
     BenchReporter reporter("t", args.argc(), args.argv());
     EXPECT_NE(reporter.finish(), 0) << flag;
+  }
+}
+
+TEST(BenchReporter, ReplayTokenParses) {
+  FakeArgv args({"bench", "--replay", "heartbeat-send:17"});
+  BenchReporter reporter("t", args.argc(), args.argv());
+  EXPECT_TRUE(reporter.replay_requested());
+  EXPECT_EQ(reporter.replay_token(), "heartbeat-send:17");
+  EXPECT_EQ(reporter.finish(), 0);
+}
+
+TEST(BenchReporter, MalformedReplayTokenIsRejected) {
+  // The reporter checks the token *shape* (name:integer); site-name
+  // resolution belongs to fault::parse_fault_point downstream.
+  for (const char* token : {"heartbeat-send", ":17", "heartbeat-send:",
+                            "heartbeat-send:x", "heartbeat-send:1x"}) {
+    FakeArgv args({"bench", "--replay", token});
+    BenchReporter reporter("t", args.argc(), args.argv());
+    EXPECT_NE(reporter.finish(), 0) << token;
+  }
+}
+
+TEST(BenchReporter, MaxPointsParses) {
+  FakeArgv args({"bench", "--max-points", "50"});
+  BenchReporter reporter("t", args.argc(), args.argv());
+  EXPECT_TRUE(reporter.has_max_points());
+  EXPECT_EQ(reporter.max_points(), 50u);
+  EXPECT_EQ(reporter.finish(), 0);
+}
+
+TEST(BenchReporter, MaxPointsZeroOrMalformedIsRejected) {
+  // 0 would silently mean "unbounded" — reject it so a typo cannot turn
+  // a CI smoke into a full enumeration.
+  for (const char* value : {"0", "many", "12x"}) {
+    FakeArgv args({"bench", "--max-points", value});
+    BenchReporter reporter("t", args.argc(), args.argv());
+    EXPECT_NE(reporter.finish(), 0) << value;
   }
 }
 
