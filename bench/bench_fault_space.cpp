@@ -8,7 +8,7 @@
 // zero provenance orphans). Every oracle violation prints as a
 // counterexample with a one-line replay token.
 //
-//   bench_fault_space                        # full enumeration, both rigs
+//   bench_fault_space                        # full enumeration, all rigs
 //   bench_fault_space --max-points 50        # bounded smoke (CI)
 //   bench_fault_space --replay resend-push:7 # re-execute one point
 //
@@ -100,15 +100,16 @@ std::size_t sweep_rig(obs::BenchReporter& reporter, obs::Registry& metrics,
   return violations;
 }
 
-/// `--replay` path: re-execute one enumerated point on both rig
-/// configurations. Succeeds when the point fires on at least one rig and
+/// `--replay` path: re-execute one enumerated point on every rig
+/// configuration. Succeeds when the point fires on at least one rig and
 /// every rig it fires on converges.
 int replay(obs::BenchReporter& reporter, const fault::FaultPoint& point) {
-  std::printf("replaying %s on both rigs\n", point.token().c_str());
+  std::printf("replaying %s on all rigs\n", point.token().c_str());
   bool fired_somewhere = false;
   bool violated = false;
   for (const auto rig : {scenario::SweepOptions::Rig::kFig10,
-                         scenario::SweepOptions::Rig::kChaosRig}) {
+                         scenario::SweepOptions::Rig::kChaosRig,
+                         scenario::SweepOptions::Rig::kHierarchy}) {
     scenario::SweepOptions opts;
     opts.rig = rig;
     const scenario::ConvergenceVerdict v =
@@ -157,6 +158,9 @@ int main(int argc, char** argv) {
                           max_points, reporter.jobs());
   violations += sweep_rig(reporter, metrics,
                           scenario::SweepOptions::Rig::kChaosRig, max_points,
+                          reporter.jobs());
+  violations += sweep_rig(reporter, metrics,
+                          scenario::SweepOptions::Rig::kHierarchy, max_points,
                           reporter.jobs());
 
   if (violations == 0) {

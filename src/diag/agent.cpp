@@ -53,6 +53,25 @@ Agent::Agent(platform::System& system, platform::DasId diag_das,
       };
 }
 
+void Agent::enable_hierarchy(const HierarchyTopology* view,
+                             std::vector<platform::PortId> tester_ports) {
+  topo_ = view;
+  tester_ports_ = std::move(tester_ports);
+  fanout_metric_ =
+      system_.simulator().metrics().counter("diag.agent.route_fanout");
+}
+
+std::size_t Agent::route(platform::JobContext& ctx, const vnet::Message& m,
+                         platform::ComponentId subject) {
+  std::size_t ok = 0;
+  for (const HierarchyTopology::Position p : topo_->testers(subject)) {
+    if (p >= tester_ports_.size()) continue;
+    if (ctx.send(tester_ports_[p], m.value, m.kind, m.aux)) ++ok;
+  }
+  if (ok > 0) fanout_metric_.inc(ok);
+  return ok;
+}
+
 void Agent::trace_symptom(const Symptom& s, std::string_view detail) {
   if (!prov_->enabled()) return;
   // Attribute by subject FRU: job-level faults own the job mapping, every
@@ -203,7 +222,17 @@ void Agent::flush(platform::JobContext& ctx) {
       hb.symptoms_dropped = static_cast<std::uint32_t>(
           dropped_ > 0xFFFFFFFFu ? 0xFFFFFFFFu : dropped_);
       const vnet::Message m = encode_heartbeat(hb, round);
-      if (ctx.send(port_, m.value, m.kind, m.aux)) {
+      if (hierarchical()) {
+        // Heartbeats feed the staleness watchdogs of this component's own
+        // testers — nobody else keeps channel state for it.
+        const std::size_t copies = route(ctx, m, component_);
+        if (copies > 0) {
+          last_heartbeat_ = round;
+          ++heartbeats_;
+          heartbeats_metric_.inc();
+          sent += copies;
+        }
+      } else if (ctx.send(port_, m.value, m.kind, m.aux)) {
         last_heartbeat_ = round;
         ++heartbeats_;
         heartbeats_metric_.inc();
@@ -216,7 +245,17 @@ void Agent::flush(platform::JobContext& ctx) {
   while (!pending_.empty() && sent < 16) {
     const Symptom& s = pending_.front();
     const vnet::Message m = encode(s, round);
-    if (!ctx.send(port_, m.value, m.kind, m.aux)) break;  // queue full
+    if (hierarchical()) {
+      // Routed by subject: only the FRU's current testers receive the
+      // symptom, so per-symptom traffic is the tester-set size (log A + 1)
+      // instead of the assessor count.
+      const std::size_t copies = route(ctx, m, s.subject_component);
+      if (copies == 0) break;  // all destination queues full
+      sent += copies;
+    } else {
+      if (!ctx.send(port_, m.value, m.kind, m.aux)) break;  // queue full
+      ++sent;
+    }
     // Resend-push fault site: firing means this symptom never enters the
     // retransmission buffer — its original send is its only chance.
     if (p_.hardening && p_.max_resends > 0 &&
@@ -225,7 +264,6 @@ void Agent::flush(platform::JobContext& ctx) {
       while (resend_.size() > p_.resend_buffer) resend_.pop_front();
     }
     pending_.pop_front();
-    ++sent;
   }
 
   // Retransmissions with exponential backoff: a lost original becomes a
@@ -236,7 +274,16 @@ void Agent::flush(platform::JobContext& ctx) {
       if (sent >= 16) break;
       if (r.sends > p_.max_resends || round < r.due) continue;
       const vnet::Message m = encode(r.s, round);
-      if (!ctx.send(port_, m.value, m.kind, m.aux)) break;
+      if (hierarchical()) {
+        // Resends re-route through the *current* tester set, so a symptom
+        // whose testers were reassigned mid-backoff still lands where the
+        // evidence is now being kept.
+        const std::size_t copies = route(ctx, m, r.s.subject_component);
+        if (copies == 0) break;
+        sent += copies - 1;  // loop header adds the final +1 below
+      } else if (!ctx.send(port_, m.value, m.kind, m.aux)) {
+        break;
+      }
       trace_symptom(r.s, "resend");
       ++sent;
       ++resent_;

@@ -27,6 +27,7 @@
 
 #include "diag/port_spec.hpp"
 #include "diag/symptom.hpp"
+#include "diag/topology.hpp"
 #include "fault/faultpoint.hpp"
 #include "obs/metrics.hpp"
 #include "obs/provenance.hpp"
@@ -79,6 +80,18 @@ class Agent {
   /// sites. DiagnosticService::bind_fault_points wires every agent.
   void bind_fault_points(fault::FaultPointRegistry* fp) { fp_ = fp; }
 
+  /// Switches the agent to hierarchy routing: instead of multicasting on
+  /// the shared symptom port, each flushed message is unicast to the
+  /// *current testers* of its routing key (the subject component;
+  /// heartbeats key on the agent's own component). `view` is the
+  /// service's overlay view (not owned, refreshed by the service each
+  /// round); `tester_ports[p]` is this agent's unicast port to the
+  /// assessor at cube position p. Traffic becomes O(log A) per symptom
+  /// instead of O(A) — the tentpole scaling change.
+  void enable_hierarchy(const HierarchyTopology* view,
+                        std::vector<platform::PortId> tester_ports);
+  [[nodiscard]] bool hierarchical() const { return topo_ != nullptr; }
+
  private:
   void on_observation(const tta::SlotObservation& obs);
   void on_overflow(platform::PortId port, tta::RoundId round);
@@ -100,6 +113,15 @@ class Agent {
   std::string entity_;
   platform::JobId job_id_ = platform::kInvalidJob;
   platform::PortId port_ = 0;
+
+  /// Hierarchy routing state (see enable_hierarchy).
+  const HierarchyTopology* topo_ = nullptr;
+  std::vector<platform::PortId> tester_ports_;
+  /// Sends one encoded message to every current tester of `subject`;
+  /// returns the number of unicast sends that were accepted (0 means
+  /// every destination queue pushed back — retry next round).
+  std::size_t route(platform::JobContext& ctx, const vnet::Message& m,
+                    platform::ComponentId subject);
 
   /// Coalescing: at most one symptom per (type, subject component, subject
   /// job) per round; repeats bump the magnitude (occurrence count or max
@@ -139,6 +161,7 @@ class Agent {
   obs::Counter heartbeats_metric_;
   obs::Counter retransmissions_metric_;
   obs::Counter dropped_metric_;
+  obs::Counter fanout_metric_;
 };
 
 }  // namespace decos::diag

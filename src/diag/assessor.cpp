@@ -20,6 +20,50 @@ Assessor::Assessor(Params p, fault::SpatialLayout layout,
       mask_words_((component_count + 63) / 64) {
   if (mask_words_ == 0) mask_words_ = 1;
   transport_masks_.assign(component_count_ * mask_words_, 0);
+  if (p_.incremental_summaries) {
+    summary_ = EvidenceSummary(&store_,
+                               classifier_.resolved_features(component_count),
+                               p_.classifier.alpha_decay, component_count,
+                               classifier_.layout());
+  }
+}
+
+void Assessor::enable_hierarchy(HierarchyTopology topology,
+                                std::uint32_t position,
+                                platform::PortId dissem_port) {
+  topo_ = std::move(topology);
+  position_ = position;
+  dissem_port_ = dissem_port;
+  comp_delta_active_.assign(component_count_, false);
+}
+
+void Assessor::register_peer(platform::JobId assessor_job,
+                             std::uint32_t position) {
+  peer_position_[assessor_job] = position;
+}
+
+void Assessor::refresh_topology(const std::vector<bool>& alive) {
+  if (!topo_) return;
+  if (!topo_->would_change(alive)) return;
+  if (fp_ && fp_->hit(fault::FaultSite::kTesterReassign)) {
+    // The recompute lags the membership change by one assessment round:
+    // this side keeps routing/accepting on the stale tester sets while
+    // its peers have already moved — the reassignment race the E20
+    // oracle must show convergence under.
+    return;
+  }
+  topo_->update(alive);
+}
+
+void Assessor::bind_hierarchy_metrics(obs::Registry& registry) {
+  hier_accepted_metric_ = registry.counter("diag.hierarchy.symptoms_accepted");
+  hier_filtered_metric_ = registry.counter("diag.hierarchy.symptoms_filtered");
+  hier_emitted_metric_ = registry.counter("diag.hierarchy.deltas_emitted");
+  hier_forwarded_metric_ = registry.counter("diag.hierarchy.deltas_forwarded");
+  hier_delta_accepted_metric_ =
+      registry.counter("diag.hierarchy.deltas_accepted");
+  hier_duplicate_metric_ = registry.counter("diag.hierarchy.deltas_duplicate");
+  hier_rejected_metric_ = registry.counter("diag.hierarchy.deltas_rejected");
 }
 
 void Assessor::register_agent(platform::JobId agent_job,
@@ -148,8 +192,16 @@ bool Assessor::dedupe_accept(const Symptom& s) {
 }
 
 void Assessor::ingest_external(const Symptom& s) {
+  if (hierarchical() && !topo_->is_tester(position_, s.subject_component)) {
+    // Guardian-block reports follow the same implicit addressing as the
+    // wire stream: only the subject's testers account them.
+    ++hier_.symptoms_filtered;
+    hier_filtered_metric_.inc();
+    return;
+  }
   if (recorder_) recorder_->record(s);
   store_.ingest(s);
+  summary_.note_ingest(s);
   symptoms_metric_.inc();
   if (prov_ && prov_->enabled()) {
     prov_->event(journey_for(s), obs::ProvStage::kEvidence, "assessor",
@@ -175,14 +227,30 @@ void Assessor::process(platform::JobContext& ctx) {
 
   for (const vnet::Message& m : ctx.inbox()) {
     auto agent_it = agent_component_.find(m.sender);
-    if (agent_it == agent_component_.end()) continue;  // not a known agent
+    if (agent_it == agent_component_.end()) {
+      // Not a known agent: in hierarchy mode this is where verdict
+      // deltas from peer assessors arrive on the dissemination vnet.
+      if (hierarchical()) handle_delta(m);
+      continue;
+    }
     const platform::ComponentId agent = agent_it->second;
     if (const auto hb = decode_heartbeat(m)) {
+      if (hierarchical() && !topo_->is_tester(position_, agent)) {
+        // Implicit addressing: the overlay's routing is enforced at the
+        // receiver — a tester keeps channel state only for its slice.
+        ++hier_.symptoms_filtered;
+        hier_filtered_metric_.inc();
+        continue;
+      }
       if (fp_ && fp_->hit(fault::FaultSite::kHeartbeatReceive)) {
         // Heartbeat dropped at the inbox: neither liveness nor the wire
         // sequence advances, so the loss surfaces later as staleness plus
         // a sequence gap — exactly like a frame lost in flight.
         continue;
+      }
+      if (hierarchical()) {
+        ++hier_.symptoms_accepted;
+        hier_accepted_metric_.inc();
       }
       if (p_.hardening) track_channel(agent, m);
       ++heartbeats_;
@@ -197,9 +265,26 @@ void Assessor::process(platform::JobContext& ctx) {
       }
       continue;
     }
-    if (p_.hardening) track_channel(agent, m);
+    if (p_.hardening && !hierarchical()) track_channel(agent, m);
     const auto symptom = decode(m, agent);
     if (!symptom) continue;
+    if (hierarchical()) {
+      // The routing key is the subject component (job symptoms carry
+      // their host there), so every tester of a FRU sees the identical
+      // evidence stream about it — and nothing else.
+      if (!topo_->is_tester(position_, symptom->subject_component)) {
+        ++hier_.symptoms_filtered;
+        hier_filtered_metric_.inc();
+        continue;
+      }
+      ++hier_.symptoms_accepted;
+      hier_accepted_metric_.inc();
+      // Liveness only, no wire-sequence accounting: a slice subscriber
+      // legitimately skips most of an agent's stream, so sequence jumps
+      // carry no loss signal here (gaps never feed trust either way).
+      AgentChannel& ch = channels_[agent];
+      ch.last_heard = std::max(ch.last_heard, round_);
+    }
     // Retransmissions arrive as duplicates of an already-ingested
     // observation key; charging them again would let the resend machinery
     // itself erode trust.
@@ -210,6 +295,7 @@ void Assessor::process(platform::JobContext& ctx) {
     }
     if (recorder_) recorder_->record(*symptom);
     store_.ingest(*symptom);
+    summary_.note_ingest(*symptom);
     symptoms_metric_.inc();
     if (prov_ && prov_->enabled()) {
       prov_->event(journey_for(*symptom), obs::ProvStage::kEvidence,
@@ -309,6 +395,8 @@ void Assessor::process(platform::JobContext& ctx) {
     }
   }
 
+  if (hierarchical()) emit_deltas(ctx);
+
   // Trajectory sampling (Fig. 9).
   if (round_ >= last_sample_ + p_.sample_period) {
     last_sample_ = round_;
@@ -328,7 +416,181 @@ void Assessor::process(platform::JobContext& ctx) {
                   [horizon](const DedupKey& k) { return k.round < horizon; });
   }
 
+  summary_.fold(round_);
   store_.prune(round_);
+  summary_.note_prune(
+      round_ > p_.evidence.window_rounds ? round_ - p_.evidence.window_rounds
+                                         : 0);
+}
+
+void Assessor::handle_delta(const vnet::Message& m) {
+  const auto peer = peer_position_.find(m.sender);
+  if (peer == peer_position_.end()) return;  // not a peer assessor either
+  auto delta = decode_delta(m);
+  if (!delta) return;
+  // Deltas travel strictly along cube edges; anything else is a routing
+  // anomaly (stale peer view, misconfiguration) and is refused so the
+  // flood's termination argument stays edge-local.
+  if (!topo_->are_neighbors(position_, peer->second)) {
+    ++hier_.deltas_rejected;
+    hier_rejected_metric_.inc();
+    return;
+  }
+  if (fp_ && fp_->hit(fault::FaultSite::kStaleVerdict)) {
+    // Stale-verdict delivery: the copy arrives claiming an ancient
+    // emission instant. The monotonic merge below must shrug it off —
+    // any cached entry is newer, and a round-0 ghost can never displace
+    // a live verdict.
+    delta->round = 0;
+  }
+  const auto seen_key = std::make_tuple(delta->origin, delta->job_level,
+                                        delta->fru);
+  auto [seen_it, first_time] = delta_seen_.emplace(seen_key, delta->round);
+  if (!first_time) {
+    if (delta->round <= seen_it->second) {
+      // Re-flooded copy of an emission we already propagated (or an older
+      // one): absorb silently. This is what terminates the flood.
+      ++hier_.deltas_duplicate;
+      hier_duplicate_metric_.inc();
+      return;
+    }
+    seen_it->second = delta->round;
+  }
+  ++hier_.deltas_accepted;
+  hier_delta_accepted_metric_.inc();
+  const DeltaKey key{delta->job_level, delta->fru};
+  if (delta->clear) {
+    // A clear only withdraws the *origin's own* suspicion; a verdict
+    // cached from a different tester stands until that tester clears it.
+    auto it = delta_cache_.find(key);
+    if (it != delta_cache_.end() && it->second.origin == delta->origin) {
+      delta_cache_.erase(it);
+    }
+  } else {
+    auto [it, inserted] = delta_cache_.emplace(key, *delta);
+    if (!inserted) {
+      VerdictDelta& cur = it->second;
+      // Latest emission wins; ties break to the lower origin position so
+      // every node converges on the identical cache entry.
+      if (delta->round > cur.round ||
+          (delta->round == cur.round && delta->origin < cur.origin)) {
+        cur = *delta;
+      }
+    }
+  }
+  if (prov_ && prov_->enabled() && !delta->job_level && !delta->clear) {
+    prov_->event(prov_->journey_for_component(
+                     static_cast<platform::ComponentId>(delta->fru)),
+                 obs::ProvStage::kVerdict, "dissemination",
+                 fault::to_string(delta->cls), round_);
+  }
+  // Forward exactly once per newly-seen emission, to all neighbours (the
+  // budget-bounded drain excludes the edge it arrived on implicitly: the
+  // sender already saw this emission and will dedupe it).
+  dissem_out_.push_back(PendingDelta{*delta, /*forward=*/true});
+}
+
+void Assessor::queue_clear_delta(bool job_level, std::uint32_t fru,
+                                 double trust) {
+  VerdictDelta d;
+  d.job_level = job_level;
+  d.fru = fru;
+  d.origin = position_;
+  d.trust = trust;
+  d.cls = fault::FaultClass::kNone;
+  d.clear = true;
+  d.round = round_;
+  delta_seen_[std::make_tuple(position_, job_level, fru)] = round_;
+  dissem_out_.push_back(PendingDelta{d, /*forward=*/false});
+}
+
+void Assessor::emit_deltas(platform::JobContext& ctx) {
+  // Edge-triggered emissions: a slice FRU crossing the violation threshold
+  // publishes one delta immediately; recovery above it publishes a clear.
+  // A standing suspicion is re-emitted every refresh period so late
+  // joiners and lossy paths converge without any retransmission protocol.
+  const bool refresh =
+      round_ >= last_delta_refresh_ + p_.delta_refresh_period;
+  if (refresh) last_delta_refresh_ = round_;
+  auto emit = [&](bool job_level, std::uint32_t fru, double trust) {
+    VerdictDelta d;
+    d.job_level = job_level;
+    d.fru = fru;
+    d.origin = position_;
+    d.trust = trust;
+    d.cls = job_level
+                ? diagnose_job(static_cast<platform::JobId>(fru)).cls
+                : diagnose_component(static_cast<platform::ComponentId>(fru))
+                      .cls;
+    d.clear = false;
+    d.round = round_;
+    delta_seen_[std::make_tuple(position_, job_level, fru)] = round_;
+    dissem_out_.push_back(PendingDelta{d, /*forward=*/false});
+  };
+  for (platform::ComponentId c = 0; c < component_count_; ++c) {
+    if (!topo_->is_tester(position_, c)) continue;
+    const bool suspect =
+        component_trust_[c] < p_.trust.violation_threshold;
+    if (suspect && (!comp_delta_active_[c] || refresh)) {
+      comp_delta_active_[c] = true;
+      emit(false, c, component_trust_[c]);
+    } else if (!suspect && comp_delta_active_[c]) {
+      comp_delta_active_[c] = false;
+      queue_clear_delta(false, c, component_trust_[c]);
+    }
+  }
+  for (const auto& [j, trust] : job_trust_) {
+    const auto host_it = job_host_.find(j);
+    if (host_it == job_host_.end()) continue;
+    if (!topo_->is_tester(position_, host_it->second)) continue;
+    const bool suspect = trust < p_.trust.violation_threshold;
+    bool& active = job_delta_active_[j];
+    if (suspect && (!active || refresh)) {
+      active = true;
+      emit(true, j, trust);
+    } else if (!suspect && active) {
+      active = false;
+      queue_clear_delta(true, j, trust);
+    }
+  }
+  // Budgeted drain: own emissions and forwards share the per-round send
+  // allowance; leftovers stay queued (FIFO) for the next round.
+  std::size_t sent = 0;
+  while (!dissem_out_.empty() && sent < p_.dissem_budget) {
+    const PendingDelta pd = dissem_out_.front();
+    dissem_out_.pop_front();
+    if (pd.forward && fp_ && fp_->hit(fault::FaultSite::kDissemForward)) {
+      // Forward drop: the copy vanishes at this hop. Other cube paths
+      // and the origin's periodic refresh must still converge the cache.
+      continue;
+    }
+    const vnet::Message m = encode_delta(pd.d, round_);
+    if (!ctx.send(dissem_port_, m.value, m.kind, m.aux)) {
+      // Port back-pressure: requeue at the front and stop — order is
+      // preserved and the budget retries next round.
+      dissem_out_.push_front(pd);
+      break;
+    }
+    ++sent;
+    if (pd.forward) {
+      ++hier_.deltas_forwarded;
+      hier_forwarded_metric_.inc();
+    } else {
+      ++hier_.deltas_emitted;
+      hier_emitted_metric_.inc();
+    }
+  }
+}
+
+const VerdictDelta* Assessor::cached_component_delta(
+    platform::ComponentId c) const {
+  const auto it = delta_cache_.find(DeltaKey{false, c});
+  return it == delta_cache_.end() ? nullptr : &it->second;
+}
+
+const VerdictDelta* Assessor::cached_job_delta(platform::JobId j) const {
+  const auto it = delta_cache_.find(DeltaKey{true, j});
+  return it == delta_cache_.end() ? nullptr : &it->second;
 }
 
 void Assessor::export_staleness() {
@@ -344,11 +606,26 @@ void Assessor::export_staleness() {
 void Assessor::reset_component_trust(platform::ComponentId c) {
   component_trust_.at(c) = p_.trust.initial;
   component_violation_round_.erase(c);
+  if (hierarchical()) {
+    delta_cache_.erase(DeltaKey{false, c});
+    if (comp_delta_active_[c]) {
+      comp_delta_active_[c] = false;
+      queue_clear_delta(false, c, p_.trust.initial);
+    }
+  }
 }
 
 void Assessor::reset_job_trust(platform::JobId j) {
   job_trust_[j] = p_.trust.initial;
   job_violation_round_.erase(j);
+  if (hierarchical()) {
+    delta_cache_.erase(DeltaKey{true, j});
+    auto it = job_delta_active_.find(j);
+    if (it != job_delta_active_.end() && it->second) {
+      it->second = false;
+      queue_clear_delta(true, j, p_.trust.initial);
+    }
+  }
 }
 
 void Assessor::reconcile_from(const Assessor& fresher) {
@@ -389,12 +666,24 @@ void Assessor::reconcile_from(const Assessor& fresher) {
     store_ = fresher.store_;
     component_trajectories_ = fresher.component_trajectories_;
     last_sample_ = fresher.last_sample_;
+    if (summary_.enabled()) {
+      if (fresher.summary_.enabled()) {
+        summary_ = fresher.summary_;
+        summary_.rebind(&store_);
+      } else {
+        // Fresh summary over the adopted store; first access rebuilds.
+        summary_ = EvidenceSummary(
+            &store_, classifier_.resolved_features(component_count_),
+            p_.classifier.alpha_decay, component_count_, classifier_.layout());
+      }
+    }
   }
   seen_.insert(fresher.seen_.begin(), fresher.seen_.end());
 }
 
 Diagnosis Assessor::diagnose_component(platform::ComponentId c) const {
-  Diagnosis d = classifier_.classify_component(store_, c, round_, component_count_);
+  Diagnosis d = classifier_.classify_component(store_, c, round_,
+                                               component_count_, summary_ptr());
   if (metrics_) {
     metrics_
         ->counter("diag.classifications",

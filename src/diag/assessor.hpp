@@ -22,9 +22,11 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <optional>
 #include <set>
+#include <tuple>
 #include <vector>
 
 #include "fault/faultpoint.hpp"
@@ -33,7 +35,9 @@
 #include "diag/classifier.hpp"
 #include "diag/evidence.hpp"
 #include "diag/log.hpp"
+#include "diag/summary.hpp"
 #include "diag/symptom.hpp"
+#include "diag/topology.hpp"
 #include "platform/job.hpp"
 #include "platform/types.hpp"
 
@@ -89,6 +93,17 @@ class Assessor {
     /// Observation-key dedupe horizon in rounds (must exceed the agents'
     /// largest resend backoff).
     tta::RoundId dedupe_window = 512;
+    /// Maintain incremental evidence summaries so classification folds
+    /// the aged window once instead of rescanning it per classify call.
+    /// Off by default: the legacy rigs keep the exact walk path.
+    bool incremental_summaries = false;
+    /// Hierarchy mode: rounds between periodic re-emissions of a still-
+    /// standing verdict delta (edge-triggered emissions happen at the
+    /// violation instant regardless).
+    tta::RoundId delta_refresh_period = 16;
+    /// Hierarchy mode: verdict deltas handed to the dissemination port
+    /// per assessment round (own emissions + forwards; leftovers queue).
+    std::size_t dissem_budget = 16;
   };
 
   Assessor(Params p, fault::SpatialLayout layout, std::uint32_t component_count,
@@ -120,6 +135,13 @@ class Assessor {
   /// simulator's registry automatically.
   void bind_metrics(obs::Registry& registry);
 
+  /// Binds the hierarchy-mode dissemination counters. Unlike bind_metrics
+  /// (primary only — replicas would double-count the shared multicast),
+  /// these are bound on *every* assessor: each position filters and
+  /// forwards its own slice, so the cluster-wide sums are the meaningful
+  /// quantities (diag.hierarchy.* counters).
+  void bind_hierarchy_metrics(obs::Registry& registry);
+
   /// Attaches the provenance tracer (not owned; nullptr detaches): every
   /// ingested symptom appends a kEvidence span, the first trust violation
   /// per FRU and each classification append kVerdict spans — all linked to
@@ -148,8 +170,65 @@ class Assessor {
   /// evidence and channel state are deliberately kept — a mis-repair must
   /// stay classifiable from the full symptom history, and the agent
   /// channel belongs to the diagnostic path, not to the repaired FRU.
+  /// In hierarchy mode the reset also drops the FRU's cached disseminated
+  /// verdict and queues a clear delta, so a reconciling peer cannot
+  /// resurrect suspicion of a unit that is no longer installed.
   void reset_component_trust(platform::ComponentId c);
   void reset_job_trust(platform::JobId j);
+
+  // --- hierarchy mode ----------------------------------------------------
+  /// Switches this assessor into the VCube overlay: it keeps per-FRU
+  /// evidence only for its tester slice, filters everything else at the
+  /// inbox, and exchanges verdict deltas with its cube neighbours on
+  /// `dissem_port`. `topology` is this assessor's *local* view — each
+  /// replica owns one and recomputes it from its own membership view.
+  void enable_hierarchy(HierarchyTopology topology, std::uint32_t position,
+                        platform::PortId dissem_port);
+  [[nodiscard]] bool hierarchical() const { return topo_.has_value(); }
+  [[nodiscard]] std::uint32_t position() const { return position_; }
+  [[nodiscard]] const HierarchyTopology& topology() const { return *topo_; }
+
+  /// Declares a peer assessor job and its cube position (delta acceptance
+  /// resolves senders through this map and checks the cube edge).
+  void register_peer(platform::JobId assessor_job, std::uint32_t position);
+
+  /// Feeds this assessor's membership view into its local topology.
+  /// Recomputed only when the view changed; the tester-reassignment fault
+  /// site defers one recompute by a round (the enumerable race between a
+  /// membership change and the overlay catching up).
+  void refresh_topology(const std::vector<bool>& alive);
+
+  /// Cross-cluster dissemination counters (hierarchy mode only).
+  struct HierarchyStats {
+    std::uint64_t symptoms_accepted = 0;
+    std::uint64_t symptoms_filtered = 0;
+    std::uint64_t deltas_emitted = 0;
+    std::uint64_t deltas_forwarded = 0;
+    std::uint64_t deltas_accepted = 0;
+    std::uint64_t deltas_duplicate = 0;
+    std::uint64_t deltas_rejected = 0;
+  };
+  [[nodiscard]] const HierarchyStats& hierarchy_stats() const { return hier_; }
+
+  /// Best disseminated verdict this assessor holds about a FRU outside
+  /// its own evidence (latest emission round wins; ties to the lowest
+  /// origin position). nullptr when nothing (non-cleared) is cached.
+  [[nodiscard]] const VerdictDelta* cached_component_delta(
+      platform::ComponentId c) const;
+  [[nodiscard]] const VerdictDelta* cached_job_delta(platform::JobId j) const;
+
+  /// Whether this assessor ever heard the FRU's agent at all — the
+  /// composition fallback test: a responsible tester that never heard the
+  /// agent (promoted after a multi-kill) serves the cached delta instead.
+  [[nodiscard]] bool ever_heard(platform::ComponentId c) const {
+    const AgentChannel& ch = channels_.at(c);
+    return ch.seq_seen || ch.last_heard != 0;
+  }
+
+  /// The incremental evidence summary, when enabled (tests/inspection).
+  [[nodiscard]] const EvidenceSummary* summary() const {
+    return summary_.enabled() ? &summary_ : nullptr;
+  }
 
   // --- results -----------------------------------------------------------
   [[nodiscard]] Diagnosis diagnose_component(platform::ComponentId c) const;
@@ -288,6 +367,48 @@ class Assessor {
   std::uint64_t duplicates_ = 0;
   std::uint64_t agent_drops_ = 0;
   std::uint64_t heartbeats_ = 0;
+
+  // --- hierarchy state ---------------------------------------------------
+  std::optional<HierarchyTopology> topo_;
+  std::uint32_t position_ = 0;
+  platform::PortId dissem_port_ = 0;
+  std::map<platform::JobId, std::uint32_t> peer_position_;
+  HierarchyStats hier_;
+  /// Cached verdicts per FRU key {job_level, fru id}.
+  using DeltaKey = std::pair<bool, std::uint32_t>;
+  std::map<DeltaKey, VerdictDelta> delta_cache_;
+  /// Latest emission round seen per (origin, job_level, fru) — the flood
+  /// dedup: each emission is forwarded at most once per node.
+  std::map<std::tuple<std::uint32_t, bool, std::uint32_t>, tta::RoundId>
+      delta_seen_;
+  struct PendingDelta {
+    VerdictDelta d;
+    bool forward = false;
+  };
+  std::deque<PendingDelta> dissem_out_;
+  /// Per slice FRU: an emitted suspicion stands (not yet cleared).
+  std::vector<bool> comp_delta_active_;
+  std::map<platform::JobId, bool> job_delta_active_;
+  tta::RoundId last_delta_refresh_ = 0;
+  EvidenceSummary summary_;
+
+  /// Accepts/dedupes/merges/forwards one incoming delta message.
+  void handle_delta(const vnet::Message& m);
+  /// Emits edge-triggered + periodic-refresh deltas for the tester slice
+  /// and drains the dissemination queue within the per-round budget.
+  void emit_deltas(platform::JobContext& ctx);
+  void queue_clear_delta(bool job_level, std::uint32_t fru, double trust);
+  [[nodiscard]] const EvidenceSummary* summary_ptr() const {
+    return summary_.enabled() ? &summary_ : nullptr;
+  }
+
+  obs::Counter hier_accepted_metric_;
+  obs::Counter hier_filtered_metric_;
+  obs::Counter hier_emitted_metric_;
+  obs::Counter hier_forwarded_metric_;
+  obs::Counter hier_delta_accepted_metric_;
+  obs::Counter hier_duplicate_metric_;
+  obs::Counter hier_rejected_metric_;
 
   obs::Registry* metrics_ = nullptr;  // for label-keyed lazy registration
   obs::Counter symptoms_metric_;

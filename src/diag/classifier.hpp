@@ -16,6 +16,7 @@
 // technician's display shows next to the trust level.
 #pragma once
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,8 @@
 #include "platform/types.hpp"
 
 namespace decos::diag {
+
+class EvidenceSummary;
 
 struct Diagnosis {
   fault::FaultClass cls = fault::FaultClass::kNone;
@@ -80,10 +83,29 @@ class Classifier {
   Classifier(Params p, fault::SpatialLayout layout)
       : p_(p), layout_(std::move(layout)) {}
 
-  /// Classifies one component FRU from the evidence store.
+  /// Classifies one component FRU from the evidence store. When `summary`
+  /// is provided (and its resolved feature parameters match this
+  /// classifier's), the time/space/value features come from the folded
+  /// incremental state plus a short exact tail walk instead of a full
+  /// rescan of the evidence window — same decision rules, same verdicts.
   [[nodiscard]] Diagnosis classify_component(
       const EvidenceStore& ev, platform::ComponentId c, tta::RoundId now,
-      std::uint32_t component_count) const;
+      std::uint32_t component_count,
+      const EvidenceSummary* summary = nullptr) const;
+
+  /// The fully resolved feature parameters for a cluster of
+  /// `component_count` components (sender_spread auto-scaling applied) —
+  /// what an EvidenceSummary must be constructed with to be accepted by
+  /// classify_component.
+  [[nodiscard]] FeatureParams resolved_features(
+      std::uint32_t component_count) const {
+    FeatureParams fp = p_.features();
+    if (fp.sender_spread == 0) {
+      fp.sender_spread =
+          std::max(2u, (3u * std::max(component_count, 2u) - 3u) / 4u);
+    }
+    return fp;
+  }
 
   /// Classifies one job FRU. Needs the host component's diagnosis (a
   /// component-internal fault explains away job symptoms as job-external)

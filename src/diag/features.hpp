@@ -46,6 +46,8 @@ struct FeatureParams {
   /// Spatial distance within which correlated components count as
   /// proximate.
   double spatial_radius = 1.6;
+
+  bool operator==(const FeatureParams&) const = default;
 };
 
 /// Rounds in which >= quorum *credible* observers reported component `c`

@@ -8,6 +8,7 @@ DiagnosticService::DiagnosticService(platform::System& system, SpecTable specs,
                                      fault::SpatialLayout layout, Params params)
     : system_(system), specs_(std::move(specs)),
       hardening_(params.assessor.hardening),
+      hierarchy_(params.hierarchy),
       failback_hold_(params.failback_hold) {
   // Application jobs existing now are the diagnosis subjects; everything
   // created below belongs to the diagnostic DAS.
@@ -37,7 +38,15 @@ DiagnosticService::DiagnosticService(platform::System& system, SpecTable specs,
     platform::Job& job = system_.add_job(
         das_, i == 0 ? "diag.assessor" : "diag.assessor.r" + std::to_string(i),
         hosts_[i],
-        [this, assessor](platform::JobContext& ctx) {
+        [this, assessor, i](platform::JobContext& ctx) {
+          if (hierarchy_) {
+            // The overlay replaces failover: each position re-derives its
+            // tester sets from its own host's membership view, so a dead
+            // assessor's slice migrates by local recomputation alone.
+            refresh_local_view(*assessor, i);
+            assessor->process(ctx);
+            return;
+          }
           assessor->process(ctx);
           // Re-evaluate failover in-band every assessment round, not only
           // when a client queries: an outage that begins AND ends between
@@ -77,6 +86,207 @@ DiagnosticService::DiagnosticService(platform::System& system, SpecTable specs,
     s.magnitude = 1.0;
     for (auto& assessor : assessors_) assessor->ingest_external(s);
   };
+
+  if (hierarchy_) {
+    view_topo_.emplace(hosts_, system_.component_count());
+    const std::uint32_t dim = view_topo_->dimension();
+    // Verdict deltas travel on their own vnet: dissemination must compete
+    // for bandwidth like everything else, but never with the symptom
+    // stream it summarises.
+    const platform::VnetId dissem = system_.add_vnet(
+        "vn.diag.dissem", params.dissem_msgs_per_round,
+        params.dissem_queue_depth);
+    for (std::size_t i = 0; i < assessors_.size(); ++i) {
+      // Cube edges are fixed by position (p <-> p xor 2^s); only liveness
+      // changes at runtime, so the port's receiver set never needs rewiring.
+      std::vector<platform::JobId> cube_neighbors;
+      for (std::uint32_t s = 0; s < dim; ++s) {
+        const std::size_t q = i ^ (std::size_t{1} << s);
+        if (q < assessor_jobs_.size()) {
+          cube_neighbors.push_back(assessor_jobs_[q]);
+        }
+      }
+      const platform::PortId port = system_.add_port(
+          assessor_jobs_[i], "diag.dissem." + std::to_string(i), dissem,
+          std::move(cube_neighbors));
+      assessors_[i]->enable_hierarchy(
+          HierarchyTopology(hosts_, system_.component_count()),
+          static_cast<std::uint32_t>(i), port);
+      for (std::size_t q = 0; q < assessor_jobs_.size(); ++q) {
+        if (q != i) {
+          assessors_[i]->register_peer(assessor_jobs_[q],
+                                       static_cast<std::uint32_t>(q));
+        }
+      }
+      assessors_[i]->bind_hierarchy_metrics(system_.simulator().metrics());
+    }
+    // Agents route by subject over per-position unicast ports; the shared
+    // multicast port stays wired but idle (flush() branches to routing).
+    for (platform::ComponentId c = 0; c < system_.component_count(); ++c) {
+      std::vector<platform::PortId> tester_ports;
+      tester_ports.reserve(assessor_jobs_.size());
+      for (std::size_t i = 0; i < assessor_jobs_.size(); ++i) {
+        tester_ports.push_back(system_.add_port(
+            agents_[c]->job_id(),
+            "symptoms." + std::to_string(c) + ".p" + std::to_string(i),
+            platform::kDiagnosticVnet, {assessor_jobs_[i]}));
+      }
+      agents_[c]->enable_hierarchy(&*view_topo_, std::move(tester_ports));
+    }
+    obs::Registry& metrics = system_.simulator().metrics();
+    metrics.gauge("diag.hierarchy.dimension")
+        .set(static_cast<double>(dim));
+    metrics.gauge("diag.hierarchy.positions")
+        .set(static_cast<double>(view_topo_->positions()));
+  }
+}
+
+void DiagnosticService::refresh_local_view(Assessor& a, std::size_t i) {
+  const std::uint64_t membership =
+      system_.cluster().node(hosts_[i]).membership();
+  alive_scratch_.assign(hosts_.size(), false);
+  for (std::size_t k = 0; k < hosts_.size(); ++k) {
+    alive_scratch_[k] = ((membership >> hosts_[k]) & 1u) != 0;
+  }
+  a.refresh_topology(alive_scratch_);
+}
+
+void DiagnosticService::refresh_view() const {
+  // The engineer-facing view composes each host's *self*-liveness — the
+  // same fail-silent self-exclusion rule every assessor applies locally.
+  alive_scratch_.assign(hosts_.size(), false);
+  for (std::size_t k = 0; k < hosts_.size(); ++k) {
+    alive_scratch_[k] = host_alive(hosts_[k]);
+  }
+  view_topo_->update(alive_scratch_);
+}
+
+const HierarchyTopology& DiagnosticService::topology() const {
+  refresh_view();
+  return *view_topo_;
+}
+
+const Assessor* DiagnosticService::resolve_component(
+    platform::ComponentId c, const VerdictDelta** delta) const {
+  refresh_view();
+  if (delta) *delta = nullptr;
+  const auto& testers = view_topo_->testers(c);
+  for (const HierarchyTopology::Position p : testers) {
+    const Assessor& a = *assessors_[p];
+    // First tester (in priority order) that actually heard the FRU's
+    // agent composes the verdict from its local evidence.
+    if (a.ever_heard(c)) return &a;
+  }
+  if (!testers.empty()) {
+    // Responsible tester was (re)assigned after the agent went quiet —
+    // serve the disseminated verdict it caches, if any.
+    const Assessor& a = *assessors_[testers.front()];
+    if (delta) *delta = a.cached_component_delta(c);
+    return &a;
+  }
+  // Every position dead: the primary's frozen state is the best view left.
+  return assessors_.front().get();
+}
+
+std::size_t DiagnosticService::serving_assessor(
+    platform::ComponentId c) const {
+  if (!hierarchy_) return active_assessor();
+  const Assessor* a = resolve_component(c, nullptr);
+  for (std::size_t i = 0; i < assessors_.size(); ++i) {
+    if (assessors_[i].get() == a) return i;
+  }
+  return 0;
+}
+
+double DiagnosticService::component_trust(platform::ComponentId c) const {
+  if (!hierarchy_) return assessor().component_trust(c);
+  const VerdictDelta* d = nullptr;
+  const Assessor* a = resolve_component(c, &d);
+  return d ? d->trust : a->component_trust(c);
+}
+
+double DiagnosticService::job_trust(platform::JobId j) const {
+  if (!hierarchy_) return assessor().job_trust(j);
+  const platform::ComponentId host = system_.job(j).host();
+  const Assessor* a = resolve_component(host, nullptr);
+  if (a->ever_heard(host)) return a->job_trust(j);
+  if (const VerdictDelta* d = a->cached_job_delta(j)) return d->trust;
+  return a->job_trust(j);
+}
+
+Diagnosis DiagnosticService::diagnose_component(
+    platform::ComponentId c) const {
+  if (!hierarchy_) return assessor().diagnose_component(c);
+  const VerdictDelta* d = nullptr;
+  const Assessor* a = resolve_component(c, &d);
+  if (d) {
+    Diagnosis out;
+    out.cls = d->cls;
+    out.confidence = 0.5;  // second-hand: no local evidence behind it
+    out.rationale = "disseminated verdict (origin position " +
+                    std::to_string(d->origin) + ", round " +
+                    std::to_string(d->round) + ")";
+    return out;
+  }
+  return a->diagnose_component(c);
+}
+
+Diagnosis DiagnosticService::diagnose_job(platform::JobId j) const {
+  if (!hierarchy_) return assessor().diagnose_job(j);
+  const platform::ComponentId host = system_.job(j).host();
+  const Assessor* a = resolve_component(host, nullptr);
+  if (!a->ever_heard(host)) {
+    if (const VerdictDelta* d = a->cached_job_delta(j)) {
+      Diagnosis out;
+      out.cls = d->cls;
+      out.confidence = 0.5;
+      out.rationale = "disseminated verdict (origin position " +
+                      std::to_string(d->origin) + ", round " +
+                      std::to_string(d->round) + ")";
+      return out;
+    }
+  }
+  return a->diagnose_job(j);
+}
+
+std::optional<tta::RoundId> DiagnosticService::first_component_violation(
+    platform::ComponentId c) const {
+  if (!hierarchy_) return assessor().first_component_violation(c);
+  // Composed minimum over every position: only `c`'s testers ever ingest
+  // evidence about it, so this is the earliest detection instant any
+  // (possibly since-reassigned) tester recorded.
+  std::optional<tta::RoundId> best;
+  for (const auto& a : assessors_) {
+    const auto v = a->first_component_violation(c);
+    if (v && (!best || *v < *best)) best = v;
+  }
+  return best;
+}
+
+std::optional<tta::RoundId> DiagnosticService::first_job_violation(
+    platform::JobId j) const {
+  if (!hierarchy_) return assessor().first_job_violation(j);
+  std::optional<tta::RoundId> best;
+  for (const auto& a : assessors_) {
+    const auto v = a->first_job_violation(j);
+    if (v && (!best || *v < *best)) best = v;
+  }
+  return best;
+}
+
+Assessor::HierarchyStats DiagnosticService::hierarchy_stats() const {
+  Assessor::HierarchyStats total;
+  for (const auto& a : assessors_) {
+    const Assessor::HierarchyStats& s = a->hierarchy_stats();
+    total.symptoms_accepted += s.symptoms_accepted;
+    total.symptoms_filtered += s.symptoms_filtered;
+    total.deltas_emitted += s.deltas_emitted;
+    total.deltas_forwarded += s.deltas_forwarded;
+    total.deltas_accepted += s.deltas_accepted;
+    total.deltas_duplicate += s.deltas_duplicate;
+    total.deltas_rejected += s.deltas_rejected;
+  }
+  return total;
 }
 
 bool DiagnosticService::is_diagnostic_job(platform::JobId j) const {
@@ -96,6 +306,9 @@ bool DiagnosticService::host_alive(platform::ComponentId c) const {
 }
 
 void DiagnosticService::check_failover() const {
+  // The overlay has no active assessor to fail over: tester reassignment
+  // on membership change is the (strictly more general) healing mechanism.
+  if (hierarchy_) return;
   // Failover is part of the hardening package: the ablated architecture
   // stays pinned to the primary even when its host is dead.
   if (!hardening_ || assessors_.size() <= 1) return;
@@ -186,15 +399,16 @@ std::size_t DiagnosticService::record_detection_latency(
   obs::Registry& metrics = system_.simulator().metrics();
   obs::Histogram aggregate = metrics.histogram("diag.detection_latency_us");
   const sim::Duration round_len = system_.cluster().schedule().round_length();
-  const Assessor& active = assessor();
 
   std::size_t recorded = 0;
   for (const fault::InjectedFault& f : injector.ledger()) {
     // A job-level fault is detected when its software FRU is suspected; a
-    // component-level fault when the hardware FRU is.
+    // component-level fault when the hardware FRU is. The composed
+    // accessors resolve to the active assessor in legacy mode and to the
+    // earliest-recording tester in hierarchy mode.
     std::optional<tta::RoundId> violation =
-        f.job ? active.first_job_violation(*f.job)
-              : active.first_component_violation(f.component);
+        f.job ? first_job_violation(*f.job)
+              : first_component_violation(f.component);
     std::string fru_label = f.job ? "fru=job." + std::to_string(*f.job)
                                   : "fru=component." + std::to_string(f.component);
     if (!violation) continue;
@@ -211,7 +425,73 @@ std::size_t DiagnosticService::record_detection_latency(
   return recorded;
 }
 
+std::vector<FruReport> DiagnosticService::hierarchical_report() const {
+  // The Fig. 11 report, composed from the per-slice partial views: each
+  // component row is answered by its serving tester (local evidence
+  // first, disseminated verdict as the fallback), so no single assessor
+  // ever needs the whole cluster's evidence in memory.
+  static const OnaEngine kOnaRules = OnaEngine::standard_rules();
+  obs::Registry& metrics = system_.simulator().metrics();
+  std::vector<FruReport> rows;
+  for (platform::ComponentId c = 0; c < system_.component_count(); ++c) {
+    const VerdictDelta* delta = nullptr;
+    const Assessor* a = resolve_component(c, &delta);
+    FruReport row;
+    row.fru = "component " + std::to_string(c);
+    row.component = c;
+    row.trust = delta ? delta->trust : a->component_trust(c);
+    row.diagnosis = diagnose_component(c);
+    row.action = row.diagnosis.action();
+    row.evidence_quality = delta ? 0.0 : a->evidence_quality(c);
+    row.evidence_age = a->evidence_age(c);
+    row.evidence_fresh = delta ? false : a->evidence_fresh(c);
+    const OnaContext ctx{a->evidence(), c, a->current_round(),
+                         system_.component_count(), a->classifier().layout(),
+                         FeatureParams{}};
+    for (const auto* hit : kOnaRules.evaluate(ctx)) {
+      row.asserted_onas.push_back(hit->name());
+      metrics
+          .counter("diag.ona_assertions", "ona=" + std::string(hit->name()))
+          .inc();
+    }
+    if (a->channel_degraded(c)) {
+      row.asserted_onas.emplace_back("diagnostic-channel-degraded");
+      metrics
+          .counter("diag.ona_assertions", "ona=diagnostic-channel-degraded")
+          .inc();
+    }
+    auto ext = external_onas_.find(c);
+    if (ext != external_onas_.end()) {
+      for (const std::string& name : ext->second) {
+        row.asserted_onas.push_back(name);
+        metrics.counter("diag.ona_assertions", "ona=" + name).inc();
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  for (platform::JobId j : subject_jobs_) {
+    const auto& job = system_.job(j);
+    const Assessor* a = resolve_component(job.host(), nullptr);
+    FruReport row;
+    row.fru = "job " + job.name() + " (j" + std::to_string(j) +
+              ") on component " + std::to_string(job.host());
+    row.component = job.host();
+    row.job = j;
+    row.trust = job_trust(j);
+    row.diagnosis = diagnose_job(j);
+    row.action = row.diagnosis.action();
+    row.evidence_quality = a->job_evidence_quality(j);
+    row.evidence_age = a->evidence_age(job.host());
+    row.evidence_fresh = a->evidence_fresh(job.host());
+    rows.push_back(std::move(row));
+  }
+  metrics.gauge("diag.hierarchy.recomputes")
+      .set(static_cast<double>(view_topo_->recomputes()));
+  return rows;
+}
+
 std::vector<FruReport> DiagnosticService::report() const {
+  if (hierarchy_) return hierarchical_report();
   static const OnaEngine kOnaRules = OnaEngine::standard_rules();
   const Assessor& active = assessor();
   obs::Registry& metrics = system_.simulator().metrics();

@@ -28,6 +28,7 @@
 #include "diag/assessor.hpp"
 #include "diag/ona.hpp"
 #include "diag/port_spec.hpp"
+#include "diag/topology.hpp"
 #include "fault/injector.hpp"
 #include "platform/system.hpp"
 
@@ -83,6 +84,19 @@ class DiagnosticService {
     /// hold keeps that flap from causing failover churn.
     sim::Duration failback_hold = sim::milliseconds(50);
     Assessor::Params assessor{};
+    /// Hierarchical diagnosis: the assessor hosts (primary + replicas)
+    /// form a VCube overlay instead of an all-watch-all replica set. Each
+    /// FRU is monitored by its logarithmic tester set, agents unicast
+    /// symptoms to the subject's current testers only, and assessors
+    /// exchange verdict deltas along cube edges. The active/failover
+    /// machinery is bypassed: the overlay self-heals by local tester
+    /// recomputation, and every query composes the per-slice partial
+    /// views (use the service-level accessors, not assessor()).
+    bool hierarchy = false;
+    /// Dissemination vnet budget (messages per round per node) and queue
+    /// depth, hierarchy mode only.
+    std::uint16_t dissem_msgs_per_round = 16;
+    std::uint16_t dissem_queue_depth = 128;
   };
 
   DiagnosticService(platform::System& system, SpecTable specs,
@@ -147,6 +161,33 @@ class DiagnosticService {
   /// service's own failover/failback decision edges.
   void bind_fault_points(fault::FaultPointRegistry* fp);
 
+  // --- composed per-DAS diagnoser contract --------------------------------
+  // Service-level accessors that answer "what does the architecture
+  // believe about this FRU" independently of *which* assessor holds the
+  // evidence. In legacy mode they delegate to the active assessor; in
+  // hierarchy mode they compose the responsible tester's partial view,
+  // falling back to the disseminated verdict cache when the responsible
+  // tester was reassigned and never heard the FRU's agent itself.
+  [[nodiscard]] bool hierarchical() const { return hierarchy_; }
+  /// The service's overlay view (hierarchy mode only), refreshed from the
+  /// hosts' self-membership on access.
+  [[nodiscard]] const HierarchyTopology& topology() const;
+  [[nodiscard]] double component_trust(platform::ComponentId c) const;
+  [[nodiscard]] double job_trust(platform::JobId j) const;
+  [[nodiscard]] Diagnosis diagnose_component(platform::ComponentId c) const;
+  [[nodiscard]] Diagnosis diagnose_job(platform::JobId j) const;
+  /// Earliest trust-violation instant any tester recorded for the FRU.
+  [[nodiscard]] std::optional<tta::RoundId> first_component_violation(
+      platform::ComponentId c) const;
+  [[nodiscard]] std::optional<tta::RoundId> first_job_violation(
+      platform::JobId j) const;
+  /// Index of the assessor currently composing `c`'s verdict (hierarchy:
+  /// the first alive tester that heard the agent, else the responsible
+  /// tester serving from cache; legacy: the active assessor).
+  [[nodiscard]] std::size_t serving_assessor(platform::ComponentId c) const;
+  /// Summed dissemination counters across every assessor position.
+  [[nodiscard]] Assessor::HierarchyStats hierarchy_stats() const;
+
   /// Maintenance report over all FRUs: components first, then application
   /// jobs. Only FRUs whose trust fell below the report threshold carry a
   /// non-kNone diagnosis request, but every FRU is listed. Rows whose
@@ -173,6 +214,17 @@ class DiagnosticService {
   /// state-merge mechanism on failback.
   void check_failover() const;
   [[nodiscard]] bool host_alive(platform::ComponentId c) const;
+  /// Feeds assessor `i`'s *own host's* membership view into its local
+  /// topology (hierarchy mode; runs at the top of its assessment round).
+  void refresh_local_view(Assessor& a, std::size_t i);
+  /// Refreshes the service-level overlay view from per-host self-liveness.
+  void refresh_view() const;
+  /// Resolves the assessor composing `c`'s verdict; when the verdict is
+  /// served from the dissemination cache, `*delta` is set to it.
+  [[nodiscard]] const Assessor* resolve_component(platform::ComponentId c,
+                                                  const VerdictDelta** delta)
+      const;
+  [[nodiscard]] std::vector<FruReport> hierarchical_report() const;
 
   platform::System& system_;
   SpecTable specs_;
@@ -185,6 +237,9 @@ class DiagnosticService {
   std::vector<platform::JobId> subject_jobs_;
   std::map<platform::ComponentId, std::vector<std::string>> external_onas_;
   bool hardening_ = true;
+  bool hierarchy_ = false;
+  mutable std::optional<HierarchyTopology> view_topo_;
+  mutable std::vector<bool> alive_scratch_;
   sim::Duration failback_hold_ = sim::milliseconds(50);
   fault::FaultPointRegistry* fp_ = nullptr;
   mutable std::size_t active_ = 0;

@@ -83,4 +83,34 @@ std::optional<Symptom> decode(const vnet::Message& m,
   return s;
 }
 
+vnet::Message encode_delta(const VerdictDelta& d, tta::RoundId send_round) {
+  const tta::RoundId age = send_round > d.round ? send_round - d.round : 0;
+  vnet::Message m;
+  m.kind = d.job_level ? kJobDeltaMsgKind : kComponentDeltaMsgKind;
+  m.aux = (d.fru & 0xFFFFu) | ((d.origin & 0x3Fu) << 16) |
+          ((static_cast<std::uint32_t>(d.cls) & 0x7u) << 22) |
+          (d.clear ? (1u << 25) : 0u) |
+          (static_cast<std::uint32_t>(age > 63 ? 63 : age) << 26);
+  m.value = d.trust;
+  m.sent_round = send_round;
+  return m;
+}
+
+std::optional<VerdictDelta> decode_delta(const vnet::Message& m) {
+  if (m.kind != kComponentDeltaMsgKind && m.kind != kJobDeltaMsgKind) {
+    return std::nullopt;
+  }
+  const std::uint32_t age = (m.aux >> 26) & 0x3Fu;
+  if (age == 63) return std::nullopt;  // saturated: emission round unknown
+  VerdictDelta d;
+  d.job_level = m.kind == kJobDeltaMsgKind;
+  d.fru = m.aux & 0xFFFFu;
+  d.origin = (m.aux >> 16) & 0x3Fu;
+  d.cls = static_cast<fault::FaultClass>((m.aux >> 22) & 0x7u);
+  d.clear = ((m.aux >> 25) & 0x1u) != 0;
+  d.trust = m.value;
+  d.round = m.sent_round > age ? m.sent_round - age : 0;
+  return d;
+}
+
 }  // namespace decos::diag

@@ -17,6 +17,7 @@
 #include <optional>
 #include <string>
 
+#include "fault/taxonomy.hpp"
 #include "platform/types.hpp"
 #include "tta/types.hpp"
 #include "vnet/message.hpp"
@@ -104,5 +105,48 @@ struct Heartbeat {
 
 /// Returns nullopt unless `m.kind == kHeartbeatMsgKind`.
 [[nodiscard]] std::optional<Heartbeat> decode_heartbeat(const vnet::Message& m);
+
+/// Message kinds of verdict deltas on the dissemination vnet (hierarchy
+/// mode). Deltas carry an assessor's *conclusion* about one FRU — trust
+/// plus fault class — not raw evidence, so dissemination traffic scales
+/// with the number of unhealthy FRUs instead of with the symptom rate.
+inline constexpr std::uint8_t kComponentDeltaMsgKind = 10;
+inline constexpr std::uint8_t kJobDeltaMsgKind = 11;
+
+/// One disseminated verdict delta. `round` is the *emission* round at the
+/// origin tester — the event timestamp receivers dedupe and merge on, so
+/// re-flooded copies and out-of-order deliveries collapse to the latest
+/// verdict per (origin, FRU).
+struct VerdictDelta {
+  bool job_level = false;
+  /// ComponentId (component delta) or JobId (job delta).
+  std::uint32_t fru = 0;
+  /// Cube position of the tester that produced the verdict. Preserved
+  /// across forwards: receivers must know whose local evidence backs it.
+  std::uint32_t origin = 0;
+  double trust = 1.0;
+  fault::FaultClass cls = fault::FaultClass::kNone;
+  /// True when the origin withdraws its suspicion (trust recovered or the
+  /// FRU was repaired); receivers drop their cached entry.
+  bool clear = false;
+  tta::RoundId round = 0;
+};
+
+/// Encodes a delta: aux packs fru (bits 0..15), origin position (16..21),
+/// fault class (22..24), the clear flag (25) and the emission age in
+/// rounds at send time (26..31); value carries the trust level at full
+/// precision. The multiplexer stamps sent_round with the enqueue round,
+/// so — like the symptom age field — the emission round is reconstructed
+/// as sent_round - age on the receiving side. `send_round` is the round
+/// the delta is handed to the port (the original emission round at the
+/// origin, the forwarding round on a re-flood).
+[[nodiscard]] vnet::Message encode_delta(const VerdictDelta& d,
+                                         tta::RoundId send_round);
+
+/// Returns nullopt unless `m.kind` is one of the delta kinds, or when the
+/// age field saturated (a copy too stale to merge monotonically — the
+/// reconstructed emission round would be wrong in the dangerous
+/// direction, so receivers discard it and rely on the periodic refresh).
+[[nodiscard]] std::optional<VerdictDelta> decode_delta(const vnet::Message& m);
 
 }  // namespace decos::diag

@@ -1,0 +1,97 @@
+#include "diag/topology.hpp"
+
+#include <algorithm>
+
+namespace decos::diag {
+namespace {
+
+std::uint32_t ceil_log2(std::uint32_t n) {
+  std::uint32_t d = 0;
+  while ((1u << d) < n) ++d;
+  return d;
+}
+
+}  // namespace
+
+HierarchyTopology::HierarchyTopology(std::vector<platform::ComponentId> hosts,
+                                     std::uint32_t component_count)
+    : hosts_(std::move(hosts)),
+      component_count_(component_count),
+      dim_(ceil_log2(static_cast<std::uint32_t>(hosts_.size()))),
+      alive_(hosts_.size(), true),
+      testers_(component_count),
+      tester_masks_(component_count, 0),
+      neighbors_(hosts_.size()) {
+  recompute();
+}
+
+std::optional<HierarchyTopology::Position> HierarchyTopology::position_of(
+    platform::ComponentId host) const {
+  for (Position p = 0; p < hosts_.size(); ++p) {
+    if (hosts_[p] == host) return p;
+  }
+  return std::nullopt;
+}
+
+bool HierarchyTopology::update(const std::vector<bool>& alive) {
+  if (alive == alive_) return false;
+  alive_ = alive;
+  alive_.resize(hosts_.size(), false);
+  recompute();
+  ++recomputes_;
+  return true;
+}
+
+std::optional<HierarchyTopology::Position>
+HierarchyTopology::first_alive_in_cluster(Position i, std::uint32_t s) const {
+  // c(i, s) in VCube order: the head i xor 2^(s-1), then recursively the
+  // head's own clusters c(head, 1) .. c(head, s-1). The walk visits the
+  // 2^(s-1) members in a fixed order, so every node that shares the
+  // liveness view picks the same tester.
+  const Position head = i ^ (1u << (s - 1));
+  if (head < hosts_.size() && alive_[head]) return head;
+  for (std::uint32_t k = 1; k < s; ++k) {
+    if (auto p = first_alive_in_cluster(head, k)) return p;
+  }
+  return std::nullopt;
+}
+
+void HierarchyTopology::recompute() {
+  const auto count = static_cast<std::uint32_t>(hosts_.size());
+  for (platform::ComponentId c = 0; c < component_count_; ++c) {
+    auto& list = testers_[c];
+    list.clear();
+    std::uint64_t mask = 0;
+    const Position h = c % count;
+    if (alive_[h]) {
+      list.push_back(h);
+      mask |= std::uint64_t{1} << h;
+    }
+    for (std::uint32_t s = 1; s <= dim_; ++s) {
+      const auto p = first_alive_in_cluster(h, s);
+      if (!p) continue;
+      if ((mask >> *p) & 1u) continue;
+      list.push_back(*p);
+      mask |= std::uint64_t{1} << *p;
+    }
+    tester_masks_[c] = mask;
+  }
+  for (Position p = 0; p < count; ++p) {
+    auto& nb = neighbors_[p];
+    nb.clear();
+    if (!alive_[p]) continue;
+    for (std::uint32_t s = 0; s < dim_; ++s) {
+      const Position q = p ^ (1u << s);
+      if (q < count && alive_[q]) nb.push_back(q);
+    }
+  }
+}
+
+bool HierarchyTopology::are_neighbors(Position a, Position b) const {
+  if (a >= hosts_.size() || b >= hosts_.size()) return false;
+  if (!alive_[a] || !alive_[b]) return false;
+  const std::uint32_t x = a ^ b;
+  return x != 0 && (x & (x - 1)) == 0 && x < (1u << dim_);
+}
+
+}  // namespace decos::diag

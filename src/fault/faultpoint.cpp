@@ -12,7 +12,8 @@ constexpr const char* kSiteNames[kFaultSiteCount] = {
     "heartbeat-send",  "heartbeat-receive", "resend-push",
     "failover",        "failback",          "staleness-expiry",
     "repair-settle",   "repair-verify",     "spare-alloc",
-    "diag-deliver",
+    "diag-deliver",    "dissem-forward",    "stale-verdict",
+    "tester-reassign",
 };
 
 }  // namespace

@@ -47,8 +47,11 @@ enum class FaultSite : std::uint8_t {
   kRepairVerify,        // verification deferred one more window
   kSpareAlloc,          // pulled spare is dead-on-arrival
   kDiagDeliver,         // one diagnostic-vnet delivery dropped
+  kDissemForward,       // forwarded verdict delta dropped at the cube edge
+  kStaleVerdict,        // delta delivered with a stale event timestamp
+  kTesterReassign,      // topology recompute lags the membership change
 };
-inline constexpr int kFaultSiteCount = 10;
+inline constexpr int kFaultSiteCount = 13;
 
 [[nodiscard]] const char* to_string(FaultSite s);
 [[nodiscard]] std::optional<FaultSite> site_from_string(std::string_view name);

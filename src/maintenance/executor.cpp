@@ -46,14 +46,15 @@ bool MaintenanceExecutor::has_open_order(
 }
 
 double MaintenanceExecutor::fru_trust(const WorkOrder& o) const {
-  const diag::Assessor& active = service_.assessor();
-  return o.job ? active.job_trust(*o.job) : active.component_trust(o.component);
+  // Composed service accessors: the active assessor in legacy mode, the
+  // FRU's serving tester (or its disseminated verdict) in hierarchy mode.
+  return o.job ? service_.job_trust(*o.job)
+               : service_.component_trust(o.component);
 }
 
 fault::FaultClass MaintenanceExecutor::rediagnose(const WorkOrder& o) const {
-  const diag::Assessor& active = service_.assessor();
-  return (o.job ? active.diagnose_job(*o.job)
-                : active.diagnose_component(o.component))
+  return (o.job ? service_.diagnose_job(*o.job)
+                : service_.diagnose_component(o.component))
       .cls;
 }
 

@@ -18,6 +18,13 @@ void Component::host(Job& job) {
 void Component::host_port(PortId port) { mux_.host_port(port); }
 
 void Component::bind() {
+  local_receivers_.assign(plan_.ports().size(), {});
+  for (const vnet::PortConfig& pc : plan_.ports()) {
+    for (JobId receiver : pc.receivers) {
+      auto it = jobs_.find(receiver);
+      if (it != jobs_.end()) local_receivers_[pc.id].push_back(it->second);
+    }
+  }
   node_.payload_provider = [this](tta::RoundId round,
                                   std::vector<std::uint8_t>& out) {
     build_payload(round, out);
@@ -65,12 +72,10 @@ void Component::build_payload(tta::RoundId round,
 }
 
 void Component::route_local(const vnet::Message& msg) {
-  const vnet::PortConfig& pc = plan_.port(msg.port);
-  for (JobId receiver : pc.receivers) {
-    auto it = jobs_.find(receiver);
-    if (it == jobs_.end()) continue;
-    if (delivery_filter && !delivery_filter(msg, receiver)) continue;
-    it->second->deliver(msg);
+  if (msg.port >= local_receivers_.size()) return;
+  for (Job* receiver : local_receivers_[msg.port]) {
+    if (delivery_filter && !delivery_filter(msg, receiver->id())) continue;
+    receiver->deliver(msg);
   }
 }
 

@@ -74,6 +74,10 @@ class Component {
   const vnet::NetworkPlan& plan_;
   vnet::Multiplexer mux_;
   std::map<JobId, Job*> jobs_;  // ordered: deterministic dispatch order
+  /// Per-port list of *hosted* receiver jobs, precomputed in bind(): the
+  /// delivery hot path walks exactly the jobs it will deliver to, instead
+  /// of probing the job map once per configured receiver per message.
+  std::vector<std::vector<Job*>> local_receivers_;
   /// Round-scratch buffers: cleared every use, capacity kept, so the
   /// steady-state TDMA round allocates nothing on this component.
   std::vector<vnet::Message> drain_scratch_;

@@ -6,6 +6,7 @@
 
 #include "exec/runner.hpp"
 #include "scenario/fig10.hpp"
+#include "scenario/hierarchy.hpp"
 
 namespace decos::scenario {
 namespace {
@@ -24,21 +25,33 @@ Fig10Options rig_options(const SweepOptions& opts) {
   return fo;
 }
 
+HierarchyOptions hierarchy_rig_options(const SweepOptions& opts) {
+  HierarchyOptions ho;
+  ho.seed = opts.seed;
+  ho.components = 8;
+  ho.provenance = true;
+  return ho;
+}
+
 /// What one run (discovery or armed) hands back.
 struct PointRun {
   ConvergenceVerdict verdict;
   FaultPointManifest manifest;
 };
 
-/// Executes one deterministic run. Discovery and armed runs share this
-/// one code path — including the harvest below, whose lazy-failover
-/// accessors also reach fault sites — so the counting run's tallies are
-/// exactly the occurrence space every armed run replays.
-PointRun run_one(const SweepOptions& opts,
-                 std::optional<fault::FaultPoint> armed) {
-  Fig10Options fo = rig_options(opts);
-  Fig10System rig(fo);
-
+/// The rig-independent body of one deterministic run: arm/count, gate
+/// diagnostic deliveries, inject the victim's permanent failure, run, and
+/// judge with the convergence oracle. Discovery and armed runs share this
+/// one code path — including the harvest below, whose lazily-evaluating
+/// service accessors also reach fault sites — so the counting run's
+/// tallies are exactly the occurrence space every armed run replays. The
+/// harvest diagnoses through the composed DiagnosticService accessors,
+/// which delegate to the active assessor on the legacy rigs and compose
+/// the per-slice partial views on the hierarchy rig.
+template <class Rig>
+PointRun run_body(Rig& rig, const SweepOptions& opts,
+                  std::optional<fault::FaultPoint> armed,
+                  std::uint32_t components) {
   fault::FaultPointRegistry reg;
   if (armed) {
     reg.arm(*armed);
@@ -53,7 +66,7 @@ PointRun run_one(const SweepOptions& opts,
 
   // Last-hop gate on every component: one diagnostic-vnet delivery (per
   // receiver) is an enumerable drop. Application vnets pass untouched.
-  for (platform::ComponentId c = 0; c < fo.components; ++c) {
+  for (platform::ComponentId c = 0; c < components; ++c) {
     rig.system().component(c).delivery_filter =
         [&reg](const vnet::Message& m, platform::JobId) {
           if (m.vnet != platform::kDiagnosticVnet) return true;
@@ -81,12 +94,11 @@ PointRun run_one(const SweepOptions& opts,
   }
 
   // Harvest in a fixed order (the accessors below lazily re-evaluate
-  // failover, which itself reaches fault sites).
+  // failover on the legacy rigs, which itself reaches fault sites).
   diag::DiagnosticService& service = rig.diag();
-  const diag::Assessor& active = service.assessor();
   const fault::FaultClass truth = rig.injector().truth_for_component(victim);
 
-  v.final_trust = active.component_trust(victim);
+  v.final_trust = service.component_trust(victim);
   v.trust_reconverged = v.final_trust >= opts.executor.verify_trust ||
                         executor.quarantined_component(victim);
 
@@ -105,14 +117,15 @@ PointRun run_one(const SweepOptions& opts,
     }
   }
   if (!classified) {
-    classified = active.diagnose_component(victim).cls == truth;
+    classified = service.diagnose_component(victim).cls == truth;
   }
   v.classified = classified;
   v.terminal_outcome = all_closed && victim_terminal;
   // A verified repair erases the FRU's violation instant by design
   // (reset_component_trust), so a work order on the victim is itself
   // proof of detection — orders only open on a trust violation.
-  v.detected = victim_order || active.first_component_violation(victim).has_value();
+  v.detected =
+      victim_order || service.first_component_violation(victim).has_value();
 
   // Close ledger journeys whose chain reached the verdict stage (same
   // discharge rule as the chaos campaign), then audit: any remaining
@@ -144,10 +157,29 @@ PointRun run_one(const SweepOptions& opts,
   return out;
 }
 
+PointRun run_one(const SweepOptions& opts,
+                 std::optional<fault::FaultPoint> armed) {
+  if (opts.rig == SweepOptions::Rig::kHierarchy) {
+    HierarchySystem rig(hierarchy_rig_options(opts));
+    return run_body(rig, opts, armed, rig.options().components);
+  }
+  const Fig10Options fo = rig_options(opts);
+  Fig10System rig(fo);
+  return run_body(rig, opts, armed, fo.components);
+}
+
 }  // namespace
 
 const char* to_string(SweepOptions::Rig rig) {
-  return rig == SweepOptions::Rig::kFig10 ? "fig10" : "chaos-rig";
+  switch (rig) {
+    case SweepOptions::Rig::kFig10:
+      return "fig10";
+    case SweepOptions::Rig::kChaosRig:
+      return "chaos-rig";
+    case SweepOptions::Rig::kHierarchy:
+      return "hierarchy";
+  }
+  return "?";
 }
 
 platform::ComponentId sweep_victim(const SweepOptions& opts) {
@@ -155,7 +187,17 @@ platform::ComponentId sweep_victim(const SweepOptions& opts) {
   // sharing the spatial judgement cares about. Chaos rig: the primary
   // assessor's own host dies, so the diagnostic DAS must survive the
   // fault it is diagnosing (failover, repair, debounced failback).
-  return opts.rig == SweepOptions::Rig::kFig10 ? 1 : 5;
+  // Hierarchy rig: the victim is overlay position 5 — killing it takes
+  // out an assessor slice, so the oracle only passes if the overlay
+  // self-heals (tester recomputation + composed partial views).
+  switch (opts.rig) {
+    case SweepOptions::Rig::kFig10:
+      return 1;
+    case SweepOptions::Rig::kChaosRig:
+    case SweepOptions::Rig::kHierarchy:
+      return 5;
+  }
+  return 0;
 }
 
 std::vector<fault::FaultPoint> FaultPointManifest::points(

@@ -43,8 +43,12 @@ struct SweepOptions {
   /// cluster with a single assessor (the acceptance target for full
   /// enumeration); kChaosRig is the seven-component cluster with a
   /// replicated assessor whose host is the victim, so the failover and
-  /// failback sites become reachable.
-  enum class Rig : std::uint8_t { kFig10, kChaosRig };
+  /// failback sites become reachable. kHierarchy is the eight-component
+  /// VCube overlay (scenario/hierarchy.hpp) whose victim is itself an
+  /// overlay position, so the dissemination sites (kDissemForward,
+  /// kStaleVerdict, kTesterReassign) become reachable and the oracle
+  /// exercises the composed partial-view diagnosis end to end.
+  enum class Rig : std::uint8_t { kFig10, kChaosRig, kHierarchy };
   Rig rig = Rig::kFig10;
   std::uint64_t seed = 1;
   /// Simulated horizon of every run. Long enough for the injected fault

@@ -1,0 +1,150 @@
+// The VCube overlay (diag/topology.hpp) as a pure function: same host
+// list + same liveness view must yield the same cube on every node, FRUs
+// must always have their logarithmic tester set, and diagnosis must not
+// orphan any FRU while at least one position survives.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "diag/topology.hpp"
+
+namespace decos {
+namespace {
+
+using diag::HierarchyTopology;
+using Position = diag::HierarchyTopology::Position;
+
+std::vector<platform::ComponentId> hosts(std::uint32_t n) {
+  std::vector<platform::ComponentId> out;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<platform::ComponentId>(i));
+  }
+  return out;
+}
+
+TEST(HierarchyTopology, SameViewSameCubeOnEveryHost) {
+  // Two independently constructed topologies (as two assessors would
+  // hold) fed the same membership views stay identical — no agreement
+  // rounds required.
+  HierarchyTopology a(hosts(8), 8);
+  HierarchyTopology b(hosts(8), 8);
+  std::vector<bool> view(8, true);
+  view[2] = false;
+  view[5] = false;
+  EXPECT_TRUE(a.update(view));
+  EXPECT_TRUE(b.update(view));
+  for (platform::ComponentId c = 0; c < 8; ++c) {
+    EXPECT_EQ(a.testers(c), b.testers(c)) << "component " << int(c);
+    EXPECT_EQ(a.responsible(c), b.responsible(c));
+  }
+  for (Position p = 0; p < 8; ++p) {
+    EXPECT_EQ(a.neighbors(p), b.neighbors(p)) << "position " << p;
+  }
+}
+
+TEST(HierarchyTopology, AllAliveTesterSetIsLogarithmic) {
+  HierarchyTopology topo(hosts(8), 8);
+  EXPECT_EQ(topo.dimension(), 3u);
+  for (platform::ComponentId c = 0; c < 8; ++c) {
+    const auto& t = topo.testers(c);
+    // Home + the first-alive member of each of the d clusters.
+    ASSERT_EQ(t.size(), topo.dimension() + 1) << "component " << int(c);
+    EXPECT_EQ(t.front(), topo.home(c));
+    for (const Position p : t) {
+      EXPECT_TRUE(topo.is_tester(p, c));
+      EXPECT_TRUE(topo.alive(p));
+    }
+  }
+}
+
+TEST(HierarchyTopology, NoOrphanWhileAnyPositionSurvives) {
+  // Kill every possible subset of positions except the full set: every
+  // FRU must still have at least one live tester (the clusters partition
+  // the cube, so only total death orphans a FRU).
+  for (std::uint32_t dead_mask = 0; dead_mask < 255u; ++dead_mask) {
+    HierarchyTopology topo(hosts(8), 8);
+    std::vector<bool> view(8);
+    for (Position p = 0; p < 8; ++p) view[p] = ((dead_mask >> p) & 1u) == 0;
+    topo.update(view);
+    for (platform::ComponentId c = 0; c < 8; ++c) {
+      const auto& t = topo.testers(c);
+      ASSERT_FALSE(t.empty())
+          << "component " << int(c) << " orphaned by mask " << dead_mask;
+      for (const Position p : t) EXPECT_TRUE(topo.alive(p));
+      ASSERT_TRUE(topo.responsible(c).has_value());
+    }
+  }
+}
+
+TEST(HierarchyTopology, TotalDeathOrphans) {
+  HierarchyTopology topo(hosts(4), 4);
+  topo.update(std::vector<bool>(4, false));
+  for (platform::ComponentId c = 0; c < 4; ++c) {
+    EXPECT_TRUE(topo.testers(c).empty());
+    EXPECT_FALSE(topo.responsible(c).has_value());
+  }
+}
+
+TEST(HierarchyTopology, VirtualPositionsActAsPermanentlyDead) {
+  // Five hosts round up to a dimension-3 cube; positions 5..7 are
+  // virtual. Tester sets only ever name real, live positions.
+  HierarchyTopology topo(hosts(5), 5);
+  EXPECT_EQ(topo.positions(), 5u);
+  EXPECT_EQ(topo.dimension(), 3u);
+  for (platform::ComponentId c = 0; c < 5; ++c) {
+    const auto& t = topo.testers(c);
+    ASSERT_FALSE(t.empty());
+    for (const Position p : t) {
+      EXPECT_LT(p, 5u);
+      EXPECT_TRUE(topo.alive(p));
+    }
+  }
+}
+
+TEST(HierarchyTopology, IdenticalViewIsANoOp) {
+  HierarchyTopology topo(hosts(8), 8);
+  const std::uint64_t before = topo.recomputes();
+  std::vector<bool> view(8, true);
+  EXPECT_FALSE(topo.would_change(view));
+  EXPECT_FALSE(topo.update(view));
+  EXPECT_EQ(topo.recomputes(), before);
+  view[3] = false;
+  EXPECT_TRUE(topo.would_change(view));
+  EXPECT_TRUE(topo.update(view));
+  EXPECT_EQ(topo.recomputes(), before + 1);
+}
+
+TEST(HierarchyTopology, NeighborsAreSymmetricCubeEdges) {
+  HierarchyTopology topo(hosts(8), 8);
+  std::vector<bool> view(8, true);
+  view[6] = false;
+  topo.update(view);
+  for (Position p = 0; p < 8; ++p) {
+    for (const Position q : topo.neighbors(p)) {
+      // An edge is a single flipped bit, both ends alive, and symmetric.
+      EXPECT_EQ(__builtin_popcount(p ^ q), 1);
+      EXPECT_TRUE(topo.alive(p));
+      EXPECT_TRUE(topo.alive(q));
+      EXPECT_TRUE(topo.are_neighbors(p, q));
+      EXPECT_TRUE(topo.are_neighbors(q, p));
+    }
+    EXPECT_FALSE(topo.are_neighbors(p, p));
+  }
+  // The dead position has no edges in either direction.
+  EXPECT_TRUE(topo.neighbors(6).empty());
+  EXPECT_FALSE(topo.are_neighbors(6, 7));
+  EXPECT_FALSE(topo.are_neighbors(2, 6));
+}
+
+TEST(HierarchyTopology, HomePositionWrapsOverComponents) {
+  // More FRU-hosting components than overlay positions: homes wrap.
+  HierarchyTopology topo(hosts(4), 11);
+  for (platform::ComponentId c = 0; c < 11; ++c) {
+    EXPECT_EQ(topo.home(c), c % 4u);
+    EXPECT_FALSE(topo.testers(c).empty());
+  }
+}
+
+}  // namespace
+}  // namespace decos

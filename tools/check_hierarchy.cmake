@@ -1,0 +1,98 @@
+# E21 gate: compares a fresh `bench_hierarchy_scaling --json` snapshot
+# against the checked-in baseline (bench/baselines/).
+#
+# The bench runs in logical (simulated) time with a fixed seed, so its
+# headline numbers are deterministic counts, not throughput figures:
+#
+#   * structural fields (scale_convicted, kill_convicted, failovers,
+#     flagship_converged, frus) must match the baseline EXACTLY — any
+#     drift means hierarchical diagnosis stopped converging or the legacy
+#     failover path re-engaged;
+#   * traffic/latency fields (msgs_per_round_N, detect_rounds_N) get a
+#     small tolerance (default 15 %) so a last-ulp classifier or libm
+#     difference that shifts one detection by a round does not fail CI,
+#     while an O(N^2) traffic regression (a >= 2x blowup even at N=8)
+#     still trips immediately.
+#
+# Usage:
+#   cmake -DCURRENT=<fresh.json> -DBASELINE=<baseline.json>
+#         [-DTOLERANCE_PCT=15] -P tools/check_hierarchy.cmake
+if(NOT DEFINED CURRENT OR NOT DEFINED BASELINE)
+  message(FATAL_ERROR
+    "usage: cmake -DCURRENT=<json> -DBASELINE=<json> -P check_hierarchy.cmake")
+endif()
+if(NOT DEFINED TOLERANCE_PCT)
+  set(TOLERANCE_PCT 15)
+endif()
+
+file(READ "${CURRENT}" current_json)
+file(READ "${BASELINE}" baseline_json)
+
+function(read_info out json_text key)
+  string(JSON v ERROR_VARIABLE err GET "${json_text}" info ${key})
+  if(err)
+    message(FATAL_ERROR "snapshot lacks info.${key}: ${err}")
+  endif()
+  set(${out} "${v}" PARENT_SCOPE)
+endfunction()
+
+# Scales a decimal number string by 100 into an integer (truncating) so
+# comparisons use CMake's integer math().
+function(to_centi out value)
+  if(value MATCHES "[eE]")
+    message(FATAL_ERROR "cannot parse scientific notation: ${value}")
+  endif()
+  if(NOT value MATCHES "^(-?)([0-9]+)(\\.([0-9]+))?$")
+    message(FATAL_ERROR "not a number: ${value}")
+  endif()
+  set(sign "${CMAKE_MATCH_1}")
+  set(int_part "${CMAKE_MATCH_2}")
+  set(frac "${CMAKE_MATCH_4}00")
+  string(SUBSTRING "${frac}" 0 2 frac)
+  math(EXPR scaled "${sign}(${int_part} * 100 + ${frac})")
+  set(${out} "${scaled}" PARENT_SCOPE)
+endfunction()
+
+set(failures 0)
+
+# Structural fields: exact match against the baseline.
+foreach(key scale_convicted kill_convicted failovers flagship_converged frus)
+  read_info(cur "${current_json}" ${key})
+  read_info(base "${baseline_json}" ${key})
+  to_centi(cur_c "${cur}")
+  to_centi(base_c "${base}")
+  if(NOT cur_c EQUAL base_c)
+    message(SEND_ERROR
+      "hierarchy invariant broke: ${key} = ${cur} (baseline ${base})")
+    math(EXPR failures "${failures} + 1")
+  else()
+    message(STATUS "${key}: ${cur} ok")
+  endif()
+endforeach()
+
+# Traffic and latency: within TOLERANCE_PCT of the baseline, both ways —
+# traffic shrinking far below baseline would mean the overlay stopped
+# monitoring, growing far above would mean the N log N bound is gone.
+foreach(key msgs_per_round_8 msgs_per_round_16 msgs_per_round_32
+        msgs_per_round_64 detect_rounds_8 detect_rounds_16 detect_rounds_32
+        detect_rounds_64)
+  read_info(cur "${current_json}" ${key})
+  read_info(base "${baseline_json}" ${key})
+  to_centi(cur_c "${cur}")
+  to_centi(base_c "${base}")
+  math(EXPR floor_c "${base_c} * (100 - ${TOLERANCE_PCT}) / 100")
+  math(EXPR ceil_c "${base_c} * (100 + ${TOLERANCE_PCT}) / 100")
+  if(cur_c LESS floor_c OR cur_c GREATER ceil_c)
+    message(SEND_ERROR
+      "hierarchy scaling drifted: ${key} = ${cur} outside ${TOLERANCE_PCT}% "
+      "band around baseline ${base}")
+    math(EXPR failures "${failures} + 1")
+  else()
+    message(STATUS "${key}: ${cur} (baseline ${base}) ok")
+  endif()
+endforeach()
+
+if(failures GREATER 0)
+  message(FATAL_ERROR "hierarchy smoke failed: ${failures} check(s)")
+endif()
+message(STATUS "hierarchy smoke passed")
