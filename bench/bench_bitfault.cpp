@@ -1,0 +1,307 @@
+// E22 — bit-granular value-fault plane: BER sampler throughput, the
+// pooled broadcast path's allocation profile, and classifier separation
+// of the bit-fault workloads.
+//
+// Section 1 (sampler): geometric skip-sampling cost — bits/s scanned at
+// BER 0 (the disabled plane must be a branch, not a loop) and flips/s at
+// a realistic wearout BER.
+//
+// Section 2 (transmit): a five-node TDMA broadcast loop on the raw bus.
+// With faults off, the ref-counted FramePool shares one master frame per
+// transmission across every receiver — steady state must allocate
+// *nothing* per round (the perf gate holds this at exactly 0). A second
+// pass arms a receiver-side BER sampler and reports the copy-on-corrupt
+// traffic: corrupted deliveries pay for a private pool slot, pristine
+// ones keep riding the shared master.
+//
+// Section 3 (campaign): the wearout/EMI/SEU workloads of
+// scenario/bitfault.hpp, honouring `--ber <rate>` (EMI/SEU receive BER)
+// and `--wearout <profile>` (wearout curve). Reports per-archetype
+// taxonomy and bit-pattern accuracy plus the orphan-flip audit: every
+// logged flip must belong to a provenance journey.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string_view>
+#include <vector>
+
+#include "fault/bitfault.hpp"
+#include "obs/bench_io.hpp"
+#include "scenario/bitfault.hpp"
+#include "sim/simulator.hpp"
+#include "tta/bus.hpp"
+#include "tta/frame.hpp"
+#include "tta/tdma.hpp"
+
+namespace {
+unsigned long long g_allocs = 0;
+}
+
+// Counting global allocator hooks: every variant funnels through malloc so
+// the count covers array, nothrow and over-aligned forms alike.
+void* operator new(std::size_t n) {
+  ++g_allocs;
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  ++g_allocs;
+  return std::malloc(n);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  ++g_allocs;
+  return std::malloc(n);
+}
+void* operator new(std::size_t n, std::align_val_t a) {
+  ++g_allocs;
+  const auto align = static_cast<std::size_t>(a);
+  if (void* p = std::aligned_alloc(align, (n + align - 1) / align * align)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return ::operator new(n, a);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace decos;
+
+// --- section 1: sampler ------------------------------------------------------
+
+void bench_sampler(obs::BenchReporter& reporter, std::uint64_t frames) {
+  sim::Simulator s(11);
+  const std::uint64_t bits_per_frame = 1024;
+
+  fault::BerSampler off(s.fork_rng("bench.ber.off"));
+  off.set_ber(0.0);
+  std::uint64_t sink = 0;
+  auto w0 = std::chrono::steady_clock::now();
+  for (std::uint64_t f = 0; f < frames; ++f) {
+    off.scan(bits_per_frame, [&](std::uint64_t bit) { sink += bit; });
+  }
+  auto w1 = std::chrono::steady_clock::now();
+  const double bits_scanned =
+      static_cast<double>(frames) * static_cast<double>(bits_per_frame);
+  const double gbits_off =
+      bits_scanned / std::chrono::duration<double>(w1 - w0).count() / 1e9;
+
+  fault::BerSampler on(s.fork_rng("bench.ber.on"));
+  on.set_ber(1e-3);
+  std::uint64_t flips = 0;
+  w0 = std::chrono::steady_clock::now();
+  for (std::uint64_t f = 0; f < frames; ++f) {
+    on.scan(bits_per_frame, [&](std::uint64_t bit) {
+      sink += bit;
+      ++flips;
+    });
+  }
+  w1 = std::chrono::steady_clock::now();
+  const double flips_per_sec = static_cast<double>(flips) /
+                               std::chrono::duration<double>(w1 - w0).count();
+
+  std::printf(
+      "sampler: ber0 %.1f Gbit/s scanned, ber1e-3 %llu flips (%.3g "
+      "flips/s) sink=%llu\n",
+      gbits_off, static_cast<unsigned long long>(flips), flips_per_sec,
+      static_cast<unsigned long long>(sink));
+  reporter.set_info("sampler_gbits_per_sec_ber0", gbits_off);
+  reporter.set_info("sampler_flips_per_sec", flips_per_sec);
+}
+
+// --- section 2: pooled transmit ---------------------------------------------
+
+struct Sink : tta::BusReceiver {
+  tta::NodeId id = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t crc_bad = 0;
+  void on_frame(const tta::Frame& f, sim::SimTime) override {
+    bytes += f.payload.size();
+    if (!f.crc_ok()) ++crc_bad;
+  }
+  [[nodiscard]] tta::NodeId node_id() const override { return id; }
+};
+
+/// One five-node broadcast round loop on the raw bus; `rx_ber` > 0 arms a
+/// receiver-side sampler on node 2 (the copy-on-corrupt pass).
+struct TransmitStats {
+  double rounds_per_sec = 0.0;
+  double allocs_per_round = 0.0;
+  double corrupt_copies_per_round = 0.0;
+  std::uint64_t crc_bad = 0;
+};
+
+TransmitStats bench_transmit(tta::RoundId rounds, double rx_ber) {
+  constexpr std::uint32_t kNodes = 5;
+  sim::Simulator s(7);
+  tta::TdmaSchedule sched{tta::TdmaSchedule::Params{
+      .slots_per_round = kNodes, .slot_length = sim::microseconds(500)}};
+  tta::Bus bus(s, sched, tta::Bus::Params{});
+
+  std::vector<Sink> sinks(kNodes);
+  for (std::uint32_t n = 0; n < kNodes; ++n) {
+    sinks[n].id = n;
+    bus.attach(sinks[n]);
+  }
+
+  fault::BerSampler sampler(s.fork_rng("bench.transmit.rx"));
+  sampler.set_ber(rx_ber);
+  std::vector<std::uint64_t> bits;
+  bits.reserve(64);
+  if (rx_ber > 0.0) {
+    bus.add_channel_fault([&sampler, &bits](tta::Delivery& d,
+                                            tta::NodeId receiver,
+                                            sim::SimTime) {
+      if (receiver != 2) return true;
+      const std::uint64_t nbits = d.frame().payload.size() * 8;
+      bits.clear();
+      sampler.scan(nbits, [&bits](std::uint64_t b) { bits.push_back(b); });
+      if (bits.empty()) return true;
+      tta::Frame& copy = d.corrupt();
+      for (const std::uint64_t b : bits) {
+        copy.payload[b >> 3] ^= static_cast<std::uint8_t>(1u << (b & 7));
+      }
+      return true;
+    });
+  }
+
+  tta::Frame frame;
+  frame.payload.assign(96, 0xA5);  // a typical muxed TDMA payload
+  frame.seal();
+
+  const std::uint64_t copies0 = bus.frame_pool()->corrupt_copies();
+
+  // Self-rescheduling per-node senders, the E18 idiom: each node's chain
+  // event transmits its slot and re-arms for the next round, so the event
+  // queue stays at its (tiny) steady-state size and the measured region
+  // exercises only the broadcast path — transmit, pooled delivery, hook.
+  struct NodeChain {
+    sim::Simulator* s = nullptr;
+    tta::Bus* bus = nullptr;
+    const tta::TdmaSchedule* sched = nullptr;
+    tta::Frame* frame = nullptr;
+    std::uint32_t node = 0;
+    tta::RoundId round = 0;
+    tta::RoundId stop = 0;
+    void arm() {
+      s->schedule_at(sched->send_instant(round, node),
+                     [this] {
+                       frame->sender = node;
+                       frame->slot = static_cast<tta::SlotId>(node);
+                       frame->round = round;
+                       (void)bus->transmit(node, *frame);
+                       if (++round < stop) arm();
+                     },
+                     sim::EventPriority::kTransport);
+    }
+  };
+  std::vector<NodeChain> chains(kNodes);
+  auto run_rounds = [&](tta::RoundId first, tta::RoundId n) {
+    for (std::uint32_t node = 0; node < kNodes; ++node) {
+      chains[node] = NodeChain{&s, &bus, &sched, &frame, node, first,
+                               static_cast<tta::RoundId>(first + n)};
+      chains[node].arm();
+    }
+    s.run_until(sched.slot_start(first + n, 0));
+  };
+
+  run_rounds(0, 256);  // warm-up: pool, kernel slab, payload capacity
+  const auto a0 = g_allocs;
+  const auto w0 = std::chrono::steady_clock::now();
+  run_rounds(256, rounds);
+  const auto w1 = std::chrono::steady_clock::now();
+  const auto allocs = g_allocs - a0;
+  const double wall = std::chrono::duration<double>(w1 - w0).count();
+
+  TransmitStats t;
+  t.rounds_per_sec = static_cast<double>(rounds) / wall;
+  t.allocs_per_round =
+      static_cast<double>(allocs) / static_cast<double>(rounds);
+  t.corrupt_copies_per_round =
+      static_cast<double>(bus.frame_pool()->corrupt_copies() - copies0) /
+      static_cast<double>(rounds);
+  for (const Sink& sk : sinks) t.crc_bad += sk.crc_bad;
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::BenchReporter reporter("bench_bitfault", argc, argv);
+
+  bool quick = false;
+  for (int i = 1; i < reporter.argc(); ++i) {
+    if (std::string_view(reporter.argv()[i]) == "--quick") quick = true;
+  }
+
+  bench_sampler(reporter, quick ? 200'000 : 2'000'000);
+
+  const TransmitStats clean = bench_transmit(quick ? 20'000 : 100'000, 0.0);
+  std::printf(
+      "transmit(faults off): rounds_per_sec=%.3g allocs_per_round=%.4f\n",
+      clean.rounds_per_sec, clean.allocs_per_round);
+  reporter.set_info("tx_rounds_per_sec", clean.rounds_per_sec);
+  reporter.set_info("allocs_per_round", clean.allocs_per_round);
+
+  const TransmitStats noisy = bench_transmit(quick ? 20'000 : 100'000, 5e-4);
+  std::printf(
+      "transmit(rx ber 5e-4): rounds_per_sec=%.3g allocs_per_round=%.4f "
+      "corrupt_copies_per_round=%.4f crc_bad=%llu\n",
+      noisy.rounds_per_sec, noisy.allocs_per_round,
+      noisy.corrupt_copies_per_round,
+      static_cast<unsigned long long>(noisy.crc_bad));
+  reporter.set_info("corrupt_copies_per_round", noisy.corrupt_copies_per_round);
+
+  // Section 3: classifier separation campaign.
+  const std::vector<std::uint64_t> seeds =
+      reporter.seeds_or(quick ? std::vector<std::uint64_t>{1}
+                              : std::vector<std::uint64_t>{1, 2, 3, 4, 5});
+  const double emi_ber = reporter.ber_or(2e-3);
+  const double seu_ber = reporter.ber_or(5e-3);
+  const auto curve = fault::WearoutCurve::profile(
+      reporter.wearout_profile_or("bathtub"));
+
+  const scenario::BitCampaignResult campaign = scenario::run_bitfault_campaign(
+      scenario::bitfault_archetypes(emi_ber,
+                                    curve ? *curve : fault::WearoutCurve{},
+                                    seu_ber),
+      seeds, {}, reporter.jobs());
+
+  std::printf(
+      "\n%-14s %5s %9s %7s %8s %8s %8s %8s %8s\n", "archetype", "runs",
+      "class-acc", "bit-acc", "flips", "orphans", "f/event", "burst", "ratio");
+  for (const auto& row : campaign.rows) {
+    const double n = row.runs == 0 ? 1.0 : static_cast<double>(row.runs);
+    const double class_acc = static_cast<double>(row.class_correct) / n;
+    const double bit_acc = static_cast<double>(row.bit_correct) / n;
+    std::printf("%-14s %5zu %9.2f %7.2f %8llu %8llu %8.2f %8.2f %8.2f\n",
+                row.name.c_str(), row.runs, class_acc, bit_acc,
+                static_cast<unsigned long long>(row.flips),
+                static_cast<unsigned long long>(row.orphan_flips),
+                row.mean_flips_per_event, row.mean_burst_len,
+                row.mean_rate_ratio);
+    reporter.set_info("class_acc_" + row.name, class_acc);
+    reporter.set_info("bit_acc_" + row.name, bit_acc);
+  }
+  reporter.set_info("campaign_flips",
+                    static_cast<double>(campaign.total_flips()));
+  reporter.set_info("orphan_flips",
+                    static_cast<double>(campaign.total_orphans()));
+
+  return reporter.finish();
+}

@@ -19,6 +19,7 @@
 
 #include "analysis/table.hpp"
 #include "obs/bench_io.hpp"
+#include "scenario/bitfault.hpp"
 #include "scenario/chaos.hpp"
 #include "scenario/sweep.hpp"
 
@@ -155,6 +156,36 @@ int main(int argc, char** argv) {
               off.false_healthy() ? "FALSE-HEALTHY" : "flagged for inspection");
   std::printf("  expected: only the ablated architecture conflates the "
               "silenced agent with verified health\n");
+
+  // --ber / --wearout: rides the bit-granular value-fault campaign (E22)
+  // along on the same 7-component geometry, so the chaos bench doubles as
+  // a quick probe of how a nonstandard bit-error rate or aging profile
+  // lands in the taxonomy.
+  if (reporter.has_ber() || reporter.has_wearout_profile()) {
+    const auto curve = fault::WearoutCurve::profile(
+        reporter.wearout_profile_or("bathtub"));
+    const auto bit = scenario::run_bitfault_campaign(
+        scenario::bitfault_archetypes(reporter.ber_or(2e-3),
+                                      curve ? *curve : fault::WearoutCurve{},
+                                      reporter.ber_or(5e-3)),
+        seeds, base, reporter.jobs());
+    std::printf("\nbit-fault campaign (ber/wearout overrides):\n");
+    for (const auto& row : bit.rows) {
+      const double n = row.runs == 0 ? 1.0 : static_cast<double>(row.runs);
+      std::printf("  %-14s class-acc %.2f bit-acc %.2f flips %llu "
+                  "orphans %llu\n",
+                  row.name.c_str(),
+                  static_cast<double>(row.class_correct) / n,
+                  static_cast<double>(row.bit_correct) / n,
+                  static_cast<unsigned long long>(row.flips),
+                  static_cast<unsigned long long>(row.orphan_flips));
+      reporter.set_info(
+          "bit_class_acc_" + row.name,
+          static_cast<double>(row.class_correct) / n);
+    }
+    reporter.set_info("bit_orphan_flips",
+                      static_cast<double>(bit.total_orphans()));
+  }
 
   // --max-points: bounded chaos-rig fault-space sweep riding along with
   // the campaign (the smoke-test hook; the exhaustive sweep lives in

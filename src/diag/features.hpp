@@ -109,4 +109,41 @@ struct VerdictTotals {
                                  const FeatureParams& p,
                                  double decay = 0.999);
 
+// --- bit-level value-error features (Fig. 8's value dimension at bit
+// granularity, computed over a fault::BitFaultLog slice) ---------------------
+
+struct BitErrorFeatures {
+  std::uint64_t flips = 0;   // logged flips attributed to the component
+  std::uint64_t events = 0;  // distinct affected rounds
+  /// Rounds between the first and last affected round, inclusive.
+  tta::RoundId span_rounds = 0;
+  /// Flip density: flips per affected round (shower/burst intensity).
+  double flips_per_event = 0.0;
+  /// Mean length of runs of *consecutive* affected rounds — an EMI window
+  /// corrupts back-to-back rounds, wearout sprinkles isolated ones.
+  double mean_burst_len = 0.0;
+  /// Shannon entropy of the normalized bit positions (8 bins, in [0,1]).
+  /// BER processes scatter uniformly (high); a stuck value-field flip
+  /// concentrates (low).
+  double position_entropy = 0.0;
+  /// Flip rate in the late half of the span over the early half — the
+  /// wearout discriminator (rising rate) against EMI's flat window.
+  double late_early_rate_ratio = 0.0;
+};
+
+[[nodiscard]] BitErrorFeatures bit_error_features(const fault::BitFaultLog& log,
+                                                  platform::ComponentId c);
+
+/// The bit-level value-fault archetypes the features separate.
+enum class BitArchetype : std::uint8_t {
+  kNone = 0,
+  kWearout,    // rising flip rate over many scattered episodes
+  kEmiBurst,   // bounded dense window of consecutive corrupted rounds
+  kSeuShower,  // a single-round (or near) shower
+};
+[[nodiscard]] const char* to_string(BitArchetype a);
+
+/// Rule classifier over the bit features (thresholds documented inline).
+[[nodiscard]] BitArchetype classify_bit_pattern(const BitErrorFeatures& f);
+
 }  // namespace decos::diag

@@ -1,0 +1,258 @@
+#include "fault/bitfault.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "tta/bus.hpp"
+
+namespace decos::fault {
+
+void BerSampler::set_ber(double ber) {
+  if (ber < 0.0) ber = 0.0;
+  if (ber > 1.0) ber = 1.0;
+  ber_ = ber;
+  if (ber_ <= 0.0) return;
+  log1m_ = std::log(1.0 - ber_);  // -inf at ber == 1, handled in draw_skip
+  // The geometric gap distribution is memoryless only at a fixed rate, so
+  // a rate change redraws the pending gap at the new rate.
+  skip_ = draw_skip();
+}
+
+std::uint64_t BerSampler::draw_skip() {
+  if (ber_ >= 1.0) return 0;  // every bit flips
+  // Geometric skip-sampling: the gap to the next flipped bit is
+  // floor(log(1-u) / log(1-ber)), one log per flip instead of one
+  // Bernoulli draw per bit.
+  const double u = rng_.uniform();
+  const double g = std::log(1.0 - u) / log1m_;
+  // Guard the astronomically long gaps a tiny BER produces.
+  if (g >= 9.0e18) return static_cast<std::uint64_t>(9.0e18);
+  return static_cast<std::uint64_t>(g);
+}
+
+double WearoutCurve::ber_at(double age_s) const {
+  double age = age_s + age_offset_s;
+  if (age < 0.0) age = 0.0;
+  double ber = floor_ber + infant_ber * std::exp(-age / infant_tau_s);
+  if (age > wear_onset_s) {
+    ber += wear_ber * std::exp((age - wear_onset_s) / wear_tau_s);
+  }
+  return ber > cap_ber ? cap_ber : ber;
+}
+
+std::optional<WearoutCurve> WearoutCurve::profile(std::string_view name) {
+  if (name == "bathtub") return WearoutCurve{};
+  if (name == "infant") {
+    WearoutCurve c;
+    c.infant_ber = 1e-3;
+    c.infant_tau_s = 0.3;
+    c.wear_onset_s = 1e9;  // wearout never sets in within any horizon
+    return c;
+  }
+  if (name == "aged") {
+    WearoutCurve c;
+    c.infant_ber = 0.0;     // infant mortality long past
+    c.age_offset_s = c.wear_onset_s + 0.5;  // already wearing out at t=0
+    return c;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string_view> WearoutCurve::profile_names() {
+  return {"bathtub", "infant", "aged"};
+}
+
+const char* to_string(BitFaultKind k) {
+  switch (k) {
+    case BitFaultKind::kWearoutTx: return "wearout-tx";
+    case BitFaultKind::kEmiRx: return "emi-rx";
+    case BitFaultKind::kSeuRx: return "seu-rx";
+    case BitFaultKind::kVnetValue: return "vnet-value";
+    case BitFaultKind::kSpurious: return "spurious";
+  }
+  return "?";
+}
+
+BitFaultPlane::BitFaultPlane(sim::Simulator& sim, platform::System& system)
+    : sim_(sim),
+      system_(system),
+      value_rng_(sim.fork_rng("bitfault.value")) {
+  const std::size_t n = system.component_count();
+  tx_samplers_.reserve(n);
+  rx_samplers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tx_samplers_.emplace_back(
+        sim.fork_rng("bitfault.tx." + std::to_string(i)));
+    rx_samplers_.emplace_back(
+        sim.fork_rng("bitfault.rx." + std::to_string(i)));
+  }
+  rx_kinds_.assign(n, BitFaultKind::kEmiRx);
+  value_flips_left_.assign(n, 0);
+  mutator_installed_.assign(n, false);
+  scratch_bits_.reserve(64);
+}
+
+BitFaultPlane::~BitFaultPlane() {
+  if (hooks_installed_) {
+    auto& bus = system_.cluster().bus();
+    bus.remove_tx_fault(tx_hook_id_);
+    bus.remove_channel_fault(rx_hook_id_);
+  }
+  for (std::size_t c = 0; c < mutator_installed_.size(); ++c) {
+    if (mutator_installed_[c]) {
+      system_.component(static_cast<platform::ComponentId>(c))
+          .delivery_mutator = nullptr;
+    }
+  }
+}
+
+void BitFaultPlane::ensure_hooks() {
+  if (hooks_installed_) return;
+  hooks_installed_ = true;
+  auto& bus = system_.cluster().bus();
+
+  // Sender side: the wearout signature. The master frame is mutated
+  // before it is shared, so every receiver judges the same bad bytes —
+  // the all-peers-see-CRC-errors pattern of a component-internal fault.
+  tx_hook_id_ = bus.add_tx_fault([this](tta::Frame& frame, tta::NodeId sender,
+                                        sim::SimTime now) {
+    if (sender >= tx_samplers_.size()) return;
+    BerSampler& s = tx_samplers_[sender];
+    if (s.ber() <= 0.0) return;
+    const std::uint64_t nbits = frame.payload.size() * 8;
+    s.scan(nbits, [&](std::uint64_t bit) {
+      frame.payload[bit >> 3] ^= static_cast<std::uint8_t>(1u << (bit & 7));
+      ++stats_.tx_flips;
+      note_flip({now, BitFaultKind::kWearoutTx, sender, frame.round,
+                 static_cast<std::uint32_t>(bit),
+                 static_cast<std::uint32_t>(nbits)});
+    });
+  });
+
+  // Receiver side: EMI/SEU signatures. Flips are receiver-local through
+  // the pool's copy-on-corrupt; undisturbed receivers keep reading the
+  // shared master frame. The three fault-point sites on this path are
+  // reached only while the receiver's sampler is active, so the sweep's
+  // enumerable point space stays proportional to the disturbance window.
+  rx_hook_id_ = bus.add_channel_fault([this](tta::Delivery& d,
+                                             tta::NodeId receiver,
+                                             sim::SimTime now) -> bool {
+    if (receiver >= rx_samplers_.size()) return true;
+    BerSampler& s = rx_samplers_[receiver];
+    if (s.ber() <= 0.0) return true;
+
+    const tta::Frame& f = d.frame();
+    const std::uint64_t nbits = f.payload.size() * 8;
+    scratch_bits_.clear();
+    s.scan(nbits, [this](std::uint64_t bit) { scratch_bits_.push_back(bit); });
+
+    bool spurious = false;
+    if (registry_ && registry_->hit(FaultSite::kBitSamplerSpurious) &&
+        nbits > 0) {
+      // The sampler fires a flip the Bernoulli process never produced.
+      scratch_bits_.push_back(nbits / 2);
+      spurious = true;
+      ++stats_.spurious_flips;
+    }
+    if (scratch_bits_.empty()) return true;
+    if (registry_ && registry_->hit(FaultSite::kCopyOnCorruptSkip)) {
+      // The pending flips are silently not applied: the receiver gets
+      // pristine bytes although the disturbance said otherwise.
+      ++stats_.corrupts_skipped;
+      return true;
+    }
+    if (registry_ && registry_->hit(FaultSite::kFramePoolExhausted)) {
+      // No private slot for the corrupt copy: the delivery is lost
+      // entirely (degrades a value error into an omission).
+      ++stats_.deliveries_dropped;
+      return false;
+    }
+
+    tta::Frame& copy = d.corrupt();
+    ++stats_.frames_corrupted;
+    const BitFaultKind kind = rx_kinds_[receiver];
+    for (std::size_t i = 0; i < scratch_bits_.size(); ++i) {
+      const std::uint64_t bit = scratch_bits_[i];
+      copy.payload[bit >> 3] ^= static_cast<std::uint8_t>(1u << (bit & 7));
+      ++stats_.rx_flips;
+      const bool last = i + 1 == scratch_bits_.size();
+      note_flip({now, (spurious && last) ? BitFaultKind::kSpurious : kind,
+                 receiver, f.round, static_cast<std::uint32_t>(bit),
+                 static_cast<std::uint32_t>(nbits)});
+    }
+    return true;
+  });
+}
+
+void BitFaultPlane::set_tx_ber(platform::ComponentId c, double ber) {
+  if (c >= tx_samplers_.size()) return;
+  ensure_hooks();
+  tx_samplers_[c].set_ber(ber);
+}
+
+void BitFaultPlane::set_rx_ber(platform::ComponentId c, double ber,
+                               BitFaultKind kind) {
+  if (c >= rx_samplers_.size()) return;
+  ensure_hooks();
+  rx_samplers_[c].set_ber(ber);
+  rx_kinds_[c] = kind;
+}
+
+double BitFaultPlane::tx_ber(platform::ComponentId c) const {
+  return c < tx_samplers_.size() ? tx_samplers_[c].ber() : 0.0;
+}
+
+double BitFaultPlane::rx_ber(platform::ComponentId c) const {
+  return c < rx_samplers_.size() ? rx_samplers_[c].ber() : 0.0;
+}
+
+void BitFaultPlane::arm_value_flips(platform::ComponentId c,
+                                    std::uint32_t flips) {
+  if (c >= value_flips_left_.size()) return;
+  ensure_hooks();
+  value_flips_left_[c] = flips;
+  if (mutator_installed_[c]) return;
+  mutator_installed_[c] = true;
+  system_.component(c).delivery_mutator = [this, c](vnet::Message& m) {
+    if (value_flips_left_[c] == 0) return;
+    --value_flips_left_[c];
+    // Flip a random mantissa bit of the stored value: a surviving
+    // value-domain error (the frame CRC was long since checked).
+    const auto bit =
+        static_cast<std::uint32_t>(value_rng_.uniform_int(0, 51));
+    std::uint64_t u = 0;
+    std::memcpy(&u, &m.value, sizeof u);
+    u ^= std::uint64_t{1} << bit;
+    std::memcpy(&m.value, &u, sizeof u);
+    ++stats_.value_flips;
+    note_flip({sim_.now(), BitFaultKind::kVnetValue, c, m.sent_round, bit,
+               64});
+  };
+}
+
+void BitFaultPlane::disarm_value_flips(platform::ComponentId c) {
+  if (c >= value_flips_left_.size() || !mutator_installed_[c]) return;
+  value_flips_left_[c] = 0;
+  mutator_installed_[c] = false;
+  system_.component(c).delivery_mutator = nullptr;
+}
+
+bool BitFaultPlane::any_active() const {
+  for (const auto& s : tx_samplers_) {
+    if (s.ber() > 0.0) return true;
+  }
+  for (const auto& s : rx_samplers_) {
+    if (s.ber() > 0.0) return true;
+  }
+  for (const auto n : value_flips_left_) {
+    if (n > 0) return true;
+  }
+  return false;
+}
+
+void BitFaultPlane::note_flip(const BitFlipRecord& r) {
+  log_.record(r);
+  if (on_flip) on_flip(r);
+}
+
+}  // namespace decos::fault

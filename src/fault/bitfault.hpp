@@ -1,0 +1,242 @@
+// Bit-granular value faults: BER-driven flips in frame payloads.
+//
+// The paper's value-failure dimension (Fig. 8) separates wearout from EMI
+// and design faults by *how* bits go bad, not merely that they do: a
+// wearing-out driver stage corrupts its own transmissions at a rising
+// per-bit error rate, an EMI burst showers spatially correlated receivers
+// with dense flips for a bounded window, and an SEU upsets one stored
+// record. This module supplies the machinery for all three signatures:
+//
+//   BerSampler    deterministic per-bit Bernoulli process via geometric
+//                 skip-sampling (ApproxSS idiom, SNIPPETS.md §2). The
+//                 sampler draws the gap to the next flipped bit instead of
+//                 testing every bit, so BER = 0 costs a single branch and
+//                 low BERs cost one log() per actual flip.
+//   WearoutCurve  bathtub-parameterized BER over component age: infant
+//                 mortality decaying into a useful-life floor, then
+//                 exponential wearout growth, capped. A per-component age
+//                 offset pre-ages individual components.
+//   BitFaultLog   bounded bit-position fault log: every flip's instant,
+//                 kind, component, round and bit index — the replay
+//                 witness for a sweep counterexample.
+//   BitFaultPlane the runtime: owns per-component tx/rx samplers, installs
+//                 one sender-side and one receiver-side hook on the TTA
+//                 bus, flips bits through the FramePool's copy-on-corrupt
+//                 path (receiver-local flips never touch the shared master
+//                 frame), and exposes the three fault-point sites on the
+//                 corrupt path.
+//
+// The plane is mechanism only: fault::Injector owns the policy (which
+// component wears out when, where a burst couples in) and the ground-truth
+// ledger entries that make every flip provenance-linked.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "fault/faultpoint.hpp"
+#include "platform/system.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace decos::fault {
+
+/// Deterministic per-bit Bernoulli sampler. Same seed + same BER schedule
+/// => same flipped bit positions, which is what makes bit-fault runs
+/// replayable from the seed alone.
+class BerSampler {
+ public:
+  BerSampler() = default;
+  explicit BerSampler(sim::Rng rng) : rng_(rng) {}
+
+  /// Sets the error rate. Clamped to [0, 1]. Changing the rate redraws
+  /// the pending gap (the geometric distribution is memoryless only at a
+  /// fixed rate).
+  void set_ber(double ber);
+  [[nodiscard]] double ber() const { return ber_; }
+
+  /// Calls `fn(bit)` for every flipped bit position in a span of `nbits`
+  /// consecutive bits. The skip state carries across calls, so a stream
+  /// of frames sees one continuous Bernoulli process.
+  template <typename Fn>
+  void scan(std::uint64_t nbits, Fn&& fn) {
+    if (ber_ <= 0.0) return;  // the entire cost of a disabled sampler
+    std::uint64_t pos = 0;
+    while (nbits - pos > skip_) {
+      pos += skip_;
+      fn(pos);
+      ++pos;
+      skip_ = draw_skip();
+    }
+    skip_ -= nbits - pos;
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t draw_skip();
+
+  sim::Rng rng_{};
+  double ber_ = 0.0;
+  double log1m_ = 0.0;  // log(1 - ber), cached
+  /// Clean bits remaining before the next flip.
+  std::uint64_t skip_ = 0;
+};
+
+/// Bathtub-parameterized bit-error rate over component age (seconds of
+/// operation). ber_at() = floor + infant·e^(−age/τ_i) + wearout growth
+/// past the onset, clamped to `cap`.
+struct WearoutCurve {
+  double infant_ber = 2e-4;   // extra BER at age 0, decaying
+  double infant_tau_s = 0.25;
+  double floor_ber = 2e-6;    // useful-life floor
+  double wear_onset_s = 0.8;  // age where wearout growth starts
+  double wear_ber = 2e-5;     // growth amplitude at onset
+  double wear_tau_s = 0.25;   // e-folding time of the growth
+  double cap_ber = 0.05;      // physical cap
+  double age_offset_s = 0.0;  // pre-aging of this individual component
+
+  [[nodiscard]] double ber_at(double age_s) const;
+
+  /// Named parameter sets for the bench/campaign flags:
+  ///   "bathtub"  the defaults above (infant + floor + wearout)
+  ///   "infant"   strong infant mortality, onset beyond any horizon
+  ///   "aged"     pre-aged past the onset: wearout from t = 0
+  [[nodiscard]] static std::optional<WearoutCurve> profile(
+      std::string_view name);
+  /// All valid profile names (flag validation, docs).
+  [[nodiscard]] static std::vector<std::string_view> profile_names();
+};
+
+enum class BitFaultKind : std::uint8_t {
+  kWearoutTx = 0,  // sender-side flip: component-internal wearout
+  kEmiRx,          // receiver-side flip: EMI burst coupling
+  kSeuRx,          // receiver-side flip: SEU shower window
+  kVnetValue,      // flip in a stored vnet record's value field
+  kSpurious,       // fault-point kBitSamplerSpurious fired
+};
+[[nodiscard]] const char* to_string(BitFaultKind k);
+
+struct BitFlipRecord {
+  sim::SimTime time{};
+  BitFaultKind kind = BitFaultKind::kWearoutTx;
+  /// Sender for tx flips, receiver for rx flips, host for value flips.
+  platform::ComponentId component = 0;
+  tta::RoundId round = 0;
+  /// Flipped bit's index within the frame payload (bit 0 = LSB of byte 0)
+  /// or within the Message::value word for kVnetValue.
+  std::uint32_t bit = 0;
+  /// Payload size at flip time, in bits (position entropy normalizer).
+  std::uint32_t payload_bits = 0;
+};
+
+/// Bounded in-memory flip log. The cap keeps a high-BER run from turning
+/// the witness log into the workload; overflow is counted, never silent.
+class BitFaultLog {
+ public:
+  explicit BitFaultLog(std::size_t cap = 1 << 16) : cap_(cap) {
+    records_.reserve(cap < 1024 ? cap : 1024);
+  }
+
+  void record(const BitFlipRecord& r) {
+    if (records_.size() >= cap_) {
+      ++dropped_;
+      return;
+    }
+    records_.push_back(r);
+  }
+
+  [[nodiscard]] const std::vector<BitFlipRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  void clear() {
+    records_.clear();
+    dropped_ = 0;
+  }
+
+ private:
+  std::size_t cap_;
+  std::uint64_t dropped_ = 0;
+  std::vector<BitFlipRecord> records_;
+};
+
+/// Runtime bit-fault machinery for one simulated cluster. Construct once
+/// (lazily, via FaultInjector::bitfault_plane()); hooks install on first
+/// use and uninstall on destruction.
+class BitFaultPlane {
+ public:
+  struct Stats {
+    std::uint64_t tx_flips = 0;
+    std::uint64_t rx_flips = 0;
+    std::uint64_t value_flips = 0;
+    std::uint64_t frames_corrupted = 0;  // deliveries privatized
+    std::uint64_t spurious_flips = 0;    // kBitSamplerSpurious fired
+    std::uint64_t corrupts_skipped = 0;  // kCopyOnCorruptSkip fired
+    std::uint64_t deliveries_dropped = 0;  // kFramePoolExhausted fired
+  };
+
+  BitFaultPlane(sim::Simulator& sim, platform::System& system);
+  ~BitFaultPlane();
+  BitFaultPlane(const BitFaultPlane&) = delete;
+  BitFaultPlane& operator=(const BitFaultPlane&) = delete;
+
+  /// Sender-side BER of `c`'s transmissions (wearout signature: every
+  /// receiver sees the same corrupted bytes).
+  void set_tx_ber(platform::ComponentId c, double ber);
+  /// Receiver-side BER of frames arriving at `c` (EMI/SEU signature:
+  /// flips are local to this receiver via copy-on-corrupt). `kind` labels
+  /// the flips this sampler produces in the log.
+  void set_rx_ber(platform::ComponentId c, double ber,
+                  BitFaultKind kind = BitFaultKind::kEmiRx);
+  [[nodiscard]] double tx_ber(platform::ComponentId c) const;
+  [[nodiscard]] double rx_ber(platform::ComponentId c) const;
+
+  /// Arms value-domain corruption of the next `flips` records delivered
+  /// on component `c` (one flipped mantissa bit each).
+  void arm_value_flips(platform::ComponentId c, std::uint32_t flips);
+  /// Uninstalls `c`'s value mutator (end of an SEU window). Must not be
+  /// called from inside the mutator itself.
+  void disarm_value_flips(platform::ComponentId c);
+
+  /// Binds the fault-point registry consulted on the corrupt path (the
+  /// three kBit*/kCopyOnCorrupt*/kFramePool* sites). Sites are reached
+  /// only while a receiver-side sampler is active, which keeps the
+  /// enumerable point space proportional to the disturbance window.
+  void bind_fault_points(FaultPointRegistry* reg) { registry_ = reg; }
+
+  /// Observer of every flip (the injector links flips into provenance
+  /// journeys here).
+  std::function<void(const BitFlipRecord&)> on_flip;
+
+  [[nodiscard]] BitFaultLog& log() { return log_; }
+  [[nodiscard]] const BitFaultLog& log() const { return log_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] bool any_active() const;
+
+ private:
+  void ensure_hooks();
+  void note_flip(const BitFlipRecord& r);
+
+  sim::Simulator& sim_;
+  platform::System& system_;
+  FaultPointRegistry* registry_ = nullptr;
+  BitFaultLog log_;
+  Stats stats_;
+  std::vector<BerSampler> tx_samplers_;
+  std::vector<BerSampler> rx_samplers_;
+  /// What an active rx sampler's flips mean (EMI burst vs SEU shower).
+  std::vector<BitFaultKind> rx_kinds_;
+  std::vector<std::uint32_t> value_flips_left_;
+  std::vector<bool> mutator_installed_;
+  sim::Rng value_rng_;
+  /// Flip positions of the delivery under scan (reused, no steady alloc).
+  std::vector<std::uint64_t> scratch_bits_;
+  std::uint64_t tx_hook_id_ = 0;
+  std::uint64_t rx_hook_id_ = 0;
+  bool hooks_installed_ = false;
+};
+
+}  // namespace decos::fault

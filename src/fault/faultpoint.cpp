@@ -13,7 +13,8 @@ constexpr const char* kSiteNames[kFaultSiteCount] = {
     "failover",        "failback",          "staleness-expiry",
     "repair-settle",   "repair-verify",     "spare-alloc",
     "diag-deliver",    "dissem-forward",    "stale-verdict",
-    "tester-reassign",
+    "tester-reassign", "bit-sampler-spurious", "copy-on-corrupt-skip",
+    "frame-pool-exhausted",
 };
 
 }  // namespace

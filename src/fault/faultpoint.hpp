@@ -50,8 +50,11 @@ enum class FaultSite : std::uint8_t {
   kDissemForward,       // forwarded verdict delta dropped at the cube edge
   kStaleVerdict,        // delta delivered with a stale event timestamp
   kTesterReassign,      // topology recompute lags the membership change
+  kBitSamplerSpurious,  // BER sampler fires a flip it should not have
+  kCopyOnCorruptSkip,   // pending bit flips silently not applied
+  kFramePoolExhausted,  // corrupt-copy slot denied, delivery dropped
 };
-inline constexpr int kFaultSiteCount = 13;
+inline constexpr int kFaultSiteCount = 16;
 
 [[nodiscard]] const char* to_string(FaultSite s);
 [[nodiscard]] std::optional<FaultSite> site_from_string(std::string_view name);

@@ -100,14 +100,17 @@ FaultId FaultInjector::inject_emi_burst(double center, double radius,
     for (auto c : affected) manifest(c, "emi burst coupling");
     auto hook_id = std::make_shared<std::uint64_t>(0);
     *hook_id = system_.cluster().bus().add_channel_fault(
-        [affected, corrupt_prob, rng](tta::Frame& copy, tta::NodeId receiver,
+        [affected, corrupt_prob, rng](tta::Delivery& d, tta::NodeId receiver,
                                       sim::SimTime) {
           // The burst couples into the harness near the affected nodes:
           // frames *arriving at* an affected receiver get bit flips
-          // (multiple flips per frame — Fig. 8's value signature).
+          // (multiple flips per frame — Fig. 8's value signature). Only a
+          // delivery that actually takes flips is privatized; everyone
+          // else keeps reading the shared pooled frame.
           for (auto c : affected) {
             if (c == receiver && rng->bernoulli(corrupt_prob)) {
-              if (copy.payload.empty()) return false;  // frame lost entirely
+              if (d.frame().payload.empty()) return false;  // frame lost entirely
+              tta::Frame& copy = d.corrupt();
               for (int flip = 0; flip < 3; ++flip) {
                 const auto idx = static_cast<std::size_t>(rng->uniform_int(
                     0, static_cast<std::int64_t>(copy.payload.size()) - 1));
@@ -132,6 +135,132 @@ FaultId FaultInjector::inject_emi_burst(double center, double radius,
   f.duration = duration;
   f.description = "EMI burst r=" + std::to_string(radius) + " affecting " +
                   std::to_string(affected.size()) + " components";
+  return record(f);
+}
+
+BitFaultPlane& FaultInjector::bitfault_plane() {
+  if (!bitplane_) {
+    bitplane_ = std::make_unique<BitFaultPlane>(sim_, system_);
+    // Every flip becomes a manifestation event on the journey owning its
+    // component. The detail strings are constant per kind, so the
+    // tracer's coalescing keeps a dense shower at one span per episode.
+    bitplane_->on_flip = [this](const BitFlipRecord& r) {
+      switch (r.kind) {
+        case BitFaultKind::kWearoutTx:
+          manifest(r.component, "wearout tx bit flip");
+          break;
+        case BitFaultKind::kEmiRx:
+          manifest(r.component, "emi rx bit flip");
+          break;
+        case BitFaultKind::kSeuRx:
+          manifest(r.component, "seu rx bit flip");
+          break;
+        case BitFaultKind::kVnetValue:
+          manifest(r.component, "seu value-field flip");
+          break;
+        case BitFaultKind::kSpurious:
+          break;  // registry perturbation, not an injected fault
+      }
+    };
+  }
+  return *bitplane_;
+}
+
+FaultId FaultInjector::inject_wearout_ber(platform::ComponentId component,
+                                          sim::SimTime start,
+                                          WearoutCurve curve) {
+  auto active = std::make_shared<bool>(true);
+  (void)bitfault_plane();  // construct before the first frame of the window
+
+  // Track the curve with a periodic rate update; one update per ~4 rounds
+  // is plenty for time constants in the hundreds of milliseconds.
+  new_chain().start(
+      sim_, start,
+      [this, component, curve, start, active]() -> std::optional<sim::Duration> {
+        if (!*active) {  // the worn FRU was replaced
+          bitfault_plane().set_tx_ber(component, 0.0);
+          return std::nullopt;
+        }
+        const double age_s =
+            static_cast<double>((sim_.now() - start).ns()) * 1e-9;
+        bitfault_plane().set_tx_ber(component, curve.ber_at(age_s));
+        return sim::milliseconds(10);
+      },
+      sim::EventPriority::kFault);
+
+  InjectedFault f;
+  f.cls = FaultClass::kComponentInternal;
+  f.persistence = Persistence::kIntermittent;
+  f.component = component;
+  f.start = start;
+  f.description = "wearout BER (bathtub bit-error curve)";
+  f.active = std::move(active);
+  return record(f);
+}
+
+FaultId FaultInjector::inject_emi_bit_burst(double center, double radius,
+                                            sim::SimTime start,
+                                            sim::Duration duration,
+                                            double ber) {
+  const auto affected = layout_.within(center, radius);
+  const sim::SimTime end = start + duration;
+  (void)bitfault_plane();
+
+  sim_.schedule_at(start, [this, affected, ber, end] {
+    for (auto c : affected) {
+      manifest(c, "emi burst coupling (bit shower)");
+      bitfault_plane().set_rx_ber(c, ber, BitFaultKind::kEmiRx);
+    }
+    sim_.schedule_at(end, [this, affected] {
+      for (auto c : affected) {
+        bitfault_plane().set_rx_ber(c, 0.0, BitFaultKind::kEmiRx);
+      }
+    }, sim::EventPriority::kFault);
+  }, sim::EventPriority::kFault);
+
+  InjectedFault f;
+  f.cls = FaultClass::kComponentExternal;
+  f.persistence = Persistence::kTransient;
+  f.component = affected.empty() ? 0 : affected.front();
+  f.affected = affected;
+  f.start = start;
+  f.duration = duration;
+  f.description = "EMI bit burst r=" + std::to_string(radius) +
+                  " affecting " + std::to_string(affected.size()) +
+                  " components";
+  return record(f);
+}
+
+FaultId FaultInjector::inject_seu_shower(platform::ComponentId component,
+                                         sim::SimTime start, double ber,
+                                         std::uint32_t value_flips,
+                                         std::uint32_t window_rounds) {
+  const sim::Duration window =
+      system_.cluster().schedule().round_length() *
+      static_cast<std::int64_t>(window_rounds);
+  (void)bitfault_plane();
+
+  sim_.schedule_at(start, [this, component, ber, value_flips, window] {
+    manifest(component, "seu shower");
+    auto& plane = bitfault_plane();
+    plane.set_rx_ber(component, ber, BitFaultKind::kSeuRx);
+    if (value_flips > 0) plane.arm_value_flips(component, value_flips);
+    sim_.schedule_after(window,
+                        [this, component] {
+                          auto& p = bitfault_plane();
+                          p.set_rx_ber(component, 0.0, BitFaultKind::kSeuRx);
+                          p.disarm_value_flips(component);
+                        },
+                        sim::EventPriority::kFault);
+  }, sim::EventPriority::kFault);
+
+  InjectedFault f;
+  f.cls = FaultClass::kComponentExternal;
+  f.persistence = Persistence::kTransient;
+  f.component = component;
+  f.start = start;
+  f.duration = window;
+  f.description = "SEU shower (bounded-window rx bit flips + stored-value upset)";
   return record(f);
 }
 

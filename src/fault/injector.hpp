@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/bitfault.hpp"
 #include "fault/taxonomy.hpp"
 #include "platform/system.hpp"
 #include "sim/simulator.hpp"
@@ -78,6 +79,25 @@ class FaultInjector {
   /// `start`; models a cosmic-ray bit flip. Transient, single shot.
   FaultId inject_seu(platform::ComponentId component, sim::SimTime start);
 
+  // --- bit-granular value faults (see fault/bitfault.hpp) -------------------
+  /// EMI burst at bit granularity: every component within `radius` of
+  /// `center` receives frames through a BER-driven bit-flip process for
+  /// `duration` — dense, bursty, spatially correlated flips, the Fig. 8
+  /// massive-transient value signature sharpened to bit positions.
+  FaultId inject_emi_bit_burst(double center, double radius,
+                               sim::SimTime start, sim::Duration duration,
+                               double ber = 2e-3);
+
+  /// SEU shower: a `window_rounds`-round window of receiver-side bit flips
+  /// on one component plus `value_flips` surviving flips in stored vnet
+  /// records (past the CRC — genuine value-domain errors). The window must
+  /// stay within the <=2-round flip span diag::classify_bit_pattern treats
+  /// as an SEU signature.
+  FaultId inject_seu_shower(platform::ComponentId component,
+                            sim::SimTime start, double ber = 5e-3,
+                            std::uint32_t value_flips = 1,
+                            std::uint32_t window_rounds = 1);
+
   // --- component borderline --------------------------------------------------
   /// Connector fault on one component's harness: intermittent episodes of
   /// receive-side corruption/omission at exponentially distributed
@@ -96,6 +116,13 @@ class FaultInjector {
   FaultId inject_wearout(platform::ComponentId component, sim::SimTime start,
                          sim::Duration initial_gap, double gap_shrink = 0.85,
                          sim::Duration episode_len = sim::milliseconds(20));
+
+  /// Wearout at bit granularity: the component's *transmissions* pass
+  /// through a BER process whose rate follows `curve` over the component's
+  /// age — a rising per-bit error rate every peer observes identically
+  /// (component-internal). Runs until the FRU is repaired.
+  FaultId inject_wearout_ber(platform::ComponentId component,
+                             sim::SimTime start, WearoutCurve curve = {});
 
   /// Permanent hardware failure: the component goes fail-silent at
   /// `start` (e.g. power stage dies). ~100 FIT in the field.
@@ -161,6 +188,13 @@ class FaultInjector {
                                 platform::ActuatorFaultMode mode,
                                 sim::SimTime start);
 
+  /// The bit-fault runtime, constructed on first use (rigs that never
+  /// inject bit faults pay nothing). The accessor also wires the plane's
+  /// flip observer into provenance, so every flip joins the journey of
+  /// the fault that owns its component.
+  [[nodiscard]] BitFaultPlane& bitfault_plane();
+  [[nodiscard]] bool has_bitfault_plane() const { return bitplane_ != nullptr; }
+
   // --- bookkeeping ----------------------------------------------------------------
   [[nodiscard]] const std::vector<InjectedFault>& ledger() const {
     return ledger_;
@@ -214,6 +248,8 @@ class FaultInjector {
   std::vector<InjectedFault> ledger_;
   /// Ongoing episode chains (connector, wearout, babbling, brownout).
   std::vector<std::unique_ptr<sim::AperiodicTimer>> chains_;
+  /// Bit-fault runtime, lazily constructed (see bitfault_plane()).
+  std::unique_ptr<BitFaultPlane> bitplane_;
 };
 
 }  // namespace decos::fault

@@ -151,6 +151,50 @@ BenchReporter::BenchReporter(std::string bench_name, int argc, char** argv)
       ++i;
       continue;
     }
+    if (arg == "--ber") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --ber requires a value\n");
+        bad_args_ = true;
+        continue;
+      }
+      char* end = nullptr;
+      errno = 0;
+      const double v = std::strtod(argv[i + 1], &end);
+      if (end == argv[i + 1] || *end != '\0' || errno == ERANGE ||
+          !(v >= 0.0 && v <= 1.0)) {
+        std::fprintf(stderr,
+                     "error: --ber wants a bit-error rate in [0, 1], got "
+                     "'%s'\n",
+                     argv[i + 1]);
+        bad_args_ = true;
+      } else {
+        ber_ = v;
+      }
+      ++i;
+      continue;
+    }
+    if (arg == "--wearout") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --wearout requires a profile name\n");
+        bad_args_ = true;
+        continue;
+      }
+      const auto& known = known_wearout_profiles();
+      if (std::find(known.begin(), known.end(), argv[i + 1]) == known.end()) {
+        std::string list;
+        for (const std::string& p : known) {
+          if (!list.empty()) list += ", ";
+          list += p;
+        }
+        std::fprintf(stderr, "error: --wearout wants one of {%s}, got '%s'\n",
+                     list.c_str(), argv[i + 1]);
+        bad_args_ = true;
+      } else {
+        wearout_ = argv[i + 1];
+      }
+      ++i;
+      continue;
+    }
     if (arg == "--seed" || arg == "--seeds") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error: %.*s requires a value\n",
@@ -171,6 +215,14 @@ BenchReporter::BenchReporter(std::string bench_name, int argc, char** argv)
     args_.push_back(argv[i]);
   }
   args_.push_back(nullptr);
+}
+
+const std::vector<std::string>& BenchReporter::known_wearout_profiles() {
+  // Mirror of fault::WearoutCurve::profile_names(); a test cross-checks
+  // the two lists stay identical.
+  static const std::vector<std::string> kProfiles = {"bathtub", "infant",
+                                                     "aged"};
+  return kProfiles;
 }
 
 unsigned BenchReporter::jobs() const {
@@ -219,6 +271,12 @@ int BenchReporter::finish() const {
     }
     if (max_points_ != 0) {
       json += ",\"max_points\":" + std::to_string(max_points_);
+    }
+    if (has_ber()) {
+      json += ",\"ber\":" + json_number(ber_);
+    }
+    if (!wearout_.empty()) {
+      json += ",\"wearout\":\"" + json_escape(wearout_) + "\"";
     }
     json += ",\"metrics\":" + to_json(snapshot_) + "}\n";
     if (!write_file(json_path_, json)) {

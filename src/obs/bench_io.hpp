@@ -82,6 +82,25 @@ class BenchReporter {
   [[nodiscard]] bool has_max_points() const { return max_points_ != 0; }
   [[nodiscard]] std::size_t max_points() const { return max_points_; }
 
+  /// Bit-fault workload controls (bench_bitfault, bench_chaos_diag):
+  /// `--ber <float>` overrides a campaign's bit-error rate — rejected
+  /// outside [0, 1]; `--wearout <profile>` picks a wearout curve by name,
+  /// rejected unless the name is in known_wearout_profiles(). Both are
+  /// echoed in the --json export ("ber"/"wearout").
+  [[nodiscard]] bool has_ber() const { return ber_ >= 0.0; }
+  [[nodiscard]] double ber_or(double fallback) const {
+    return has_ber() ? ber_ : fallback;
+  }
+  [[nodiscard]] bool has_wearout_profile() const { return !wearout_.empty(); }
+  [[nodiscard]] std::string wearout_profile_or(std::string fallback) const {
+    return has_wearout_profile() ? wearout_ : std::move(fallback);
+  }
+  /// The profile names --wearout accepts. Mirrors
+  /// fault::WearoutCurve::profile_names() — obs cannot depend on the
+  /// fault layer, so the list is duplicated here and a test cross-checks
+  /// the two stay identical.
+  [[nodiscard]] static const std::vector<std::string>& known_wearout_profiles();
+
   /// argv with the reporter's own flags removed (argv()[argc()] == nullptr).
   [[nodiscard]] int argc() const { return static_cast<int>(args_.size()) - 1; }
   [[nodiscard]] char** argv() { return args_.data(); }
@@ -100,6 +119,8 @@ class BenchReporter {
   std::size_t trace_cap_ = 1 << 16;
   std::string replay_token_;
   std::size_t max_points_ = 0;  // 0 = unbounded
+  double ber_ = -1.0;           // < 0 = not given
+  std::string wearout_;         // empty = not given
   std::vector<char*> args_;  // non-owning views into the original argv
   std::vector<std::uint64_t> seeds_;  // resolved by seeds_or()
   unsigned jobs_ = 0;  // 0 = hardware concurrency

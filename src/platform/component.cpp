@@ -73,6 +73,15 @@ void Component::build_payload(tta::RoundId round,
 
 void Component::route_local(const vnet::Message& msg) {
   if (msg.port >= local_receivers_.size()) return;
+  if (delivery_mutator) {
+    vnet::Message stored = msg;  // the record as this component holds it
+    delivery_mutator(stored);
+    for (Job* receiver : local_receivers_[msg.port]) {
+      if (delivery_filter && !delivery_filter(stored, receiver->id())) continue;
+      receiver->deliver(stored);
+    }
+    return;
+  }
   for (Job* receiver : local_receivers_[msg.port]) {
     if (delivery_filter && !delivery_filter(msg, receiver->id())) continue;
     receiver->deliver(msg);

@@ -65,6 +65,13 @@ class Component {
   /// agnostic.
   std::function<bool(const vnet::Message&, JobId receiver)> delivery_filter;
 
+  /// Value-domain corruption of the record as stored in this component's
+  /// memory (SEU in a port buffer): when set, every locally delivered
+  /// message passes through the mutator before reaching the hosted
+  /// receiver jobs — all of them read the same corrupted store. Null (the
+  /// default) costs one branch.
+  std::function<void(vnet::Message&)> delivery_mutator;
+
  private:
   void build_payload(tta::RoundId round, std::vector<std::uint8_t>& out);
   void route_local(const vnet::Message& msg);

@@ -64,6 +64,20 @@ PointRun run_body(Rig& rig, const SweepOptions& opts,
                                             rig.injector(), opts.executor);
   executor.bind_fault_points(&reg);
 
+  // Bit-fault leg: a short, un-ledgered rx-BER window on a bystander
+  // component makes the bit-path sites (spurious sampler flip,
+  // copy-on-corrupt skip, frame-pool exhaustion) reachable. Programming
+  // the plane directly opens no journey — the flips are disturbance
+  // noise, not an injected fault, so the no-orphans audit is untouched —
+  // and the sites only hit while the sampler is live, so the enumerable
+  // point space grows by the window's deliveries, not the horizon's.
+  fault::BitFaultPlane& bitplane = rig.injector().bitfault_plane();
+  bitplane.bind_fault_points(&reg);
+  rig.sim().schedule_at(sim::SimTime::zero() + sim::milliseconds(60),
+                        [&bitplane] { bitplane.set_rx_ber(0, 5e-3); });
+  rig.sim().schedule_at(sim::SimTime::zero() + sim::milliseconds(66),
+                        [&bitplane] { bitplane.set_rx_ber(0, 0.0); });
+
   // Last-hop gate on every component: one diagnostic-vnet delivery (per
   // receiver) is an enumerable drop. Application vnets pass untouched.
   for (platform::ComponentId c = 0; c < components; ++c) {

@@ -9,6 +9,7 @@ Bus::Bus(sim::Simulator& sim, TdmaSchedule schedule, Params params)
     : sim_(sim),
       schedule_(std::move(schedule)),
       params_(params),
+      pool_(FramePool::create(params.frame_pool_soft_cap)),
       frames_sent_metric_(sim.metrics().counter("tta.bus.frames_sent")),
       frames_blocked_metric_(sim.metrics().counter("tta.bus.frames_blocked")),
       copies_dropped_metric_(
@@ -73,15 +74,26 @@ bool Bus::transmit(NodeId sender, const Frame& frame) {
   ++frames_sent_;
   frames_sent_metric_.inc();
   last_accepted_ = now;
+
+  // One pooled copy of the frame, shared by every receiver. Sender-side
+  // hooks mutate the master before it is shared (refs == 1 here), so all
+  // receivers see the same internally-corrupted bytes.
+  FrameHandle master = pool_->acquire(frame);
+  if (!tx_hooks_.empty()) {
+    Frame& m = master.mutate();
+    for (auto& [id, hook] : tx_hooks_) hook(m, sender, now);
+  }
+
   const sim::SimTime arrival = now + params_.propagation_delay;
   for (BusReceiver* rx : receivers_) {
     if (rx->node_id() == sender) continue;  // no self-reception
-    // Each receiver gets its own mutable copy so channel faults can be
-    // receiver-local (EMI near one corner of the vehicle).
-    Frame copy = frame;
+    // Channel faults stay receiver-local: the delivery reads the shared
+    // master until a hook corrupts it, at which point it privatizes into
+    // its own pool slot (copy-on-corrupt).
+    Delivery d(*pool_, master);
     bool deliver = true;
     for (auto& [id, hook] : fault_hooks_) {
-      if (!hook(copy, rx->node_id(), now)) {
+      if (!hook(d, rx->node_id(), now)) {
         deliver = false;
         break;
       }
@@ -90,8 +102,10 @@ bool Bus::transmit(NodeId sender, const Frame& frame) {
       copies_dropped_metric_.inc();
       continue;
     }
+    // The handle pins both the slot and the pool, so a delivery queued at
+    // teardown outlives the bus safely.
     sim_.schedule_at(
-        arrival, [rx, copy = std::move(copy), arrival]() { rx->on_frame(copy, arrival); },
+        arrival, [rx, h = d.take(), arrival]() { rx->on_frame(*h, arrival); },
         sim::EventPriority::kTransport);
   }
   return true;
@@ -105,6 +119,16 @@ std::uint64_t Bus::add_channel_fault(ChannelFaultHook hook) {
 
 void Bus::remove_channel_fault(std::uint64_t id) {
   std::erase_if(fault_hooks_, [id](const auto& p) { return p.first == id; });
+}
+
+std::uint64_t Bus::add_tx_fault(TxFaultHook hook) {
+  const std::uint64_t id = next_hook_id_++;
+  tx_hooks_.emplace_back(id, std::move(hook));
+  return id;
+}
+
+void Bus::remove_tx_fault(std::uint64_t id) {
+  std::erase_if(tx_hooks_, [id](const auto& p) { return p.first == id; });
 }
 
 }  // namespace decos::tta

@@ -9,8 +9,13 @@
 //
 // Channel fault hooks model external disturbances (EMI bursts, SEU-induced
 // bit flips near specific receivers): each hook may corrupt or drop the
-// frame copy destined for one receiver, which is exactly how a spatially
+// delivery destined for one receiver, which is exactly how a spatially
 // correlated "massive transient" (Fig. 8) shows up in a real cluster.
+//
+// Deliveries ride on the ref-counted FramePool: one pooled master frame is
+// shared by every receiver and cloned only at the instant a hook actually
+// corrupts a delivery (copy-on-corrupt), so the fault-free broadcast path
+// allocates and copies nothing per receiver (E22).
 #pragma once
 
 #include <cstdint>
@@ -20,6 +25,7 @@
 
 #include "sim/simulator.hpp"
 #include "tta/frame.hpp"
+#include "tta/frame_pool.hpp"
 #include "tta/tdma.hpp"
 #include "tta/types.hpp"
 
@@ -29,15 +35,53 @@ namespace decos::tta {
 class BusReceiver {
  public:
   virtual ~BusReceiver() = default;
-  /// Delivery of a frame copy (possibly corrupted by the channel).
+  /// Delivery of a frame (possibly corrupted by the channel). The
+  /// reference is only valid for the duration of the call.
   virtual void on_frame(const Frame& frame, sim::SimTime arrival) = 0;
   [[nodiscard]] virtual NodeId node_id() const = 0;
 };
 
-/// Per-receiver channel fault. Returns false to drop the copy entirely;
-/// may mutate payload bytes (CRC then fails at the receiver).
+/// One receiver's view of an in-flight frame. Reading is free (the pooled
+/// master frame is shared); `corrupt()` privatizes the delivery into its
+/// own pool slot on first call, so other receivers keep seeing pristine
+/// bytes while this one's copy is mutilated.
+class Delivery {
+ public:
+  Delivery(FramePool& pool, const FrameHandle& shared)
+      : pool_(&pool), handle_(shared) {}
+
+  [[nodiscard]] const Frame& frame() const { return *handle_; }
+  /// Copy-on-corrupt: returns a mutable frame private to this receiver.
+  [[nodiscard]] Frame& corrupt() {
+    if (!privatized_) {
+      handle_ = pool_->acquire_copy(handle_);
+      pool_->count_corrupt_copy();
+      privatized_ = true;
+    }
+    return handle_.mutate();
+  }
+  /// True once a hook privatized this delivery.
+  [[nodiscard]] bool privatized() const { return privatized_; }
+  /// Transfers ownership of the (shared or private) frame to the caller.
+  [[nodiscard]] FrameHandle take() { return std::move(handle_); }
+
+ private:
+  FramePool* pool_;
+  FrameHandle handle_;
+  bool privatized_ = false;
+};
+
+/// Per-receiver channel fault. Returns false to drop the delivery
+/// entirely; calls `d.corrupt()` to flip bits receiver-locally (CRC then
+/// fails at the receiver).
 using ChannelFaultHook =
-    std::function<bool(Frame& copy, NodeId receiver, sim::SimTime now)>;
+    std::function<bool(Delivery& d, NodeId receiver, sim::SimTime now)>;
+
+/// Sender-side fault applied once to the master frame before it is shared
+/// with the receivers — every receiver sees the same mutilated bytes, the
+/// signature of a component-internal value fault (wearout BER).
+using TxFaultHook =
+    std::function<void(Frame& frame, NodeId sender, sim::SimTime now)>;
 
 class Bus {
  public:
@@ -53,6 +97,9 @@ class Bus {
     /// When false the guardian is disabled (ablation: shows why the core
     /// service is needed).
     bool guardian_enabled = true;
+    /// FramePool slots the bus considers healthy; demand beyond it still
+    /// delivers but counts as a fallback acquire (see FramePool).
+    std::size_t frame_pool_soft_cap = 64;
   };
 
   Bus(sim::Simulator& sim, TdmaSchedule schedule, Params params);
@@ -60,13 +107,22 @@ class Bus {
   void attach(BusReceiver& receiver);
 
   /// Transmission attempt by `sender` starting at the current instant.
-  /// Returns false if the guardian blocked it. The frame is copied per
-  /// receiver (channel faults are receiver-local), never taken over.
+  /// Returns false if the guardian blocked it. The frame is copied once
+  /// into the pool and shared by every receiver; channel faults stay
+  /// receiver-local via copy-on-corrupt (see Delivery).
   bool transmit(NodeId sender, const Frame& frame);
 
   /// Installs a channel fault hook; returns an id for removal.
   std::uint64_t add_channel_fault(ChannelFaultHook hook);
   void remove_channel_fault(std::uint64_t id);
+
+  /// Installs a sender-side fault hook; returns an id for removal.
+  std::uint64_t add_tx_fault(TxFaultHook hook);
+  void remove_tx_fault(std::uint64_t id);
+
+  [[nodiscard]] const std::shared_ptr<FramePool>& frame_pool() const {
+    return pool_;
+  }
 
   [[nodiscard]] const TdmaSchedule& schedule() const { return schedule_; }
   [[nodiscard]] const Params& params() const { return params_; }
@@ -84,7 +140,9 @@ class Bus {
   TdmaSchedule schedule_;
   Params params_;
   std::vector<BusReceiver*> receivers_;
+  std::shared_ptr<FramePool> pool_;
   std::vector<std::pair<std::uint64_t, ChannelFaultHook>> fault_hooks_;
+  std::vector<std::pair<std::uint64_t, TxFaultHook>> tx_hooks_;
   std::uint64_t next_hook_id_ = 1;
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_blocked_ = 0;

@@ -75,7 +75,7 @@ void TtaNode::restart() {
   // wedged (in_sync_ set but no chain scheduled), and a double restart
   // could race two chains.
   ++chain_epoch_;
-  pending_.reset();
+  pending_valid_ = false;
   in_sync_ = true;
   rounds_without_sync_ = 0;
   listen_rounds_left_ = 0;
@@ -176,18 +176,23 @@ void TtaNode::on_frame(const Frame& frame, sim::SimTime arrival) {
     return;
   }
 
-  Frame copy = frame;
+  // Receiver-stage corruption. The draws happen before we know whether
+  // the frame will be kept ("first wins" below) so the stream consumed
+  // per arrival is fixed — restructuring the storage must not shift the
+  // sequence other fault draws see.
+  bool rx_corrupt = false;
+  std::size_t rx_corrupt_idx = 0;
   if (faults_.rx_corrupt_prob > 0.0 && rng_.bernoulli(faults_.rx_corrupt_prob) &&
-      !copy.payload.empty()) {
-    const auto idx = static_cast<std::size_t>(rng_.uniform_int(
-        0, static_cast<std::int64_t>(copy.payload.size()) - 1));
-    copy.payload[idx] ^= 0x5A;
+      !frame.payload.empty()) {
+    rx_corrupt = true;
+    rx_corrupt_idx = static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(frame.payload.size()) - 1));
   }
 
   // Judge arrival on the local clock against the static schedule.
   const auto& sched = bus_.schedule();
   const sim::SimTime local_arrival = clock_.local_time(arrival);
-  const sim::SimTime expected = sched.send_instant(copy.round, copy.slot) +
+  const sim::SimTime expected = sched.send_instant(frame.round, frame.slot) +
                                 bus_.params().propagation_delay;
   const sim::Duration offset = local_arrival - expected;
   const bool timely = offset.ns() >= -sched.params().receive_window.ns() &&
@@ -195,9 +200,14 @@ void TtaNode::on_frame(const Frame& frame, sim::SimTime arrival) {
 
   // Keep the first frame of the open slot; a second arrival in the same
   // slot would collide on a real bus — modelling "first wins" keeps the
-  // judgement deterministic.
-  if (!pending_) {
-    pending_ = Pending{std::move(copy), offset, timely};
+  // judgement deterministic. The copy lands in the reused pending buffer
+  // (payload capacity retained), so the delivery path allocates nothing.
+  if (!pending_valid_) {
+    pending_.frame = frame;
+    if (rx_corrupt) pending_.frame.payload[rx_corrupt_idx] ^= 0x5A;
+    pending_.arrival_offset = offset;
+    pending_.timely = timely;
+    pending_valid_ = true;
   }
 }
 
@@ -210,7 +220,7 @@ void TtaNode::close_slot(RoundId round, SlotId slot) {
     if (!faults_.fail_silent && in_sync_ && listen_rounds_left_ == 0) {
       next_membership_ |= std::uint64_t{1} << params_.id;
     }
-    pending_.reset();
+    pending_valid_ = false;
   } else {
     SlotObservation obs;
     obs.observer = params_.id;
@@ -218,11 +228,11 @@ void TtaNode::close_slot(RoundId round, SlotId slot) {
     obs.slot = slot;
     obs.round = round;
 
-    if (!pending_) {
+    if (!pending_valid_) {
       obs.verdict = SlotVerdict::kOmission;
       slots_omission_metric_.inc();
     } else {
-      const Pending& p = *pending_;
+      const Pending& p = pending_;
       obs.arrival_offset = p.arrival_offset;
       const bool slot_matches = p.frame.sender == owner && p.frame.slot == slot &&
                                 p.frame.round == round;
@@ -241,7 +251,7 @@ void TtaNode::close_slot(RoundId round, SlotId slot) {
       }
     }
     if (observation_sink) observation_sink(obs);
-    pending_.reset();
+    pending_valid_ = false;
   }
 
   const std::uint32_t slots = sched.params().slots_per_round;
@@ -303,7 +313,7 @@ void TtaNode::reintegrate(const Frame& frame, sim::SimTime arrival) {
   // Abandon the drifted slot chain and restart it at the next boundary of
   // the cluster's schedule, listen-only for a few rounds.
   ++chain_epoch_;
-  pending_.reset();
+  pending_valid_ = false;
   in_sync_ = true;
   rounds_without_sync_ = 0;
   listen_rounds_left_ = params_.reintegration_listen_rounds;

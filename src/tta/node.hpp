@@ -16,7 +16,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <optional>
 #include <string>
 #include <vector>
 
@@ -159,13 +158,17 @@ class TtaNode final : public BusReceiver {
   std::uint64_t membership_ = 0;
   std::uint64_t next_membership_ = 0;
 
-  /// Frame received in the currently open slot, if any.
+  /// Frame received in the currently open slot, if any. The struct is
+  /// reused across slots (payload capacity retained) so storing an
+  /// arrival copies bytes without allocating; `pending_valid_` plays the
+  /// role the old std::optional did.
   struct Pending {
     Frame frame;
     sim::Duration arrival_offset;
     bool timely = false;
   };
-  std::optional<Pending> pending_;
+  Pending pending_;
+  bool pending_valid_ = false;
 
   /// Scratch frame reused across transmissions: its payload buffer keeps
   /// its capacity, so do_transmit allocates nothing in steady state.

@@ -1,0 +1,322 @@
+// Bit-granular value-fault tests: BER sampler determinism and extremes,
+// the wearout bathtub curve, FramePool copy-on-corrupt isolation, the
+// bit-fault plane on the Fig. 10 rig, and the campaign's jobs-N bit
+// identity.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/bitfault.hpp"
+#include "obs/bench_io.hpp"
+#include "scenario/bitfault.hpp"
+#include "scenario/fig10.hpp"
+#include "sim/simulator.hpp"
+#include "tta/bus.hpp"
+#include "tta/frame_pool.hpp"
+#include "tta/tdma.hpp"
+
+namespace decos {
+namespace {
+
+// --- BerSampler -------------------------------------------------------------
+
+std::vector<std::uint64_t> scan_positions(fault::BerSampler& s,
+                                          std::uint64_t nbits,
+                                          int frames) {
+  std::vector<std::uint64_t> out;
+  for (int f = 0; f < frames; ++f) {
+    s.scan(nbits, [&](std::uint64_t bit) {
+      out.push_back(static_cast<std::uint64_t>(f) * nbits + bit);
+    });
+  }
+  return out;
+}
+
+TEST(BerSampler, SameSeedSamePositions) {
+  sim::Simulator a(42), b(42);
+  fault::BerSampler sa(a.fork_rng("ber"));
+  fault::BerSampler sb(b.fork_rng("ber"));
+  sa.set_ber(1e-3);
+  sb.set_ber(1e-3);
+  const auto pa = scan_positions(sa, 1024, 64);
+  const auto pb = scan_positions(sb, 1024, 64);
+  EXPECT_FALSE(pa.empty());
+  EXPECT_EQ(pa, pb);
+}
+
+TEST(BerSampler, ZeroRateNeverFlips) {
+  sim::Simulator s(1);
+  fault::BerSampler sampler(s.fork_rng("ber"));
+  sampler.set_ber(0.0);
+  EXPECT_TRUE(scan_positions(sampler, 4096, 16).empty());
+}
+
+TEST(BerSampler, RateOneFlipsEveryBit) {
+  sim::Simulator s(1);
+  fault::BerSampler sampler(s.fork_rng("ber"));
+  sampler.set_ber(1.0);
+  const auto pos = scan_positions(sampler, 64, 1);
+  ASSERT_EQ(pos.size(), 64u);
+  for (std::uint64_t i = 0; i < 64; ++i) EXPECT_EQ(pos[i], i);
+}
+
+TEST(BerSampler, RateRoughlyMatchesBer) {
+  sim::Simulator s(7);
+  fault::BerSampler sampler(s.fork_rng("ber"));
+  sampler.set_ber(1e-2);
+  const std::uint64_t nbits = 1'000'000;
+  const auto pos = scan_positions(sampler, nbits, 1);
+  const double rate =
+      static_cast<double>(pos.size()) / static_cast<double>(nbits);
+  EXPECT_NEAR(rate, 1e-2, 2e-3);
+}
+
+TEST(BerSampler, SetBerClamps) {
+  sim::Simulator s(1);
+  fault::BerSampler sampler(s.fork_rng("ber"));
+  sampler.set_ber(-0.5);
+  EXPECT_EQ(sampler.ber(), 0.0);
+  sampler.set_ber(7.0);
+  EXPECT_EQ(sampler.ber(), 1.0);
+}
+
+// --- WearoutCurve ------------------------------------------------------------
+
+TEST(WearoutCurve, BathtubShape) {
+  const fault::WearoutCurve c;
+  // Infant phase: monotone non-increasing.
+  for (double t = 0.0; t < 0.6; t += 0.1) {
+    EXPECT_GE(c.ber_at(t), c.ber_at(t + 0.1)) << "infant at " << t;
+  }
+  // Useful life sits below infant mortality.
+  EXPECT_LT(c.ber_at(0.7), c.ber_at(0.0));
+  // Wearout: monotone non-decreasing past the onset.
+  for (double t = 0.9; t < 2.0; t += 0.1) {
+    EXPECT_LE(c.ber_at(t), c.ber_at(t + 0.1)) << "wearout at " << t;
+  }
+  EXPECT_GT(c.ber_at(2.0), c.ber_at(0.9));
+  // The physical cap holds however old the part gets.
+  EXPECT_EQ(c.ber_at(100.0), c.cap_ber);
+}
+
+TEST(WearoutCurve, EveryNamedProfileResolves) {
+  for (const std::string_view name : fault::WearoutCurve::profile_names()) {
+    EXPECT_TRUE(fault::WearoutCurve::profile(name).has_value()) << name;
+  }
+  EXPECT_FALSE(fault::WearoutCurve::profile("granite").has_value());
+}
+
+TEST(WearoutCurve, AgedProfileWearsFromStart) {
+  const auto aged = fault::WearoutCurve::profile("aged");
+  ASSERT_TRUE(aged.has_value());
+  EXPECT_GT(aged->ber_at(0.5), aged->ber_at(0.0));
+  EXPECT_GT(aged->ber_at(0.0), fault::WearoutCurve{}.ber_at(0.7));
+}
+
+/// The --wearout flag's validation list lives in obs (which cannot see
+/// the fault layer); this pins the two lists together.
+TEST(WearoutCurve, ProfileNamesMatchBenchReporterFlagList) {
+  const auto& flag_list = obs::BenchReporter::known_wearout_profiles();
+  const auto names = fault::WearoutCurve::profile_names();
+  ASSERT_EQ(flag_list.size(), names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(flag_list[i], names[i]);
+  }
+}
+
+// --- FramePool copy-on-corrupt ----------------------------------------------
+
+TEST(FramePool, CorruptIsReceiverLocal) {
+  auto pool = tta::FramePool::create(4);
+  tta::Frame f;
+  f.payload = {1, 2, 3, 4};
+  f.seal();
+
+  tta::FrameHandle master = pool->acquire(f);
+  tta::Delivery clean(*pool, master);
+  tta::Delivery dirty(*pool, master);
+
+  tta::Frame& mine = dirty.corrupt();
+  mine.payload[0] ^= 0xFF;
+  EXPECT_TRUE(dirty.privatized());
+  EXPECT_FALSE(clean.privatized());
+
+  // The other receiver (and the master) still see pristine bytes.
+  EXPECT_EQ(clean.frame().payload, f.payload);
+  EXPECT_EQ((*master).payload, f.payload);
+  EXPECT_TRUE(clean.frame().crc_ok());
+  EXPECT_FALSE(dirty.frame().crc_ok());
+  EXPECT_EQ(pool->corrupt_copies(), 1u);
+}
+
+TEST(FramePool, RefcountsReturnToSteadyState) {
+  auto pool = tta::FramePool::create(4);
+  tta::Frame f;
+  f.payload = {9, 9, 9};
+  f.seal();
+  {
+    tta::FrameHandle master = pool->acquire(f);
+    EXPECT_EQ(pool->in_use(), 1u);
+    tta::Delivery a(*pool, master);
+    tta::Delivery b(*pool, master);
+    tta::Frame& c = b.corrupt();
+    c.payload[1] = 0;
+    EXPECT_EQ(pool->in_use(), 2u);  // master + private corrupt copy
+    {
+      const tta::FrameHandle ha = a.take();
+      const tta::FrameHandle hb = b.take();
+      EXPECT_FALSE(ha.unique());  // still shared with master
+      EXPECT_TRUE(hb.unique());
+    }
+    EXPECT_EQ(pool->in_use(), 1u);
+  }
+  EXPECT_EQ(pool->in_use(), 0u);
+
+  // Recycled slots reuse their payload capacity; repeated rounds keep the
+  // slot count flat.
+  const std::size_t slots_before = pool->slots();
+  for (int i = 0; i < 100; ++i) {
+    tta::FrameHandle h = pool->acquire(f);
+  }
+  EXPECT_EQ(pool->slots(), slots_before);
+  EXPECT_EQ(pool->fallback_acquires(), 0u);
+}
+
+TEST(FramePool, SoftCapFallbackIsCounted) {
+  auto pool = tta::FramePool::create(2);
+  tta::Frame f;
+  f.seal();
+  std::vector<tta::FrameHandle> held;
+  for (int i = 0; i < 5; ++i) held.push_back(pool->acquire(f));
+  EXPECT_EQ(pool->in_use(), 5u);
+  EXPECT_GT(pool->fallback_acquires(), 0u);
+  held.clear();
+  EXPECT_EQ(pool->in_use(), 0u);
+}
+
+// --- bus-level isolation ----------------------------------------------------
+
+struct RecordingSink : tta::BusReceiver {
+  tta::NodeId id = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t crc_bad = 0;
+  void on_frame(const tta::Frame& f, sim::SimTime) override {
+    ++frames;
+    if (!f.crc_ok()) ++crc_bad;
+  }
+  [[nodiscard]] tta::NodeId node_id() const override { return id; }
+};
+
+TEST(Bus, ChannelFaultCorruptsOnlyTheHookedReceiver) {
+  constexpr std::uint32_t kNodes = 4;
+  sim::Simulator s(3);
+  tta::TdmaSchedule sched{tta::TdmaSchedule::Params{
+      .slots_per_round = kNodes, .slot_length = sim::microseconds(500)}};
+  tta::Bus bus(s, sched, tta::Bus::Params{});
+
+  std::vector<RecordingSink> sinks(kNodes);
+  for (std::uint32_t n = 0; n < kNodes; ++n) {
+    sinks[n].id = n;
+    bus.attach(sinks[n]);
+  }
+  bus.add_channel_fault(
+      [](tta::Delivery& d, tta::NodeId receiver, sim::SimTime) {
+        if (receiver != 2 || d.frame().payload.empty()) return true;
+        d.corrupt().payload[0] ^= 0xFF;
+        return true;
+      });
+
+  for (tta::RoundId r = 0; r < 10; ++r) {
+    for (std::uint32_t node = 0; node < kNodes; ++node) {
+      tta::Frame f;
+      f.sender = node;
+      f.slot = node;
+      f.round = r;
+      f.payload = {static_cast<std::uint8_t>(r), 7, 7};
+      f.seal();
+      s.schedule_at(sched.send_instant(r, node), [&bus, node, f] {
+        (void)bus.transmit(node, f);
+      });
+    }
+  }
+  s.run_until(sched.slot_start(10, 0));
+
+  // The bus delivers to every node but the sender: kNodes - 1 per frame.
+  for (std::uint32_t n = 0; n < kNodes; ++n) {
+    EXPECT_EQ(sinks[n].frames, 10u * (kNodes - 1)) << "receiver " << n;
+    if (n == 2) {
+      EXPECT_EQ(sinks[n].crc_bad, 10u * (kNodes - 1));
+    } else {
+      EXPECT_EQ(sinks[n].crc_bad, 0u) << "receiver " << n;
+    }
+  }
+  EXPECT_EQ(bus.frame_pool()->corrupt_copies(), 10u * (kNodes - 1));
+  EXPECT_EQ(bus.frame_pool()->in_use(), 0u);
+}
+
+// --- the plane on the Fig. 10 rig -------------------------------------------
+
+TEST(BitFaultPlane, FlipLogIsSeedStable) {
+  auto run = [] {
+    scenario::Fig10System rig({.seed = 5});
+    rig.injector().bitfault_plane().set_rx_ber(2, 1e-3);
+    rig.run(sim::milliseconds(500));
+    std::vector<std::pair<tta::RoundId, std::uint32_t>> flips;
+    for (const auto& r : rig.injector().bitfault_plane().log().records()) {
+      EXPECT_EQ(r.component, 2u);
+      flips.emplace_back(r.round, r.bit);
+    }
+    return flips;
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(BitFaultPlane, DisabledPlaneStaysSilent) {
+  scenario::Fig10System rig({.seed = 5});
+  rig.injector().bitfault_plane();  // constructed, nothing armed
+  rig.run(sim::milliseconds(200));
+  EXPECT_TRUE(rig.injector().bitfault_plane().log().records().empty());
+  EXPECT_FALSE(rig.injector().bitfault_plane().any_active());
+}
+
+// --- campaign ----------------------------------------------------------------
+
+TEST(BitCampaign, ParallelRunsAreBitIdenticalToSerial) {
+  // The two cheap archetypes keep this inside test budget; the full
+  // catalogue runs in bench_bitfault.
+  auto specs = scenario::bitfault_archetypes();
+  specs.erase(specs.begin());  // drop wearout-ber (longest horizon)
+  const std::vector<std::uint64_t> seeds{1, 2};
+
+  const auto serial = scenario::run_bitfault_campaign(specs, seeds, {}, 1);
+  const auto parallel = scenario::run_bitfault_campaign(specs, seeds, {}, 4);
+
+  ASSERT_EQ(serial.rows.size(), parallel.rows.size());
+  for (std::size_t i = 0; i < serial.rows.size(); ++i) {
+    const auto& a = serial.rows[i];
+    const auto& b = parallel.rows[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.runs, b.runs);
+    EXPECT_EQ(a.class_correct, b.class_correct);
+    EXPECT_EQ(a.bit_correct, b.bit_correct);
+    EXPECT_EQ(a.flips, b.flips);
+    EXPECT_EQ(a.orphan_flips, b.orphan_flips);
+    EXPECT_EQ(a.mean_flips_per_event, b.mean_flips_per_event);
+    EXPECT_EQ(a.mean_rate_ratio, b.mean_rate_ratio);
+  }
+}
+
+TEST(BitCampaign, EveryFlipBelongsToAJourney) {
+  auto specs = scenario::bitfault_archetypes();
+  specs.erase(specs.begin());  // EMI + SEU suffice for the orphan audit
+  const auto result =
+      scenario::run_bitfault_campaign(specs, {1}, {}, 1);
+  EXPECT_GT(result.total_flips(), 0u);
+  EXPECT_EQ(result.total_orphans(), 0u);
+}
+
+}  // namespace
+}  // namespace decos

@@ -8,6 +8,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <limits>
 #include <string>
 
@@ -537,6 +538,73 @@ TEST(BenchReporter, MaxPointsZeroOrMalformedIsRejected) {
     BenchReporter reporter("t", args.argc(), args.argv());
     EXPECT_NE(reporter.finish(), 0) << value;
   }
+}
+
+TEST(BenchReporter, BerFlagParsesInRange) {
+  FakeArgv args({"bench", "--ber", "0.25"});
+  BenchReporter reporter("t", args.argc(), args.argv());
+  EXPECT_TRUE(reporter.has_ber());
+  EXPECT_EQ(reporter.ber_or(0.9), 0.25);
+  EXPECT_EQ(reporter.finish(), 0);
+}
+
+TEST(BenchReporter, BerBoundariesAreAccepted) {
+  for (const char* value : {"0", "1", "0.0", "1.0", "5e-3"}) {
+    FakeArgv args({"bench", "--ber", value});
+    BenchReporter reporter("t", args.argc(), args.argv());
+    EXPECT_TRUE(reporter.has_ber()) << value;
+    EXPECT_EQ(reporter.finish(), 0) << value;
+  }
+}
+
+TEST(BenchReporter, BerOutsideUnitIntervalIsRejected) {
+  for (const char* value : {"1.5", "-0.1", "nan", "rate", "2e3"}) {
+    FakeArgv args({"bench", "--ber", value});
+    BenchReporter reporter("t", args.argc(), args.argv());
+    EXPECT_FALSE(reporter.has_ber()) << value;
+    EXPECT_EQ(reporter.ber_or(0.5), 0.5) << value;
+    EXPECT_NE(reporter.finish(), 0) << value;
+  }
+}
+
+TEST(BenchReporter, WearoutProfileParses) {
+  FakeArgv args({"bench", "--wearout", "aged"});
+  BenchReporter reporter("t", args.argc(), args.argv());
+  EXPECT_TRUE(reporter.has_wearout_profile());
+  EXPECT_EQ(reporter.wearout_profile_or("bathtub"), "aged");
+  EXPECT_EQ(reporter.finish(), 0);
+}
+
+TEST(BenchReporter, UnknownWearoutProfileIsRejected) {
+  FakeArgv args({"bench", "--wearout", "granite"});
+  BenchReporter reporter("t", args.argc(), args.argv());
+  EXPECT_FALSE(reporter.has_wearout_profile());
+  EXPECT_EQ(reporter.wearout_profile_or("bathtub"), "bathtub");
+  EXPECT_NE(reporter.finish(), 0);
+}
+
+TEST(BenchReporter, BerAndWearoutMissingValuesAreRejected) {
+  for (const char* flag : {"--ber", "--wearout"}) {
+    FakeArgv args({"bench", flag});
+    BenchReporter reporter("t", args.argc(), args.argv());
+    EXPECT_NE(reporter.finish(), 0) << flag;
+  }
+}
+
+TEST(BenchReporter, BerAndWearoutAreEchoedInJson) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/ber_echo_out.json";
+  FakeArgv args({"bench", "--ber", "0.125", "--wearout", "infant", "--json",
+                 path});
+  BenchReporter reporter("t", args.argc(), args.argv());
+  ASSERT_EQ(reporter.finish(), 0);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text(1 << 12, '\0');
+  text.resize(std::fread(text.data(), 1, text.size(), f));
+  std::fclose(f);
+  EXPECT_NE(text.find("\"ber\":0.125"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"wearout\":\"infant\""), std::string::npos) << text;
 }
 
 TEST(BenchReporter, UnknownArgumentsPassThrough) {

@@ -165,5 +165,22 @@ TEST(FaultSpaceSweep, ChaosRigReachesFailoverSites) {
   EXPECT_TRUE(d.baseline.converged());
 }
 
+TEST(FaultSpaceSweep, BitFaultPathSitesAreReachable) {
+  // run_body programs a short rx-BER window on a bystander, so the three
+  // bit-path sites must appear in every rig's discovered space — and the
+  // un-ledgered flips must not cost the baseline its no-orphans leg.
+  scenario::SweepOptions opts;
+  const auto d = scenario::discover_fault_space(opts);
+  for (const fault::FaultSite site :
+       {fault::FaultSite::kBitSamplerSpurious,
+        fault::FaultSite::kCopyOnCorruptSkip,
+        fault::FaultSite::kFramePoolExhausted}) {
+    EXPECT_GT(d.manifest.counts[static_cast<std::size_t>(site)], 0u)
+        << fault::to_string(site);
+  }
+  EXPECT_TRUE(d.baseline.no_orphans);
+  EXPECT_TRUE(d.baseline.converged());
+}
+
 }  // namespace
 }  // namespace decos

@@ -1,0 +1,90 @@
+# E22 gate: compares a fresh `bench_bitfault --json` snapshot against the
+# checked-in baseline (bench/baselines/bench_bitfault.json) and fails on
+#
+#   * any allocation per round on the pooled broadcast path with faults
+#     off (allocs_per_round must stay exactly 0 — machine-independent: the
+#     ref-counted FramePool shares one master frame per transmission),
+#   * a transmit-throughput regression beyond TOLERANCE_PCT (default 10 %)
+#     on tx_rounds_per_sec, and
+#   * any orphan flip in the campaign (every logged bit flip must belong
+#     to a provenance journey).
+#
+# Usage:
+#   cmake -DCURRENT=<fresh.json> -DBASELINE=<baseline.json>
+#         [-DTOLERANCE_PCT=10] -P tools/check_bitfault.cmake
+#
+# The throughput floor is relative to the checked-in baseline, recorded on
+# a modest reference box — the gate catches collapses (a re-introduced
+# per-receiver frame copy, per-delivery allocation), not jitter. Refresh
+# the baseline (bench/baselines/README.md) when the reference hardware or
+# the bench shape changes.
+if(NOT DEFINED CURRENT OR NOT DEFINED BASELINE)
+  message(FATAL_ERROR
+    "usage: cmake -DCURRENT=<json> -DBASELINE=<json> -P check_bitfault.cmake")
+endif()
+if(NOT DEFINED TOLERANCE_PCT)
+  set(TOLERANCE_PCT 10)
+endif()
+
+file(READ "${CURRENT}" current_json)
+file(READ "${BASELINE}" baseline_json)
+
+function(read_info out json_text key)
+  string(JSON v ERROR_VARIABLE err GET "${json_text}" info ${key})
+  if(err)
+    message(FATAL_ERROR "snapshot lacks info.${key}: ${err}")
+  endif()
+  set(${out} "${v}" PARENT_SCOPE)
+endfunction()
+
+# Scales a decimal number string by 100 into a 64-bit integer (truncating);
+# scientific notation is rejected loudly rather than misparsed.
+function(to_centi out value)
+  if(value MATCHES "[eE]")
+    message(FATAL_ERROR "cannot parse scientific notation: ${value}")
+  endif()
+  if(NOT value MATCHES "^(-?)([0-9]+)(\\.([0-9]+))?$")
+    message(FATAL_ERROR "not a number: ${value}")
+  endif()
+  set(sign "${CMAKE_MATCH_1}")
+  set(int_part "${CMAKE_MATCH_2}")
+  set(frac "${CMAKE_MATCH_4}00")
+  string(SUBSTRING "${frac}" 0 2 frac)
+  math(EXPR scaled "${sign}(${int_part} * 100 + ${frac})")
+  set(${out} "${scaled}" PARENT_SCOPE)
+endfunction()
+
+set(failures 0)
+
+# Throughput: current must stay within TOLERANCE_PCT of baseline.
+read_info(cur "${current_json}" tx_rounds_per_sec)
+read_info(base "${baseline_json}" tx_rounds_per_sec)
+to_centi(cur_c "${cur}")
+to_centi(base_c "${base}")
+math(EXPR floor_c "${base_c} * (100 - ${TOLERANCE_PCT}) / 100")
+if(cur_c LESS floor_c)
+  message(SEND_ERROR
+    "perf regression: tx_rounds_per_sec = ${cur} < ${TOLERANCE_PCT}% floor "
+    "of baseline ${base}")
+  math(EXPR failures "${failures} + 1")
+else()
+  message(STATUS "tx_rounds_per_sec: ${cur} (baseline ${base}) ok")
+endif()
+
+# Hard zeros: fault-free pooled broadcast allocates nothing; every flip is
+# journey-linked.
+foreach(key allocs_per_round orphan_flips)
+  read_info(cur "${current_json}" ${key})
+  to_centi(cur_c "${cur}")
+  if(cur_c GREATER 0)
+    message(SEND_ERROR "${key} = ${cur} (want 0)")
+    math(EXPR failures "${failures} + 1")
+  else()
+    message(STATUS "${key}: ${cur} ok")
+  endif()
+endforeach()
+
+if(failures GREATER 0)
+  message(FATAL_ERROR "bitfault gate failed: ${failures} check(s)")
+endif()
+message(STATUS "bitfault gate passed")
