@@ -1,7 +1,8 @@
 // E18 — kernel hot-path microbenchmark: events/sec and allocations/event
-// through the discrete-event kernel, and allocations/round through the
-// vnet mux spine (send -> drain -> pack -> unpack), measured with a
-// counting operator-new hook.
+// through the discrete-event kernel, allocations/round through the vnet
+// mux spine (send -> drain -> pack -> unpack), and allocations/symptom
+// through the diagnostic evidence ingest, measured with a counting
+// operator-new hook.
 //
 // The scheduling section reproduces the event population of a steady
 // TDMA simulation: staggered periodic timers (slot ticks), one-shot
@@ -19,7 +20,10 @@
 #include <new>
 #include <string_view>
 
+#include "diag/evidence.hpp"
+#include "diag/symptom.hpp"
 #include "obs/bench_io.hpp"
+#include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timer.hpp"
 #include "vnet/message.hpp"
@@ -198,6 +202,65 @@ SectionResult bench_mux_round(tta::RoundId rounds) {
   return res;
 }
 
+/// Diag ingest path: the evidence store consuming a steady symptom stream
+/// (transport verdicts about a rotating set of senders, plus job-level
+/// value/gap symptoms), pruned to a bounded window as a real assessor
+/// does. Unlike the event and mux spines this path allocates by design —
+/// per-round map/set nodes — so the gate is a *ceiling* per symptom
+/// (regression check), not a hard zero.
+SectionResult bench_diag_ingest(tta::RoundId rounds) {
+  diag::EvidenceStore store({.window_rounds = 2'000});
+  sim::Rng rng(7);
+
+  auto round_once = [&](tta::RoundId r) {
+    // Four observers judge one misbehaving sender per round.
+    const auto subject = static_cast<platform::ComponentId>(r % 8);
+    for (platform::ComponentId obs = 0; obs < 4; ++obs) {
+      if (obs == subject) continue;
+      diag::Symptom s;
+      s.type = rng.bernoulli(0.5) ? diag::SymptomType::kSlotCrcError
+                                  : diag::SymptomType::kSlotTimingError;
+      s.observer = obs;
+      s.subject_component = subject;
+      s.round = r;
+      store.ingest(s);
+    }
+    // One job-level symptom every few rounds.
+    if (r % 4 == 0) {
+      diag::Symptom s;
+      s.type = diag::SymptomType::kValueOutOfRange;
+      s.observer = 1;
+      s.subject_component = 1;
+      s.subject_job = static_cast<platform::JobId>(r % 6);
+      s.round = r;
+      s.magnitude = rng.uniform(0.1, 2.0);
+      store.ingest(s);
+    }
+    if (r % 512 == 0) store.prune(r);
+  };
+
+  for (tta::RoundId r = 0; r < 4'096; ++r) round_once(r);  // warm-up
+  const auto n0 = store.symptoms_ingested();
+  const auto a0 = g_allocs;
+  const auto w0 = std::chrono::steady_clock::now();
+  for (tta::RoundId r = 4'096; r < 4'096 + rounds; ++r) round_once(r);
+  const auto w1 = std::chrono::steady_clock::now();
+  const auto symptoms = store.symptoms_ingested() - n0;
+  const auto allocs = g_allocs - a0;
+  const double wall = std::chrono::duration<double>(w1 - w0).count();
+
+  SectionResult res;
+  res.per_sec = static_cast<double>(symptoms) / wall;
+  res.allocs_per_unit =
+      static_cast<double>(allocs) / static_cast<double>(symptoms);
+  std::printf(
+      "diag_ingest: symptoms=%llu symptoms_per_sec=%.3g "
+      "allocs_per_symptom=%.2f\n",
+      static_cast<unsigned long long>(symptoms), res.per_sec,
+      res.allocs_per_unit);
+  return res;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -211,10 +274,13 @@ int main(int argc, char** argv) {
 
   const SectionResult sched = bench_scheduling(quick ? 1 : 10);
   const SectionResult mux = bench_mux_round(quick ? 20'000 : 200'000);
+  const SectionResult ingest = bench_diag_ingest(quick ? 20'000 : 200'000);
 
   reporter.set_info("events_per_sec", sched.per_sec);
   reporter.set_info("allocs_per_event", sched.allocs_per_unit);
   reporter.set_info("rounds_per_sec", mux.per_sec);
   reporter.set_info("allocs_per_round", mux.allocs_per_unit);
+  reporter.set_info("symptoms_per_sec", ingest.per_sec);
+  reporter.set_info("allocs_per_symptom", ingest.allocs_per_unit);
   return reporter.finish();
 }

@@ -2,29 +2,59 @@
 
 #include <algorithm>
 #include <cmath>
-#include <set>
+#include <cstdio>
+#include <stdexcept>
 
 namespace decos::analysis {
 
 void FleetAnalyzer::record(std::uint32_t vehicle, std::uint32_t module,
                            std::uint64_t count) {
-  data_[module][vehicle] += count;
+  cells_.push_back(Cell{module, vehicle, count});
   total_ += count;
 }
 
-std::uint32_t FleetAnalyzer::vehicles_reporting() const {
-  std::set<std::uint32_t> vehicles;
-  for (const auto& [module, per_vehicle] : data_) {
-    for (const auto& [v, n] : per_vehicle) vehicles.insert(v);
+void FleetAnalyzer::compact() const {
+  if (compacted_ == cells_.size()) return;
+  std::sort(cells_.begin(), cells_.end(), [](const Cell& a, const Cell& b) {
+    if (a.module != b.module) return a.module < b.module;
+    return a.vehicle < b.vehicle;
+  });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (out > 0 && cells_[out - 1].module == cells_[i].module &&
+        cells_[out - 1].vehicle == cells_[i].vehicle) {
+      cells_[out - 1].count += cells_[i].count;
+    } else {
+      cells_[out++] = cells_[i];
+    }
   }
+  cells_.resize(out);
+  compacted_ = out;
+}
+
+std::uint32_t FleetAnalyzer::vehicles_reporting() const {
+  compact();
+  // Cells are sorted by (module, vehicle): vehicles repeat across modules,
+  // so collect and dedup them in a scratch vector.
+  std::vector<std::uint32_t> vehicles;
+  vehicles.reserve(cells_.size());
+  for (const Cell& c : cells_) vehicles.push_back(c.vehicle);
+  std::sort(vehicles.begin(), vehicles.end());
+  vehicles.erase(std::unique(vehicles.begin(), vehicles.end()),
+                 vehicles.end());
   return static_cast<std::uint32_t>(vehicles.size());
 }
 
 std::vector<FleetAnalyzer::ModuleRank> FleetAnalyzer::ranking() const {
+  compact();
   std::vector<ModuleRank> out;
-  for (const auto& [module, per_vehicle] : data_) {
-    ModuleRank r{module, 0, static_cast<std::uint32_t>(per_vehicle.size())};
-    for (const auto& [v, n] : per_vehicle) r.failures += n;
+  std::size_t i = 0;
+  while (i < cells_.size()) {
+    ModuleRank r{cells_[i].module, 0, 0};
+    for (; i < cells_.size() && cells_[i].module == r.module; ++i) {
+      r.failures += cells_[i].count;
+      ++r.vehicles;  // cells are unique per (module, vehicle) once compacted
+    }
     out.push_back(r);
   }
   std::sort(out.begin(), out.end(), [](const ModuleRank& a, const ModuleRank& b) {
@@ -54,6 +84,142 @@ std::vector<std::uint32_t> FleetAnalyzer::design_fault_candidates(
     if (r.vehicles >= vehicle_quorum) out.push_back(r.module);
   }
   return out;
+}
+
+bool operator==(const FleetAnalyzer& a, const FleetAnalyzer& b) {
+  a.compact();
+  b.compact();
+  return a.total_ == b.total_ && a.cells_ == b.cells_;
+}
+
+void StrategyTotals::count(fault::FaultClass truth,
+                           fault::MaintenanceAction action) {
+  ++visits;
+  const auto outcome = fault::evaluate_action(truth, action);
+  if (action == fault::MaintenanceAction::kReplaceComponent) ++removals;
+  if (outcome.unnecessary_removal) ++nff;
+  if (outcome.fault_eliminated) ++eliminated;
+}
+
+StrategyTotals& StrategyTotals::operator+=(const StrategyTotals& o) {
+  visits += o.visits;
+  removals += o.removals;
+  nff += o.nff;
+  eliminated += o.eliminated;
+  return *this;
+}
+
+FleetBatchCounts::FleetBatchCounts(const FleetGrid& g)
+    : grid(g),
+      hw_failures_by_age(g.age_bins, 0),
+      exposure_hours_by_age(g.age_bins, 0),
+      spare_demand(static_cast<std::size_t>(g.depots) * g.windows, 0),
+      failures_by_cohort(g.cohorts, 0),
+      vehicles_by_cohort(g.cohorts, 0) {}
+
+FleetAggregate::FleetAggregate(FleetGrid grid, double cost_per_removal)
+    : grid_(grid),
+      cost_per_removal_(cost_per_removal),
+      hw_failures_by_age_(grid.age_bins, 0),
+      exposure_hours_by_age_(grid.age_bins, 0),
+      spare_demand_(static_cast<std::size_t>(grid.depots) * grid.windows, 0),
+      failures_by_cohort_(grid.cohorts, 0),
+      vehicles_by_cohort_(grid.cohorts, 0) {}
+
+void FleetAggregate::merge(const FleetBatchCounts& batch) {
+  if (!(batch.grid == grid_)) {
+    throw std::invalid_argument("fleet batch grid does not match aggregate");
+  }
+  vehicles_ += batch.vehicles;
+  epochs_ += batch.epochs;
+  naive_ += batch.naive;
+  guided_ += batch.guided;
+  for (std::size_t i = 0; i < hw_failures_by_age_.size(); ++i) {
+    hw_failures_by_age_[i] += batch.hw_failures_by_age[i];
+    exposure_hours_by_age_[i] += batch.exposure_hours_by_age[i];
+  }
+  for (std::size_t i = 0; i < spare_demand_.size(); ++i) {
+    spare_demand_[i] += batch.spare_demand[i];
+  }
+  for (std::size_t i = 0; i < failures_by_cohort_.size(); ++i) {
+    failures_by_cohort_[i] += batch.failures_by_cohort[i];
+    vehicles_by_cohort_[i] += batch.vehicles_by_cohort[i];
+  }
+  for (const auto& cell : batch.module_failures) {
+    modules_.record(batch.first_vehicle + cell.vehicle, cell.module,
+                    cell.count);
+  }
+}
+
+double FleetAggregate::failure_rate_per_mh(std::uint32_t bin) const {
+  const std::uint64_t exposure = exposure_hours_by_age_.at(bin);
+  if (exposure == 0) return 0.0;
+  return 1e6 * static_cast<double>(hw_failures_by_age_[bin]) /
+         static_cast<double>(exposure);
+}
+
+std::uint64_t FleetAggregate::spare_demand(std::uint32_t depot,
+                                           std::uint32_t window) const {
+  return spare_demand_.at(static_cast<std::size_t>(depot) * grid_.windows +
+                          window);
+}
+
+std::uint64_t FleetAggregate::peak_window_demand(std::uint32_t depot) const {
+  std::uint64_t peak = 0;
+  for (std::uint32_t w = 0; w < grid_.windows; ++w) {
+    peak = std::max(peak, spare_demand(depot, w));
+  }
+  return peak;
+}
+
+std::uint64_t FleetAggregate::total_spares() const {
+  std::uint64_t total = 0;
+  for (const auto d : spare_demand_) total += d;
+  return total;
+}
+
+std::string FleetAggregate::summary() const {
+  char buf[512];
+  std::string out;
+  std::snprintf(buf, sizeof buf,
+                "fleet: %llu vehicles, %llu drive epochs\n",
+                static_cast<unsigned long long>(vehicles_),
+                static_cast<unsigned long long>(epochs_));
+  out += buf;
+  const auto line = [&](const char* label, const StrategyTotals& s) {
+    std::snprintf(buf, sizeof buf,
+                  "  %-12s removals=%8llu NFF=%8llu (%.1f%%) wasted=$%.0f\n",
+                  label, static_cast<unsigned long long>(s.removals),
+                  static_cast<unsigned long long>(s.nff), 100.0 * s.nff_ratio(),
+                  wasted_cost(s));
+    out += buf;
+  };
+  line("naive", naive_);
+  line("guided", guided_);
+  std::snprintf(buf, sizeof buf,
+                "  spares: %llu total across %u depots x %u windows\n",
+                static_cast<unsigned long long>(total_spares()), grid_.depots,
+                grid_.windows);
+  out += buf;
+  std::snprintf(
+      buf, sizeof buf,
+      "  modules: %llu sw failures, head share(20%%)=%.2f\n",
+      static_cast<unsigned long long>(modules_.total_failures()),
+      modules_.head_share(0.2));
+  out += buf;
+  return out;
+}
+
+bool operator==(const FleetAggregate& a, const FleetAggregate& b) {
+  return a.grid_ == b.grid_ && a.vehicles_ == b.vehicles_ &&
+         a.epochs_ == b.epochs_ && a.naive_ == b.naive_ &&
+         a.guided_ == b.guided_ &&
+         a.hw_failures_by_age_ == b.hw_failures_by_age_ &&
+         a.exposure_hours_by_age_ == b.exposure_hours_by_age_ &&
+         a.spare_demand_ == b.spare_demand_ &&
+         a.failures_by_cohort_ == b.failures_by_cohort_ &&
+         a.vehicles_by_cohort_ == b.vehicles_by_cohort_ &&
+         a.modules_ == b.modules_;
 }
 
 }  // namespace decos::analysis

@@ -1,22 +1,34 @@
-// Fleet analysis (Sections III-E, IV-B.1, V-C).
+// Fleet analysis (Sections I, III-E, IV-B.1, V-C).
 //
 // Heisenbugs escape pre-release testing and only become visible when field
 // data from a representative population is correlated — the paper's
-// "fleet analysis as engineering feedback". FleetAnalyzer aggregates
-// per-vehicle failure reports by software module and recovers the 20-80
-// structure: which minority of modules causes the majority of failures.
+// "fleet analysis as engineering feedback" — and the economic argument
+// (~800 $ per LRU removal, NFF ratios) is a fleet statistic too. This
+// module is the fleet-level verdict sink: FleetAnalyzer correlates
+// per-vehicle software failures by module and recovers the 20-80
+// structure, and FleetAggregate folds the per-batch counts of a fleet
+// campaign (src/fleet/) into NFF economics, spare-pool logistics and
+// failure-rate-vs-age epidemiology. Everything is integral counts, so
+// merging batches in submission order is exact and bit-identical for any
+// worker count.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
+
+#include "fault/taxonomy.hpp"
+#include "reliability/fit.hpp"
 
 namespace decos::analysis {
 
 class FleetAnalyzer {
  public:
   /// Records `count` failures of `module` observed on `vehicle`.
+  /// Amortized O(1): the record is appended to a flat vector and folded
+  /// into the sorted store lazily at the next query — no per-record node
+  /// allocation on the fleet hot path.
   void record(std::uint32_t vehicle, std::uint32_t module,
               std::uint64_t count = 1);
 
@@ -41,10 +53,190 @@ class FleetAnalyzer {
   [[nodiscard]] std::vector<std::uint32_t> design_fault_candidates(
       std::uint32_t vehicle_quorum) const;
 
+  /// Exact-state equality (compacts both sides first) — the fleet
+  /// determinism tests compare aggregates down to this level.
+  friend bool operator==(const FleetAnalyzer& a, const FleetAnalyzer& b);
+
  private:
-  // module -> (vehicle -> count)
-  std::map<std::uint32_t, std::map<std::uint32_t, std::uint64_t>> data_;
+  /// One (module, vehicle) observation cell of the flat store.
+  struct Cell {
+    std::uint32_t module;
+    std::uint32_t vehicle;
+    std::uint64_t count;
+    friend bool operator==(const Cell&, const Cell&) = default;
+  };
+
+  /// Sorts cells_ by (module, vehicle) and folds duplicate cells into one
+  /// (counts add). Queries all start here; record() only appends.
+  void compact() const;
+
+  // cells_[0, compacted_) is sorted and duplicate-free; the tail is the
+  // raw append log since the last query.
+  mutable std::vector<Cell> cells_;
+  mutable std::size_t compacted_ = 0;
   std::uint64_t total_ = 0;
+};
+
+/// Layout parameters shared by every batch of a fleet campaign. The
+/// aggregate and its batches must agree on the grid for counts to merge;
+/// merge() enforces it.
+struct FleetGrid {
+  /// Failure-age histogram: `age_bins` bins of `bin_hours` operating
+  /// hours (defaults span ~13.7 years — the bathtub's wearout knee).
+  std::uint32_t age_bins = 24;
+  double bin_hours = 5'000.0;
+  /// Spare-pool logistics: demand is tallied per depot per service window.
+  std::uint32_t depots = 8;
+  std::uint32_t windows = 6;
+  /// Software-module space for the 20-80 correlation.
+  std::uint32_t modules = 48;
+  /// Production cohorts (shared wearout batches).
+  std::uint32_t cohorts = 16;
+
+  friend bool operator==(const FleetGrid&, const FleetGrid&) = default;
+};
+
+/// Maintenance totals of one strategy over a visit stream. Mirrors
+/// NffAccounting's counting rules (analysis/nff.hpp) in mergeable plain
+/// counts: a removal is any pulled hardware FRU; an NFF removal is pulled
+/// hardware that was not internally faulty and retests OK at the bench.
+struct StrategyTotals {
+  std::uint64_t visits = 0;
+  std::uint64_t removals = 0;
+  std::uint64_t nff = 0;
+  std::uint64_t eliminated = 0;
+
+  /// Scores one garage visit: the true fault class against the action the
+  /// strategy chose (fault::evaluate_action semantics).
+  void count(fault::FaultClass truth, fault::MaintenanceAction action);
+
+  [[nodiscard]] double nff_ratio() const {
+    return removals == 0
+               ? 0.0
+               : static_cast<double>(nff) / static_cast<double>(removals);
+  }
+
+  StrategyTotals& operator+=(const StrategyTotals& o);
+  friend bool operator==(const StrategyTotals&, const StrategyTotals&) =
+      default;
+};
+
+/// What one fleet batch — a contiguous vehicle range simulated in one
+/// sharded kernel — reports to the aggregator. Plain integral data, filled
+/// by fleet::FleetSimulator and merged by FleetAggregate::merge in batch
+/// submission order.
+struct FleetBatchCounts {
+  FleetGrid grid;
+  std::uint32_t first_vehicle = 0;  // global id of the batch's vehicle 0
+  std::uint32_t vehicles = 0;
+  std::uint64_t epochs = 0;  // drive epochs executed across the batch
+
+  StrategyTotals naive;
+  StrategyTotals guided;
+
+  std::vector<std::uint64_t> hw_failures_by_age;     // [age_bins]
+  std::vector<std::uint64_t> exposure_hours_by_age;  // [age_bins], whole hours
+  std::vector<std::uint64_t> spare_demand;           // [depots * windows]
+  std::vector<std::uint64_t> failures_by_cohort;     // [cohorts], hw internal
+  std::vector<std::uint64_t> vehicles_by_cohort;     // [cohorts]
+
+  /// Sparse software-failure cells (vehicle ids batch-local).
+  struct ModuleCell {
+    std::uint32_t vehicle;
+    std::uint32_t module;
+    std::uint64_t count;
+    friend bool operator==(const ModuleCell&, const ModuleCell&) = default;
+  };
+  std::vector<ModuleCell> module_failures;
+
+  FleetBatchCounts() = default;
+  explicit FleetBatchCounts(const FleetGrid& g);
+
+  /// Exact equality including the module-cell append order — the
+  /// shard-invariance tests pin that a batch's tallies don't depend on the
+  /// kernel's shard count.
+  friend bool operator==(const FleetBatchCounts&, const FleetBatchCounts&) =
+      default;
+};
+
+/// The fleet verdict sink: everything the paper's §I economics needs,
+/// recovered from the population instead of assumed. All state is integral
+/// counts; dollar figures and rates are derived at query time, so two
+/// aggregates built from the same batches in the same order are
+/// bit-identical regardless of --jobs or shard counts.
+class FleetAggregate {
+ public:
+  explicit FleetAggregate(FleetGrid grid = {},
+                          double cost_per_removal =
+                              reliability::paper::kCostPerLruRemoval);
+
+  /// Folds one batch in. The batch's grid must equal the aggregate's
+  /// (throws std::invalid_argument otherwise).
+  void merge(const FleetBatchCounts& batch);
+
+  [[nodiscard]] const FleetGrid& grid() const { return grid_; }
+  [[nodiscard]] std::uint64_t vehicles() const { return vehicles_; }
+  [[nodiscard]] std::uint64_t epochs() const { return epochs_; }
+
+  // --- NFF economics (§I, Fig. 12 comparison) ---
+  [[nodiscard]] const StrategyTotals& naive() const { return naive_; }
+  [[nodiscard]] const StrategyTotals& guided() const { return guided_; }
+  [[nodiscard]] double removal_cost(const StrategyTotals& s) const {
+    return static_cast<double>(s.removals) * cost_per_removal_;
+  }
+  [[nodiscard]] double wasted_cost(const StrategyTotals& s) const {
+    return static_cast<double>(s.nff) * cost_per_removal_;
+  }
+
+  // --- infant-mortality epidemiology (Fig. 7 recovered from the fleet) ---
+  [[nodiscard]] const std::vector<std::uint64_t>& hw_failures_by_age() const {
+    return hw_failures_by_age_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& exposure_hours_by_age()
+      const {
+    return exposure_hours_by_age_;
+  }
+  /// Hardware failures per million vehicle-hours in an age bin (0 when the
+  /// bin has no exposure).
+  [[nodiscard]] double failure_rate_per_mh(std::uint32_t bin) const;
+
+  // --- spare-pool logistics ---
+  [[nodiscard]] std::uint64_t spare_demand(std::uint32_t depot,
+                                           std::uint32_t window) const;
+  /// Largest single-window demand at a depot — the stocking level a depot
+  /// needs to never stall a repair within one replenishment window.
+  [[nodiscard]] std::uint64_t peak_window_demand(std::uint32_t depot) const;
+  [[nodiscard]] std::uint64_t total_spares() const;
+
+  // --- cohort epidemiology + software correlation ---
+  [[nodiscard]] const std::vector<std::uint64_t>& failures_by_cohort() const {
+    return failures_by_cohort_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& vehicles_by_cohort() const {
+    return vehicles_by_cohort_;
+  }
+  [[nodiscard]] const FleetAnalyzer& modules() const { return modules_; }
+
+  /// Multi-line human-readable fleet report.
+  [[nodiscard]] std::string summary() const;
+
+  /// Exact-state equality over every count (the determinism contract:
+  /// same batches, same order => operator== regardless of --jobs/shards).
+  friend bool operator==(const FleetAggregate& a, const FleetAggregate& b);
+
+ private:
+  FleetGrid grid_;
+  double cost_per_removal_;
+  std::uint64_t vehicles_ = 0;
+  std::uint64_t epochs_ = 0;
+  StrategyTotals naive_;
+  StrategyTotals guided_;
+  std::vector<std::uint64_t> hw_failures_by_age_;
+  std::vector<std::uint64_t> exposure_hours_by_age_;
+  std::vector<std::uint64_t> spare_demand_;
+  std::vector<std::uint64_t> failures_by_cohort_;
+  std::vector<std::uint64_t> vehicles_by_cohort_;
+  FleetAnalyzer modules_;
 };
 
 }  // namespace decos::analysis

@@ -1,0 +1,28 @@
+#include "fleet/cohort.hpp"
+
+#include <string>
+
+#include "sim/rng.hpp"
+
+namespace decos::fleet {
+
+CohortSet::CohortSet(std::uint64_t fleet_seed, std::uint32_t cohorts) {
+  const sim::Rng fleet_rng(fleet_seed);
+  curves_.reserve(cohorts == 0 ? 1 : cohorts);
+  for (std::uint32_t c = 0; c < cohorts || curves_.empty(); ++c) {
+    // Forked by name, so the curve depends only on (seed, cohort id) — a
+    // batch simulated on worker 3 of an 8-way campaign sees the same
+    // physics as the same cohort in a single-process run.
+    sim::Rng rng = fleet_rng.fork("cohort." + std::to_string(c));
+    fault::WearoutCurve curve;  // the paper's bathtub defaults
+    // Process-corner jitter: a bad batch has several times the infant
+    // mortality of a good one (lognormal keeps every rate positive).
+    curve.infant_ber *= rng.lognormal(0.0, 0.6);
+    curve.floor_ber *= rng.lognormal(0.0, 0.25);
+    curve.wear_ber *= rng.lognormal(0.0, 0.4);
+    curve.wear_onset_s += rng.uniform(-0.08, 0.08);
+    curves_.push_back(curve);
+  }
+}
+
+}  // namespace decos::fleet

@@ -1,0 +1,42 @@
+// Production cohorts: shared wearout physics (Section IV-B.1).
+//
+// Components from the same production batch share process corners, so
+// their bathtub curves are correlated: a weak batch shows elevated infant
+// mortality across every vehicle it was built into, which is exactly the
+// signal fleet correlation (analysis/fleet.hpp) is meant to recover. A
+// CohortSet derives one jittered WearoutCurve per cohort from the fleet
+// seed alone — cohort membership and curve depend only on (seed, cohort),
+// never on which batch a vehicle happens to be simulated in, so splitting
+// the fleet differently cannot change any vehicle's physics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/bitfault.hpp"
+
+namespace decos::fleet {
+
+class CohortSet {
+ public:
+  /// Builds `cohorts` (>= 1) jittered bathtub curves from the fleet seed.
+  CohortSet(std::uint64_t fleet_seed, std::uint32_t cohorts);
+
+  [[nodiscard]] std::uint32_t count() const {
+    return static_cast<std::uint32_t>(curves_.size());
+  }
+
+  /// Cohort a vehicle was built into (round-robin off the assembly line).
+  [[nodiscard]] std::uint32_t cohort_of(std::uint32_t vehicle) const {
+    return vehicle % count();
+  }
+
+  [[nodiscard]] const fault::WearoutCurve& curve(std::uint32_t cohort) const {
+    return curves_[cohort];
+  }
+
+ private:
+  std::vector<fault::WearoutCurve> curves_;
+};
+
+}  // namespace decos::fleet

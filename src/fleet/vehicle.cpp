@@ -1,0 +1,104 @@
+#include "fleet/vehicle.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "analysis/nff.hpp"
+#include "fault/taxonomy.hpp"
+
+namespace decos::fleet {
+
+Vehicle::Vehicle(std::uint32_t local_id, std::uint32_t global_id,
+                 const CohortSet& cohorts, std::uint64_t fleet_seed,
+                 const analysis::FleetGrid& grid, const VehicleParams& params)
+    : params_(params),
+      rng_(sim::Rng(fleet_seed).fork("vehicle." + std::to_string(global_id))),
+      curve_(&cohorts.curve(cohorts.cohort_of(global_id))),
+      local_id_(local_id),
+      global_id_(global_id),
+      cohort_(cohorts.cohort_of(global_id)),
+      depot_(global_id % grid.depots),
+      age_hours_(rng_.uniform(0.0, params.max_initial_age_hours)) {}
+
+void Vehicle::run_epoch(std::uint32_t window,
+                        analysis::FleetBatchCounts& out) {
+  const analysis::FleetGrid& g = out.grid;
+  const auto bin = std::min(
+      g.age_bins - 1, static_cast<std::uint32_t>(age_hours_ / g.bin_hours));
+  out.exposure_hours_by_age[bin] +=
+      static_cast<std::uint64_t>(params_.epoch_hours);
+  ++out.epochs;
+
+  // Hardware: the cohort's bathtub BER at the component's current age,
+  // promoted to a per-epoch hazard.
+  const double ber = curve_->ber_at(age_hours_ / params_.age_scale_hours);
+  const double p_hw =
+      std::min(params_.hw_per_epoch_cap, ber * params_.hw_per_epoch_scale);
+  if (rng_.bernoulli(p_hw)) {
+    const bool internal = !rng_.bernoulli(params_.hw_borderline_share);
+    if (internal) {
+      out.hw_failures_by_age[bin] += 1;
+      out.failures_by_cohort[cohort_] += 1;
+    }
+    visit(internal ? fault::FaultClass::kComponentInternal
+                   : fault::FaultClass::kComponentBorderline,
+          /*hw_symptom=*/true, window, out);
+    // A genuinely faulty FRU comes back from the shop replaced: the
+    // component's age renews even though the vehicle keeps driving.
+    if (internal) age_hours_ = 0.0;
+  }
+
+  // Software: a design fault strikes one module; every vehicle runs the
+  // same code, so the hot modules repeat fleet-wide.
+  if (rng_.bernoulli(params_.sw_per_epoch)) {
+    const std::uint32_t module = pick_module(g.modules);
+    out.module_failures.push_back({local_id_, module, 1});
+    visit(fault::FaultClass::kJobInherentSoftware,
+          /*hw_symptom=*/rng_.bernoulli(params_.sw_misblame), window, out);
+  }
+
+  // Environment: EMI / SEU — transient, leaves no defect behind.
+  if (rng_.bernoulli(params_.external_per_epoch)) {
+    visit(fault::FaultClass::kComponentExternal, /*hw_symptom=*/true, window,
+          out);
+  }
+
+  age_hours_ += params_.epoch_hours;
+}
+
+void Vehicle::visit(fault::FaultClass truth, bool hw_symptom,
+                    std::uint32_t window, analysis::FleetBatchCounts& out) {
+  // The naive depot reads the symptom: hardware-flavoured pulls the box,
+  // software-flavoured gets a reflash (analysis::decide semantics).
+  const fault::FaultClass symptom = hw_symptom
+                                        ? fault::FaultClass::kComponentInternal
+                                        : fault::FaultClass::kJobInherentSoftware;
+  out.naive.count(truth,
+                  decide(analysis::Strategy::kNaiveReplace, symptom));
+
+  // The model-guided depot runs the diagnostic subsystem: usually the true
+  // class, occasionally only the symptom (missed diagnosis).
+  const fault::FaultClass diagnosed =
+      rng_.bernoulli(params_.diag_miss) ? symptom : truth;
+  const auto guided_action = decide(analysis::Strategy::kModelGuided, diagnosed);
+  out.guided.count(truth, guided_action);
+
+  // Spare-pool logistics follow the guided flow: a removal consumes one
+  // spare at this vehicle's depot in the current service window.
+  if (guided_action == fault::MaintenanceAction::kReplaceComponent) {
+    out.spare_demand[static_cast<std::size_t>(depot_) * out.grid.windows +
+                     window] += 1;
+  }
+}
+
+std::uint32_t Vehicle::pick_module(std::uint32_t modules) {
+  // Quintic skew: a handful of head modules carry most of the fleet's
+  // software failures (the 20-80 structure of Section V-C).
+  const double u = rng_.uniform();
+  const double u2 = u * u;
+  const auto m =
+      static_cast<std::uint32_t>(static_cast<double>(modules) * u2 * u2 * u);
+  return std::min(m, modules - 1);
+}
+
+}  // namespace decos::fleet

@@ -1,0 +1,88 @@
+// One vehicle of the fleet: a statistical cluster model.
+//
+// A fleet of 100k vehicles cannot each carry a full Fig. 10 rig; what the
+// fleet layer needs from a vehicle is the *maintenance-relevant* behaviour
+// — when does hardware fail (bathtub physics from its production cohort),
+// when does software misbehave (shared design faults, 20-80 skewed across
+// modules), when does the environment raise a false alarm — and what each
+// maintenance strategy does about it at the depot. Every stochastic draw
+// comes from the vehicle's own named RNG stream forked from the fleet
+// seed, so a vehicle's life history is a pure function of
+// (fleet seed, global id, cohort physics) — independent of batch
+// boundaries, shard count and worker count.
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/fleet.hpp"
+#include "fleet/cohort.hpp"
+#include "sim/rng.hpp"
+
+namespace decos::fleet {
+
+/// Per-epoch hazard model. One drive epoch is `epoch_hours` of operation
+/// compressed into a single simulation event per vehicle.
+struct VehicleParams {
+  double epoch_hours = 500.0;
+  /// Initial component age is uniform over [0, max) — the fleet on the
+  /// road is a mix of fresh deliveries and high-milage veterans.
+  double max_initial_age_hours = 100'000.0;
+  /// Hours of operation per unit of WearoutCurve age (the curve's knees
+  /// live at fractions of 1.0; see fault/bitfault.hpp).
+  double age_scale_hours = 100'000.0;
+  /// Epoch hardware-failure probability = min(cap, BER * scale): the
+  /// cohort's bathtub BER is promoted to a per-epoch hazard.
+  double hw_per_epoch_scale = 500.0;
+  double hw_per_epoch_cap = 0.5;
+  /// Chance per epoch of a software failure / an environmental upset.
+  double sw_per_epoch = 0.02;
+  double external_per_epoch = 0.015;
+  /// Share of hardware symptoms rooted in the connector/loom boundary.
+  double hw_borderline_share = 0.25;
+  /// Chance a software fault presents as a hardware symptom at the depot —
+  /// the paper's NFF driver: the box gets pulled, the bench finds nothing.
+  double sw_misblame = 0.6;
+  /// Chance the model-guided diagnosis misses the true class and falls
+  /// back to the symptom reading.
+  double diag_miss = 0.05;
+};
+
+class Vehicle {
+ public:
+  /// `local_id` indexes the vehicle inside its batch (module cells are
+  /// recorded batch-local; FleetAggregate re-bases them on merge);
+  /// `global_id` is fleet-wide and alone determines the RNG stream.
+  Vehicle(std::uint32_t local_id, std::uint32_t global_id,
+          const CohortSet& cohorts, std::uint64_t fleet_seed,
+          const analysis::FleetGrid& grid, const VehicleParams& params);
+
+  /// Simulates one drive epoch plus the depot visit it may trigger,
+  /// tallying into `out` (whose grid must be the ctor's). `window` is the
+  /// service window the epoch falls into (spare-pool bucketing).
+  void run_epoch(std::uint32_t window, analysis::FleetBatchCounts& out);
+
+  [[nodiscard]] std::uint32_t global_id() const { return global_id_; }
+  [[nodiscard]] std::uint32_t cohort() const { return cohort_; }
+  [[nodiscard]] std::uint32_t depot() const { return depot_; }
+  [[nodiscard]] double age_hours() const { return age_hours_; }
+
+ private:
+  /// One depot visit: scores both strategies against the truth and books
+  /// spare-pool demand for the guided flow's removals.
+  void visit(fault::FaultClass truth, bool hw_symptom, std::uint32_t window,
+             analysis::FleetBatchCounts& out);
+  /// Software module hit by a design fault: cubic skew concentrates
+  /// failures in the low module ids fleet-wide (the 20-80 head).
+  [[nodiscard]] std::uint32_t pick_module(std::uint32_t modules);
+
+  VehicleParams params_;
+  sim::Rng rng_;
+  const fault::WearoutCurve* curve_;
+  std::uint32_t local_id_;
+  std::uint32_t global_id_;
+  std::uint32_t cohort_;
+  std::uint32_t depot_;
+  double age_hours_;
+};
+
+}  // namespace decos::fleet

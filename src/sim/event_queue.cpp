@@ -5,32 +5,58 @@
 
 namespace decos::sim {
 
-std::uint32_t EventQueue::acquire_slot() {
-  if (!free_.empty()) {
-    const std::uint32_t slot = free_.back();
-    free_.pop_back();
-    return slot;
-  }
-  pool_.emplace_back();
-  return static_cast<std::uint32_t>(pool_.size() - 1);
+namespace {
+
+/// Smallest power of two >= n (n >= 1).
+std::size_t ceil_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
 }
 
-EventId EventQueue::finish_push(std::uint32_t slot, SimTime when,
-                                EventPriority prio) {
-  Node& n = pool_[slot];
+}  // namespace
+
+EventQueue::EventQueue(std::uint32_t shards)
+    : shards_(shards == 0 ? 1 : shards) {
+  assert(shards >= 1);
+  if (shards_.size() > 1) {
+    leaves_ = ceil_pow2(shards_.size());
+    tree_.assign(2 * leaves_, kNoShard);
+  }
+}
+
+std::uint32_t EventQueue::acquire_slot(Shard& sh) {
+  if (!sh.free.empty()) {
+    const std::uint32_t slot = sh.free.back();
+    sh.free.pop_back();
+    return slot;
+  }
+  sh.pool.emplace_back();
+  return static_cast<std::uint32_t>(sh.pool.size() - 1);
+}
+
+EventId EventQueue::finish_push(std::uint32_t shard, std::uint32_t slot,
+                                SimTime when, EventPriority prio) {
+  Shard& sh = shards_[shard];
+  Node& n = sh.pool[slot];
   n.time = when;
   n.seq = next_seq_++;
   n.prio = prio;
   n.cancelled = false;
-  heap_.push_back(HeapEntry{n.time, n.seq, slot, n.prio});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  sh.heap.push_back(HeapEntry{n.time, n.seq, slot, n.prio});
+  std::push_heap(sh.heap.begin(), sh.heap.end(), Later{});
   ++live_;
-  return EventId{slot, n.gen};
+  // The tree only needs a replay when this entry became the shard's head
+  // (or the shard was empty): interior entries cannot affect any match.
+  if (shard_count() > 1 && sh.heap.front().seq == n.seq) replay(shard);
+  return EventId{slot, n.gen, shard};
 }
 
 bool EventQueue::cancel(EventId id) {
-  if (!id.valid() || id.slot >= pool_.size()) return false;
-  Node& n = pool_[id.slot];
+  if (!id.valid() || id.shard >= shard_count()) return false;
+  Shard& sh = shards_[id.shard];
+  if (id.slot >= sh.pool.size()) return false;
+  Node& n = sh.pool[id.slot];
   // A recycled slot has a bumped generation, so a stale handle can only
   // mismatch; an already-cancelled node is tombstoned exactly once.
   if (n.gen != id.gen || n.cancelled) return false;
@@ -38,43 +64,77 @@ bool EventQueue::cancel(EventId id) {
   n.fn.reset();  // release the capture (and any spill block) right away
   assert(live_ > 0);
   --live_;
+  // Tombstoning the shard's head would leave the tournament tree comparing
+  // a dead entry — collect it (and any tombstones it uncovers) eagerly.
+  if (!sh.heap.empty() && sh.heap.front().slot == id.slot) {
+    drop_dead(id.shard);
+    if (shard_count() > 1) replay(id.shard);
+  }
   return true;
 }
 
-void EventQueue::free_slot(std::uint32_t slot) {
-  Node& n = pool_[slot];
+void EventQueue::free_slot(Shard& sh, std::uint32_t slot) {
+  Node& n = sh.pool[slot];
   n.fn.reset();
   n.cancelled = false;
   if (++n.gen == 0) n.gen = 1;  // skip the reserved invalid generation
-  free_.push_back(slot);
+  sh.free.push_back(slot);
 }
 
-void EventQueue::drop_dead() {
-  while (!heap_.empty()) {
-    const std::uint32_t slot = heap_.front().slot;
-    if (!pool_[slot].cancelled) return;
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
-    free_slot(slot);
+void EventQueue::drop_dead(std::uint32_t shard) {
+  Shard& sh = shards_[shard];
+  while (!sh.heap.empty()) {
+    const std::uint32_t slot = sh.heap.front().slot;
+    if (!sh.pool[slot].cancelled) return;
+    std::pop_heap(sh.heap.begin(), sh.heap.end(), Later{});
+    sh.heap.pop_back();
+    free_slot(sh, slot);
   }
 }
 
-SimTime EventQueue::next_time() {
-  drop_dead();
-  assert(!heap_.empty());
-  return heap_.front().time;
+bool EventQueue::head_before(std::uint32_t a, std::uint32_t b) const {
+  if (b == kNoShard) return true;
+  if (a == kNoShard) return false;
+  const HeapEntry& ha = shards_[a].heap.front();
+  const HeapEntry& hb = shards_[b].heap.front();
+  if (ha.time != hb.time) return ha.time < hb.time;
+  if (ha.prio != hb.prio) return ha.prio < hb.prio;
+  return ha.seq < hb.seq;
+}
+
+void EventQueue::replay(std::uint32_t shard) {
+  std::size_t i = leaves_ + shard;
+  tree_[i] = shards_[shard].heap.empty() ? kNoShard : shard;
+  while (i > 1) {
+    i >>= 1;
+    const std::uint32_t l = tree_[2 * i];
+    const std::uint32_t r = tree_[2 * i + 1];
+    tree_[i] = head_before(l, r) ? l : r;
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  // The live-head invariant (drop_dead on every head mutation) means the
+  // winner's heap front is the earliest live event — no lazy collection
+  // needed here.
+  const std::uint32_t w = winner();
+  assert(w != kNoShard && !shards_[w].heap.empty());
+  return shards_[w].heap.front().time;
 }
 
 EventQueue::Fired EventQueue::pop() {
-  drop_dead();
-  assert(!heap_.empty());
-  const std::uint32_t slot = heap_.front().slot;
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  heap_.pop_back();
-  Node& n = pool_[slot];
-  Fired fired{n.time, std::move(n.fn)};
-  free_slot(slot);
+  const std::uint32_t w = winner();
+  Shard& sh = shards_[w];
+  assert(!sh.heap.empty() && !sh.pool[sh.heap.front().slot].cancelled);
+  const std::uint32_t slot = sh.heap.front().slot;
+  std::pop_heap(sh.heap.begin(), sh.heap.end(), Later{});
+  sh.heap.pop_back();
+  Node& n = sh.pool[slot];
+  Fired fired{n.time, std::move(n.fn), w};
+  free_slot(sh, slot);
   --live_;
+  drop_dead(w);
+  if (shard_count() > 1) replay(w);
   return fired;
 }
 

@@ -5,14 +5,23 @@
 // fire in the order they were scheduled — a property the TDMA bus model and
 // the determinism tests both rely on.
 //
-// Storage is a slab of free-listed event nodes addressed by a small binary
-// heap of (time, prio, seq, slot) entries, so the steady-state push/pop
-// cycle allocates nothing: nodes and their (inline or arena-spilled)
-// closures are recycled, and the heap vector stops growing once it has seen
-// the high-water mark. Handles are generation-tagged: cancelling an event
-// that already fired, was already cancelled, or whose slot has since been
-// reused is a detectable no-op, and cancellation itself is O(1) — the node
-// is tombstoned and its heap entry discarded lazily when it surfaces.
+// Storage is sharded: every shard owns a slab of free-listed event nodes, a
+// spill arena for oversized closures and a small binary heap of
+// (time, prio, seq, slot) entries, so the steady-state push/pop cycle
+// allocates nothing and never touches another shard's memory. A fleet
+// simulation gives each cluster its own shard: the cluster's events stay
+// cache-local while the queue still yields one globally ordered stream. The
+// shard heads are merged by a tournament (winner) tree — pop is
+// O(log n_shard + log shards) — and because the sequence counter is global,
+// the pop order is *identical for every shard assignment*: `shards = 1`
+// reproduces the historical single-slab kernel bit for bit.
+//
+// Handles are generation-tagged: cancelling an event that already fired,
+// was already cancelled, or whose slot has since been reused is a
+// detectable no-op, and cancellation itself is O(1) — the node is
+// tombstoned and its heap entry discarded lazily, except when it sits at
+// its shard's head, where it is collected eagerly so the tournament tree
+// only ever compares live heads.
 #pragma once
 
 #include <cstdint>
@@ -32,13 +41,14 @@ enum class EventPriority : std::uint8_t {
   kDiagnosis = 4, // observers run after everything else at an instant
 };
 
-/// Handle to a scheduled event: slot index + generation. The generation is
-/// bumped every time the slot is recycled, so a stale handle (fired,
-/// cancelled, or reused slot) can never hit a different event. The
+/// Handle to a scheduled event: shard + slot index + generation. The
+/// generation is bumped every time the slot is recycled, so a stale handle
+/// (fired, cancelled, or reused slot) can never hit a different event. The
 /// default-constructed id is invalid and safe to cancel.
 struct EventId {
   std::uint32_t slot = 0;
   std::uint32_t gen = 0;
+  std::uint32_t shard = 0;
 
   [[nodiscard]] constexpr bool valid() const { return gen != 0; }
   friend constexpr bool operator==(const EventId&, const EventId&) = default;
@@ -46,18 +56,35 @@ struct EventId {
 
 class EventQueue {
  public:
-  /// Adds an event; returns its id. The callable's capture is stored
-  /// inline in the event node (or in the spill arena when oversized) —
-  /// no heap allocation in steady state.
-  template <typename F>
-  EventId push(SimTime when, EventPriority prio, F&& fn) {
-    const std::uint32_t slot = acquire_slot();
-    pool_[slot].fn = EventFn(std::forward<F>(fn), &arena_);
-    return finish_push(slot, when, prio);
+  /// A queue with `shards` independent slab+heap pairs (>= 1). Shard
+  /// count is fixed for the queue's lifetime.
+  explicit EventQueue(std::uint32_t shards = 1);
+
+  [[nodiscard]] std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(shards_.size());
   }
 
-  /// Cancels the event in O(1). Returns true iff the handle named a
-  /// pending event; stale handles (already fired, already cancelled,
+  /// Adds an event to shard 0; returns its id. The callable's capture is
+  /// stored inline in the event node (or in the shard's spill arena when
+  /// oversized) — no heap allocation in steady state.
+  template <typename F>
+  EventId push(SimTime when, EventPriority prio, F&& fn) {
+    return push_on(0, when, prio, std::forward<F>(fn));
+  }
+
+  /// Adds an event to the given shard. Requires shard < shard_count().
+  template <typename F>
+  EventId push_on(std::uint32_t shard, SimTime when, EventPriority prio,
+                  F&& fn) {
+    Shard& sh = shards_[shard];
+    const std::uint32_t slot = acquire_slot(sh);
+    sh.pool[slot].fn = EventFn(std::forward<F>(fn), &sh.arena);
+    return finish_push(shard, slot, when, prio);
+  }
+
+  /// Cancels the event in O(1) (plus a tournament replay when the event
+  /// was its shard's head). Returns true iff the handle named a pending
+  /// event; stale handles (already fired, already cancelled,
   /// default-constructed, or recycled slot) are rejected without touching
   /// any counter — empty()/size() stay truthful either way.
   bool cancel(EventId id);
@@ -65,13 +92,14 @@ class EventQueue {
   [[nodiscard]] bool empty() const { return live_ == 0; }
   [[nodiscard]] std::size_t size() const { return live_; }
 
-  /// Time of the earliest live event. Requires !empty().
-  [[nodiscard]] SimTime next_time();
+  /// Time of the earliest live event across all shards. Requires !empty().
+  [[nodiscard]] SimTime next_time() const;
 
   /// Removes and returns the earliest live event. Requires !empty().
   struct Fired {
     SimTime time;
     EventFn fn;
+    std::uint32_t shard;
   };
   Fired pop();
 
@@ -101,21 +129,46 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
+  /// One shard: slab + free list + heap + closure arena. Nothing in a
+  /// shard is ever touched by operations on another shard.
+  struct Shard {
+    // Declared before pool: nodes release their spilled closures back
+    // into the arena during pool's destruction.
+    SpillArena arena;
+    std::vector<Node> pool;
+    std::vector<std::uint32_t> free;
+    std::vector<HeapEntry> heap;
+  };
 
-  [[nodiscard]] std::uint32_t acquire_slot();
-  EventId finish_push(std::uint32_t slot, SimTime when, EventPriority prio);
+  static constexpr std::uint32_t kNoShard = 0xFFFFFFFFu;
+
+  [[nodiscard]] std::uint32_t acquire_slot(Shard& sh);
+  EventId finish_push(std::uint32_t shard, std::uint32_t slot, SimTime when,
+                      EventPriority prio);
   /// Recycles a slot: bumps the generation (invalidating outstanding
-  /// handles) and returns it to the free list.
-  void free_slot(std::uint32_t slot);
-  /// Discards tombstoned entries sitting on top of the heap.
-  void drop_dead();
+  /// handles) and returns it to its shard's free list.
+  void free_slot(Shard& sh, std::uint32_t slot);
+  /// Discards tombstoned entries at the head of `shard`'s heap, restoring
+  /// the live-head invariant the tournament tree relies on.
+  void drop_dead(std::uint32_t shard);
+  /// Re-seeds leaf `shard` of the tournament tree from its heap head and
+  /// replays the matches up to the root. No-op with a single shard.
+  void replay(std::uint32_t shard);
+  /// Shard whose head fires first (the tree root). Requires !empty().
+  [[nodiscard]] std::uint32_t winner() const {
+    return shard_count() == 1 ? 0 : tree_[1];
+  }
+  /// True iff shard `a`'s head fires before shard `b`'s (empty loses).
+  [[nodiscard]] bool head_before(std::uint32_t a, std::uint32_t b) const;
 
-  // Declared before pool_: nodes release their spilled closures back into
-  // the arena during pool_'s destruction.
-  SpillArena arena_;
-  std::vector<Node> pool_;
-  std::vector<std::uint32_t> free_;
-  std::vector<HeapEntry> heap_;
+  std::vector<Shard> shards_;
+  /// Tournament winner tree over the shard heads: leaves_ + s holds shard
+  /// s (or kNoShard when its heap is empty); internal node i holds the
+  /// winner of its two children; tree_[1] is the overall winner. Sized
+  /// once at construction — the merge allocates nothing. Empty when
+  /// shard_count() == 1 (the degenerate case skips the tree entirely).
+  std::vector<std::uint32_t> tree_;
+  std::size_t leaves_ = 0;
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
 };

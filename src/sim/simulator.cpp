@@ -6,8 +6,9 @@
 
 namespace decos::sim {
 
-Simulator::Simulator(std::uint64_t seed)
-    : master_rng_(seed),
+Simulator::Simulator(std::uint64_t seed, std::uint32_t shards)
+    : queue_(shards),
+      master_rng_(seed),
       seed_(seed),
       events_counter_(metrics_.counter("sim.events_executed")),
       queue_depth_hwm_(metrics_.gauge("sim.queue_depth_hwm")),
@@ -22,6 +23,7 @@ void Simulator::execute_one() {
   auto fired = queue_.pop();
   assert(fired.time >= now_);
   now_ = fired.time;
+  current_shard_ = fired.shard;
   ++events_executed_;
   events_counter_.inc();
   if (events_executed_ > event_limit_) {

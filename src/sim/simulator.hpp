@@ -26,13 +26,32 @@ namespace decos::sim {
 
 class Simulator {
  public:
-  explicit Simulator(std::uint64_t seed = 1);
+  /// A kernel with `shards` independent event-queue slab+heap pairs (see
+  /// event_queue.hpp). The default single shard is the historical kernel;
+  /// a fleet simulation gives each cluster instance its own shard so its
+  /// events stay cache-local while the global (time, prio, seq) order —
+  /// and therefore every trajectory — is independent of the shard count.
+  explicit Simulator(std::uint64_t seed = 1, std::uint32_t shards = 1);
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   [[nodiscard]] SimTime now() const { return now_; }
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  [[nodiscard]] std::uint32_t shard_count() const {
+    return queue_.shard_count();
+  }
+  /// Shard that schedule_at/schedule_after target. While an event
+  /// executes, this is the shard it fired from, so everything an entity
+  /// schedules from inside its own callbacks stays in its shard without
+  /// any call-site changes; during setup, a fleet builder selects the
+  /// shard before constructing each cluster instance.
+  [[nodiscard]] std::uint32_t current_shard() const { return current_shard_; }
+  void set_current_shard(std::uint32_t shard) {
+    assert(shard < queue_.shard_count());
+    current_shard_ = shard;
+  }
 
   /// Master RNG fork for a named entity. Call once per entity at setup.
   [[nodiscard]] Rng fork_rng(std::string_view stream) const {
@@ -45,7 +64,7 @@ class Simulator {
   EventId schedule_at(SimTime when, F&& fn,
                       EventPriority prio = EventPriority::kApplication) {
     assert(when >= now_ && "cannot schedule into the past");
-    return queue_.push(when, prio, std::forward<F>(fn));
+    return queue_.push_on(current_shard_, when, prio, std::forward<F>(fn));
   }
 
   /// Schedules `fn` after the given delay (>= 0).
@@ -53,7 +72,8 @@ class Simulator {
   EventId schedule_after(Duration delay, F&& fn,
                          EventPriority prio = EventPriority::kApplication) {
     assert(delay.ns() >= 0);
-    return queue_.push(now_ + delay, prio, std::forward<F>(fn));
+    return queue_.push_on(current_shard_, now_ + delay, prio,
+                          std::forward<F>(fn));
   }
 
   /// Cancels a previously scheduled event in O(1). Returns true iff the
@@ -114,6 +134,7 @@ class Simulator {
 
   SimTime now_ = SimTime::zero();
   EventQueue queue_;
+  std::uint32_t current_shard_ = 0;
   Rng master_rng_;
   std::uint64_t seed_;
   TraceLog trace_;

@@ -136,6 +136,44 @@ TEST(FleetAnalyzer, EmptyFleetIsSafe) {
   EXPECT_DOUBLE_EQ(fleet.head_share(0.2), 0.0);
 }
 
+// Regression pin for the flat-store refactor: duplicate (module, vehicle)
+// records fold into one cell, queries between appends see a consistent
+// view, and ranking()/head_share() keep their exact historical outputs.
+TEST(FleetAnalyzer, FlatStoreCompactionPreservesTheContract) {
+  FleetAnalyzer fleet;
+  fleet.record(1, 4, 2);
+  fleet.record(1, 4, 3);  // same cell, counts add
+  fleet.record(2, 4, 5);
+  // Query mid-stream forces a compaction of the partial log...
+  EXPECT_EQ(fleet.ranking().size(), 1u);
+  EXPECT_EQ(fleet.vehicles_reporting(), 2u);
+  // ...and recording afterwards appends to the already-compacted store.
+  fleet.record(1, 4, 10);
+  fleet.record(9, 2, 6);
+  fleet.record(9, 2, 6);
+
+  const auto ranked = fleet.ranking();
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].module, 4u);
+  EXPECT_EQ(ranked[0].failures, 20u);
+  EXPECT_EQ(ranked[0].vehicles, 2u);
+  EXPECT_EQ(ranked[1].module, 2u);
+  EXPECT_EQ(ranked[1].failures, 12u);
+  EXPECT_EQ(ranked[1].vehicles, 1u);
+  EXPECT_EQ(fleet.total_failures(), 32u);
+  EXPECT_EQ(fleet.vehicles_reporting(), 3u);
+  EXPECT_DOUBLE_EQ(fleet.head_share(0.5), 20.0 / 32.0);
+
+  // Same cells reached by a different record order compare equal.
+  FleetAnalyzer other;
+  other.record(9, 2, 12);
+  other.record(2, 4, 5);
+  other.record(1, 4, 15);
+  EXPECT_TRUE(fleet == other);
+  other.record(9, 2, 1);
+  EXPECT_FALSE(fleet == other);
+}
+
 // --- table renderer -----------------------------------------------------------------
 
 TEST(Table, RendersAlignedColumns) {

@@ -474,5 +474,102 @@ TEST(Simulator, DeterministicAcrossInstances) {
   EXPECT_NE(run(77), run(78));
 }
 
+// --- sharded pending-event set ---------------------------------------------
+
+// The tournament merge must preserve the global (time, prio, seq) order no
+// matter how events are spread over shards: the same workload pushed onto
+// 1 and onto 5 shards (round-robin) pops in exactly the same order.
+TEST(EventQueue, PopOrderIsShardAssignmentInvariant) {
+  auto run = [](std::uint32_t shards) {
+    EventQueue q(shards);
+    Rng r(99);
+    std::vector<int> order;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 400; ++i) {
+      const SimTime t{static_cast<std::int64_t>(r.uniform_int(0, 40))};
+      const auto prio =
+          r.bernoulli(0.3) ? EventPriority::kClock : EventPriority::kApplication;
+      ids.push_back(q.push_on(static_cast<std::uint32_t>(i) % shards, t, prio,
+                              [&order, i] { order.push_back(i); }));
+    }
+    // Cancel a deterministic subset, including some shard heads.
+    for (std::size_t i = 0; i < ids.size(); i += 7) {
+      EXPECT_TRUE(q.cancel(ids[i]));
+    }
+    while (!q.empty()) q.pop().fn();
+    return order;
+  };
+  const auto one = run(1);
+  EXPECT_EQ(one.size(), 400u - 58u);
+  EXPECT_EQ(one, run(2));
+  EXPECT_EQ(one, run(5));
+  EXPECT_EQ(one, run(8));
+}
+
+TEST(EventQueue, CancellingAShardHeadKeepsTheMergeLive) {
+  EventQueue q(4);
+  std::vector<int> order;
+  // Shard 2 holds the earliest event; cancel it and the merge must yield
+  // shard 0's next-earliest, not a tombstone.
+  const EventId head =
+      q.push_on(2, SimTime{1}, EventPriority::kApplication, [&] {
+        order.push_back(-1);
+      });
+  q.push_on(0, SimTime{5}, EventPriority::kApplication,
+            [&] { order.push_back(5); });
+  q.push_on(3, SimTime{9}, EventPriority::kApplication,
+            [&] { order.push_back(9); });
+  EXPECT_EQ(q.next_time(), SimTime{1});
+  EXPECT_TRUE(q.cancel(head));
+  EXPECT_EQ(q.next_time(), SimTime{5});
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{5, 9}));
+}
+
+TEST(EventQueue, HandlesCarryTheirShard) {
+  EventQueue q(3);
+  const EventId id =
+      q.push_on(2, SimTime{4}, EventPriority::kApplication, [] {});
+  EXPECT_EQ(id.shard, 2u);
+  const auto fired = q.pop();
+  EXPECT_EQ(fired.shard, 2u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EmptyShardsNeverWinTheTournament) {
+  EventQueue q(6);  // non-power-of-two: padding leaves must stay inert
+  int fired = 0;
+  q.push_on(4, SimTime{7}, EventPriority::kApplication, [&] { ++fired; });
+  EXPECT_EQ(q.next_time(), SimTime{7});
+  q.pop().fn();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(q.empty());
+  // Refill a different single shard after a full drain.
+  q.push_on(1, SimTime{3}, EventPriority::kApplication, [&] { ++fired; });
+  EXPECT_EQ(q.next_time(), SimTime{3});
+  q.pop().fn();
+  EXPECT_EQ(fired, 2);
+}
+
+// Callbacks reschedule into the shard they fired from, so per-entity event
+// chains stay shard-local without the call sites naming a shard.
+TEST(Simulator, ReschedulesStayOnTheFiringShard) {
+  Simulator sim(1, 4);
+  std::vector<std::uint32_t> shard_of_fire;
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    sim.set_current_shard(s);
+    sim.schedule_at(SimTime{1}, [&sim, &shard_of_fire] {
+      shard_of_fire.push_back(sim.current_shard());
+      sim.schedule_after(Duration{1}, [&sim, &shard_of_fire] {
+        shard_of_fire.push_back(sim.current_shard());
+      });
+    });
+  }
+  sim.set_current_shard(0);
+  sim.run_all();
+  EXPECT_EQ(shard_of_fire,
+            (std::vector<std::uint32_t>{0, 1, 2, 3, 0, 1, 2, 3}));
+}
+
 }  // namespace
 }  // namespace decos::sim

@@ -1,0 +1,134 @@
+# Fleet-scale gate (E23): compares a fresh `bench_fleet --json` snapshot
+# against the checked-in baseline (bench/baselines/bench_fleet.json) and
+# fails on
+#
+#   * a throughput regression beyond TOLERANCE_PCT (default 15 %) on
+#     vehicle_epochs_per_sec and campaign_vehicles_per_sec,
+#   * ANY steady-state allocation (steady_allocs must be exactly 0 — this
+#     is also the cross-shard proof: a push landing on a foreign shard
+#     would grow a cold slab and trip the counter), and
+#   * the paper's verdict shapes drifting: the naive and guided NFF ratios
+#     must stay within an absolute ±NFF_BAND (default 0.05) of baseline,
+#     and the bathtub / head-share ratios must keep their Fig. 7 / Fig. 12
+#     separations (infant_over_valley and wearout_over_valley above 2,
+#     sw_head_share above 0.5).
+#
+# Usage:
+#   cmake -DCURRENT=<fresh.json> -DBASELINE=<baseline.json>
+#         [-DTOLERANCE_PCT=15] [-DNFF_BAND=0.05] -P tools/check_fleet.cmake
+#
+# Shape checks are deliberately bands, not float equality: the campaign is
+# bit-deterministic for a fixed seed on one platform (the tests pin that),
+# but libm differences across toolchains can nudge the sampled doubles, so
+# the CI gate asserts the paper's *structure*, not a bit pattern.
+if(NOT DEFINED CURRENT OR NOT DEFINED BASELINE)
+  message(FATAL_ERROR
+    "usage: cmake -DCURRENT=<json> -DBASELINE=<json> -P check_fleet.cmake")
+endif()
+if(NOT DEFINED TOLERANCE_PCT)
+  set(TOLERANCE_PCT 15)
+endif()
+if(NOT DEFINED NFF_BAND)
+  set(NFF_BAND 0.05)
+endif()
+
+file(READ "${CURRENT}" current_json)
+file(READ "${BASELINE}" baseline_json)
+
+function(read_info out json_text key)
+  string(JSON v ERROR_VARIABLE err GET "${json_text}" info ${key})
+  if(err)
+    message(FATAL_ERROR "snapshot lacks info.${key}: ${err}")
+  endif()
+  set(${out} "${v}" PARENT_SCOPE)
+endfunction()
+
+# Decimal string -> integer scaled by 10^4, so ratios near 1 keep enough
+# resolution for band checks under CMake integer math.
+function(to_deci4 out value)
+  if(value MATCHES "[eE]")
+    message(FATAL_ERROR "cannot parse scientific notation: ${value}")
+  endif()
+  if(NOT value MATCHES "^(-?)([0-9]+)(\\.([0-9]+))?$")
+    message(FATAL_ERROR "not a number: ${value}")
+  endif()
+  set(sign "${CMAKE_MATCH_1}")
+  set(int_part "${CMAKE_MATCH_2}")
+  set(frac "${CMAKE_MATCH_4}0000")
+  string(SUBSTRING "${frac}" 0 4 frac)
+  math(EXPR scaled "${sign}(${int_part} * 10000 + ${frac})")
+  set(${out} "${scaled}" PARENT_SCOPE)
+endfunction()
+
+set(failures 0)
+
+# Throughput floors relative to the checked-in baseline.
+foreach(key vehicle_epochs_per_sec campaign_vehicles_per_sec)
+  read_info(cur "${current_json}" ${key})
+  read_info(base "${baseline_json}" ${key})
+  to_deci4(cur_c "${cur}")
+  to_deci4(base_c "${base}")
+  math(EXPR floor_c "${base_c} / 100 * (100 - ${TOLERANCE_PCT})")
+  if(cur_c LESS floor_c)
+    message(SEND_ERROR
+      "fleet perf regression: ${key} = ${cur} < ${TOLERANCE_PCT}% floor of "
+      "baseline ${base}")
+    math(EXPR failures "${failures} + 1")
+  else()
+    message(STATUS "${key}: ${cur} (baseline ${base}) ok")
+  endif()
+endforeach()
+
+# Steady-state stepping is allocation-free by design (DESIGN.md §17); any
+# nonzero count is a hard failure — and the cross-shard proof.
+read_info(cur "${current_json}" steady_allocs)
+to_deci4(cur_c "${cur}")
+if(cur_c GREATER 0)
+  message(SEND_ERROR "fleet steady state allocates: steady_allocs = ${cur}")
+  math(EXPR failures "${failures} + 1")
+else()
+  message(STATUS "steady_allocs: ${cur} ok")
+endif()
+
+# NFF ratios: absolute band around the baseline (Fig. 12 economics).
+to_deci4(band_c "${NFF_BAND}")
+foreach(key nff_naive nff_guided)
+  read_info(cur "${current_json}" ${key})
+  read_info(base "${baseline_json}" ${key})
+  to_deci4(cur_c "${cur}")
+  to_deci4(base_c "${base}")
+  math(EXPR lo "${base_c} - ${band_c}")
+  math(EXPR hi "${base_c} + ${band_c}")
+  if(cur_c LESS lo OR cur_c GREATER hi)
+    message(SEND_ERROR
+      "fleet verdict drift: ${key} = ${cur} outside +/-${NFF_BAND} of "
+      "baseline ${base}")
+    math(EXPR failures "${failures} + 1")
+  else()
+    message(STATUS "${key}: ${cur} (baseline ${base} +/- ${NFF_BAND}) ok")
+  endif()
+endforeach()
+
+# Structural shapes: absolute floors, machine-independent.
+foreach(pair "infant_over_valley;20000" "wearout_over_valley;20000"
+             "sw_head_share;5000")
+  list(GET pair 0 key)
+  list(GET pair 1 floor_c)
+  read_info(cur "${current_json}" ${key})
+  to_deci4(cur_c "${cur}")
+  if(cur_c LESS ${floor_c})
+    math(EXPR floor_int "${floor_c} / 10000")
+    math(EXPR floor_frac "${floor_c} % 10000")
+    message(SEND_ERROR
+      "fleet shape lost: ${key} = ${cur} below structural floor "
+      "${floor_int}.${floor_frac}")
+    math(EXPR failures "${failures} + 1")
+  else()
+    message(STATUS "${key}: ${cur} ok")
+  endif()
+endforeach()
+
+if(failures GREATER 0)
+  message(FATAL_ERROR "fleet gate failed: ${failures} check(s)")
+endif()
+message(STATUS "fleet gate passed")

@@ -2,9 +2,12 @@
 # against the checked-in baseline (bench/baselines/) and fails on
 #
 #   * a throughput regression beyond TOLERANCE_PCT (default 10 %) on
-#     events_per_sec and rounds_per_sec, and
+#     events_per_sec, rounds_per_sec and symptoms_per_sec,
 #   * any allocation on the hot paths (allocs_per_event / allocs_per_round
-#     must stay exactly 0 — this one is machine-independent).
+#     must stay exactly 0 — this one is machine-independent), and
+#   * allocation growth on the diag ingest path (allocs_per_symptom may
+#     exceed the baseline by at most TOLERANCE_PCT — it allocates by
+#     design, so the gate is a ceiling, not a zero).
 #
 # Usage:
 #   cmake -DCURRENT=<fresh.json> -DBASELINE=<baseline.json>
@@ -59,7 +62,7 @@ endfunction()
 set(failures 0)
 
 # Throughput keys: current must stay within TOLERANCE_PCT of baseline.
-foreach(key events_per_sec rounds_per_sec)
+foreach(key events_per_sec rounds_per_sec symptoms_per_sec)
   read_info(cur "${current_json}" ${key})
   read_info(base "${baseline_json}" ${key})
   to_centi(cur_c "${cur}")
@@ -87,6 +90,23 @@ foreach(key allocs_per_event allocs_per_round)
     message(STATUS "${key}: ${cur} ok")
   endif()
 endforeach()
+
+# The diag ingest path allocates by design (per-round map/set nodes), so
+# its gate is a ceiling relative to baseline — catches a re-introduced
+# per-symptom copy or container churn, tolerates layout jitter.
+read_info(cur "${current_json}" allocs_per_symptom)
+read_info(base "${baseline_json}" allocs_per_symptom)
+to_centi(cur_c "${cur}")
+to_centi(base_c "${base}")
+math(EXPR ceil_c "${base_c} * (100 + ${TOLERANCE_PCT}) / 100")
+if(cur_c GREATER ceil_c)
+  message(SEND_ERROR
+    "diag ingest allocation growth: allocs_per_symptom = ${cur} > "
+    "${TOLERANCE_PCT}% ceiling over baseline ${base}")
+  math(EXPR failures "${failures} + 1")
+else()
+  message(STATUS "allocs_per_symptom: ${cur} (baseline ${base}) ok")
+endif()
 
 if(failures GREATER 0)
   message(FATAL_ERROR "perf smoke failed: ${failures} check(s)")
